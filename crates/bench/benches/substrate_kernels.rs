@@ -1,0 +1,115 @@
+//! Substrate benches: the numerical kernels everything sits on — dense
+//! factorisations, polynomial arithmetic, the SDP interior-point solver and
+//! the hybrid simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cppll_hybrid::Simulator;
+use cppll_linalg::Matrix;
+use cppll_pll::{cyclic_automaton, PllOrder, TableOneParams};
+use cppll_poly::{monomials_up_to, Polynomial};
+use cppll_sdp::{SdpProblem, SolverOptions};
+
+fn spd(n: usize) -> Matrix {
+    let mut a = Matrix::zeros(n, n);
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut rng = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    for c in 0..n {
+        for r in 0..n {
+            a[(r, c)] = rng();
+        }
+    }
+    let mut m = a.matmul(&a.transpose());
+    for i in 0..n {
+        m[(i, i)] += n as f64;
+    }
+    m
+}
+
+fn dense_poly(nvars: usize, deg: u32) -> Polynomial {
+    let mut p = Polynomial::zero(nvars);
+    for (k, m) in monomials_up_to(nvars, deg).into_iter().enumerate() {
+        p.add_term(m, 1.0 / (k as f64 + 1.0));
+    }
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+    for n in [16usize, 64] {
+        let a = spd(n);
+        g.bench_function(format!("cholesky_{n}"), |b| {
+            b.iter(|| black_box(black_box(&a).cholesky().unwrap()))
+        });
+        g.bench_function(format!("eigen_{n}"), |b| {
+            b.iter(|| black_box(black_box(&a).symmetric_eigen()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("poly");
+    let p = dense_poly(3, 4);
+    let q = dense_poly(3, 4);
+    g.bench_function("mul_deg4_3vars", |b| {
+        b.iter(|| black_box(black_box(&p) * black_box(&q)))
+    });
+    let f: Vec<Polynomial> = (0..3)
+        .map(|i| dense_poly(3, 2).scale((i + 1) as f64))
+        .collect();
+    g.bench_function("lie_derivative_deg4", |b| {
+        b.iter(|| black_box(p.lie_derivative(black_box(&f))))
+    });
+    let shift = [0.1, -0.2, 0.3];
+    g.bench_function("affine_shift_deg4", |b| {
+        b.iter(|| black_box(p.shift(black_box(&shift))))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("sdp");
+    g.sample_size(20);
+    g.bench_function("lovasz_theta_c5", |b| {
+        b.iter(|| {
+            let mut prob = SdpProblem::new();
+            let blk = prob.add_psd_block(5);
+            for r in 0..5 {
+                for cc in r..5 {
+                    prob.set_cost_entry(blk, r, cc, -1.0);
+                }
+            }
+            let t = prob.add_constraint(1.0);
+            for i in 0..5 {
+                prob.set_entry(t, blk, i, i, 1.0);
+            }
+            for i in 0..5 {
+                let e = prob.add_constraint(0.0);
+                prob.set_entry(e, blk, i, (i + 1) % 5, 1.0);
+            }
+            black_box(prob.solve(&SolverOptions::default()).primal_objective)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("hybrid");
+    g.sample_size(10);
+    let pll = cyclic_automaton(PllOrder::Third, &TableOneParams::third_order());
+    g.bench_function("cyclic_pfd_50_units", |b| {
+        let sim = Simulator::new(pll.system())
+            .with_step(2e-3)
+            .with_thinning(100)
+            .with_max_jumps(100_000);
+        b.iter(|| {
+            let arc = sim.simulate(black_box(&[0.0, 0.3, 0.0, 0.2]), 0, 50.0);
+            black_box(arc.jumps())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 1 bench: parameter construction, interval scaling, and model
+//! building — the (cheap) inputs of every experiment. Regenerate the actual
+//! table with `cargo run --release -p cppll-bench --bin reproduce -- --only table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cppll_pll::{PllModelBuilder, PllOrder, ScaledCoefficients, TableOneParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("scaled_coefficients_third", |b| {
+        let p = TableOneParams::third_order();
+        b.iter(|| black_box(ScaledCoefficients::from_params(black_box(&p))));
+    });
+    g.bench_function("scaled_coefficients_fourth", |b| {
+        let p = TableOneParams::fourth_order();
+        b.iter(|| black_box(ScaledCoefficients::from_params(black_box(&p))));
+    });
+    g.bench_function("build_third_order_model", |b| {
+        b.iter(|| black_box(PllModelBuilder::new(PllOrder::Third).build()));
+    });
+    g.bench_function("build_fourth_order_model", |b| {
+        b.iter(|| black_box(PllModelBuilder::new(PllOrder::Fourth).build()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table 2 bench: the end-to-end pipeline on a toy hybrid system — the same
+//! step structure as the PLL benchmarks (certificates → level curves →
+//! advection → inclusion) at bench-friendly cost. Regenerate the real
+//! table with `reproduce -- --only table2` (runs the full PLL pipelines and
+//! prints our seconds next to the paper's).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cppll_hybrid::{HybridSystem, Jump, Mode};
+use cppll_poly::Polynomial;
+use cppll_verify::{InevitabilityVerifier, PipelineOptions, Region};
+
+fn two_mode_spiral() -> HybridSystem {
+    let right = vec![
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], 1.0)]),
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], -1.0)]),
+    ];
+    let left = vec![
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], 0.5)]),
+        Polynomial::from_terms(2, &[(&[1, 0], -0.5), (&[0, 1], -1.0)]),
+    ];
+    let x = Polynomial::var(2, 0);
+    let m0 = Mode::new("right", right).with_flow_set(vec![x.clone()]);
+    let m1 = Mode::new("left", left).with_flow_set(vec![x.scale(-1.0)]);
+    let guard = vec![Polynomial::var(2, 0)];
+    let jumps = vec![
+        Jump::identity(0, 1).with_guard_eq(guard.clone()),
+        Jump::identity(1, 0).with_guard_eq(guard),
+    ];
+    HybridSystem::new(2, vec![m0, m1], jumps)
+}
+
+fn bench(c: &mut Criterion) {
+    let sys = two_mode_spiral();
+    let boundary = {
+        let mut b = Vec::new();
+        for i in 0..2 {
+            let xi = Polynomial::var(2, i);
+            b.push(&Polynomial::constant(2, 3.0) - &xi);
+            b.push(&Polynomial::constant(2, 3.0) + &xi);
+        }
+        b
+    };
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("toy_pipeline_end_to_end", |b| {
+        b.iter(|| {
+            let verifier = InevitabilityVerifier::new(&sys, boundary.clone(), Region::ball(2, 2.0));
+            let report = verifier
+                .verify(&PipelineOptions::degree(2))
+                .expect("toy verifies");
+            black_box(report.verdict.is_verified())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

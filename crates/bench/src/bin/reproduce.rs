@@ -1,0 +1,215 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [--quick] [--only table1|fig2|fig3|fig4|fig5|table2|ablations]
+//! ```
+//!
+//! Prints the artefacts to stdout (tables as text, figures as extents plus
+//! ASCII level curves) and writes the raw series as JSON under
+//! `target/experiments/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cppll_bench::experiments::{self, AdvectionFigure, FigureResult};
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = out_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("  [saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+fn banner(title: &str) {
+    println!(
+        "\n=== {title} {}",
+        "=".repeat(66_usize.saturating_sub(title.len()))
+    );
+}
+
+fn print_figure(fig: &FigureResult) {
+    for note in &fig.notes {
+        println!("  {note}");
+    }
+    for curve in &fig.curves {
+        println!("  {} — {} boundary points", curve.label, curve.points.len());
+        let half = (curve.max_radius() * 1.2).max(1.0);
+        for line in curve.ascii_plot(half, 58, 21) {
+            println!("    |{line}|");
+        }
+        println!("    (window ±{half:.2})");
+    }
+}
+
+fn print_advection(fig: &AdvectionFigure) {
+    for note in &fig.notes {
+        println!("  {note}");
+    }
+    println!(
+        "  iterations: {}, included after: {:?}, escape certificates: {}",
+        fig.iterations, fig.included_after, fig.escape_count
+    );
+    // Print the last plane of: initial set, every front, the AI.
+    if let (Some(init), Some(ai)) = (fig.initial_curves.last(), fig.ai_curves.last()) {
+        println!(
+            "  outer set extent: x≤{:.2} y≤{:.2} | AI extent: x≤{:.2} y≤{:.2}",
+            init.x_extent(),
+            init.y_extent(),
+            ai.x_extent(),
+            ai.y_extent()
+        );
+        for (k, fronts) in fig.front_curves.iter().enumerate() {
+            if let Some(c) = fronts.last() {
+                println!(
+                    "  front after iter {:2}: x≤{:.2} y≤{:.2}",
+                    k + 1,
+                    c.x_extent(),
+                    c.y_extent()
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1).cloned());
+    let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
+
+    println!(
+        "Reproduction harness — Ul Asad & Jones, \"Verifying inevitability of \
+         phase-locking in a charge pump PLL using SOS programming\"{}",
+        if quick { " [quick mode]" } else { "" }
+    );
+
+    if want("table1") {
+        banner("Table 1: CP PLL parameters");
+        let rows = experiments::table1();
+        println!(
+            "  {:<22} {:<28} {:<28}",
+            "parameter", "third order", "fourth order"
+        );
+        for r in &rows {
+            println!("  {:<22} {:<28} {:<28}", r.parameter, r.third, r.fourth);
+        }
+        save_json("table1", &rows);
+    }
+
+    if want("fig2") {
+        banner("Figure 2: third-order attractive invariant");
+        let fig = experiments::fig2(quick);
+        print_figure(&fig);
+        save_json("fig2", &fig);
+    }
+
+    if want("fig3") {
+        banner("Figure 3: fourth-order attractive invariant");
+        let fig = experiments::fig3(quick);
+        print_figure(&fig);
+        save_json("fig3", &fig);
+    }
+
+    if want("fig4") {
+        banner("Figure 4: third-order bounded advection");
+        let fig = experiments::fig4(quick);
+        print_advection(&fig);
+        save_json("fig4", &fig);
+    }
+
+    if want("fig5") {
+        banner("Figure 5: fourth-order bounded advection");
+        let fig = experiments::fig5(quick);
+        print_advection(&fig);
+        save_json("fig5", &fig);
+        banner("Figure 5 (escape variant): leftover closed by escape certificates");
+        let fig = experiments::fig5_escape_variant(quick);
+        print_advection(&fig);
+        save_json("fig5_escape", &fig);
+    }
+
+    if want("table2") {
+        banner("Table 2: computation time of the inevitability verification");
+        let t2 = experiments::table2(quick);
+        println!(
+            "  degrees: third = {}, fourth = {}; verified: {:?}",
+            t2.degrees.0, t2.degrees.1, t2.verified
+        );
+        println!(
+            "  {:<26} {:>12} {:>12} {:>14} {:>14}",
+            "step", "3rd (s)", "4th (s)", "paper 3rd (s)", "paper 4th (s)"
+        );
+        for r in &t2.rows {
+            let fmt_opt = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.1}"));
+            println!(
+                "  {:<26} {:>12.2} {:>12.2} {:>14} {:>14}",
+                r.step,
+                r.third_seconds,
+                r.fourth_seconds,
+                fmt_opt(r.paper_third),
+                fmt_opt(r.paper_fourth)
+            );
+        }
+        save_json("table2", &t2);
+    }
+
+    if want("ablations") {
+        banner("Ablation: certificate degree (third order)");
+        let rows = experiments::ablation_degree();
+        for r in &rows {
+            println!(
+                "  {:<32} feasible={:<5} {:.2}s",
+                r.config, r.feasible, r.seconds
+            );
+        }
+        save_json("ablation_degree", &rows);
+
+        banner("Ablation: certificate scheme");
+        let rows = experiments::ablation_scheme();
+        for r in &rows {
+            println!(
+                "  {:<32} feasible={:<5} {:.2}s",
+                r.config, r.feasible, r.seconds
+            );
+        }
+        save_json("ablation_scheme", &rows);
+
+        banner("Ablation: robustness encoding");
+        let rows = experiments::ablation_robust();
+        for r in &rows {
+            println!(
+                "  {:<32} feasible={:<5} {:.2}s",
+                r.config, r.feasible, r.seconds
+            );
+        }
+        save_json("ablation_robust", &rows);
+
+        banner("Ablation: advection variants");
+        let rows = experiments::ablation_advection();
+        for r in &rows {
+            println!(
+                "  {:<32} feasible={:<5} {:.4}s metric={:?}",
+                r.config, r.feasible, r.seconds, r.metric
+            );
+        }
+        save_json("ablation_advection", &rows);
+    }
+
+    println!("\ndone.");
+}

@@ -1,0 +1,24 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! experimental evaluation (Section 4).
+//!
+//! The [`experiments`] module contains one runner per artefact:
+//!
+//! | Paper artefact | Runner |
+//! |----------------|--------|
+//! | Table 1 (parameters) | [`experiments::table1`] |
+//! | Fig. 2 (3rd-order attractive invariant) | [`experiments::fig2`] |
+//! | Fig. 3 (4th-order attractive invariant) | [`experiments::fig3`] |
+//! | Fig. 4 (3rd-order bounded advection) | [`experiments::fig4`] |
+//! | Fig. 5 (4th-order advection + escape) | [`experiments::fig5`] |
+//! | Table 2 (per-step computation time) | [`experiments::table2`] |
+//!
+//! plus the ablations called out in `DESIGN.md`
+//! ([`experiments::ablation_degree`], [`experiments::ablation_scheme`],
+//! [`experiments::ablation_robust`], [`experiments::ablation_advection`]).
+//!
+//! Figure runners emit level-curve point series via [`contour`] — the same
+//! curves the paper plots — and every runner's result serialises to JSON so
+//! `reproduce` can persist raw data under `target/experiments/`.
+
+pub mod contour;
+pub mod experiments;

@@ -1,0 +1,124 @@
+//! `cppll` — command-line inevitability verifier.
+//!
+//! ```text
+//! cppll verify <system.json>     run the inevitability pipeline on a spec
+//! cppll pll <3|4> [degree]       run the built-in CP PLL benchmarks
+//! cppll schema                   print an annotated example spec
+//! ```
+
+use std::process::ExitCode;
+
+use cppll_cli::{run_inevitability, SystemSpec};
+use cppll_pll::{PllModelBuilder, PllOrder};
+use cppll_verify::{InevitabilityVerifier, PipelineOptions, VerificationReport};
+
+const EXAMPLE_SPEC: &str = r#"{
+  "states": 2,
+  "modes": [
+    {"name": "right", "flow": ["-1 x0 + 1 x1", "-1 x0 - 1 x1"], "flow_set": ["x0"]},
+    {"name": "left",  "flow": ["-1 x0 + 0.5 x1", "-0.5 x0 - 1 x1"], "flow_set": ["-1 x0"]}
+  ],
+  "jumps": [
+    {"from": 0, "to": 1, "guard_eq": ["x0"]},
+    {"from": 1, "to": 0, "guard_eq": ["x0"]}
+  ],
+  "params": {"lo": [], "hi": []},
+  "boundary": ["3 - 1 x0", "3 + 1 x0", "3 - 1 x1", "3 + 1 x1"],
+  "initial_radii": [2.0, 2.0],
+  "degree": 2
+}"#;
+
+fn print_report(report: &VerificationReport) {
+    println!("verdict: {:?}", report.verdict);
+    println!("attractive invariant level c* = {:.6}", report.levels.level);
+    println!(
+        "advection: {} iterations, included after {:?}",
+        report.advection_iterations(),
+        report.included_after()
+    );
+    println!("escape certificates: {}", report.escape_certificates.len());
+    println!("timings:");
+    for t in &report.timings {
+        println!("  {:<26} {:>9.2}s", t.name, t.seconds);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("schema") => {
+            println!("{EXAMPLE_SPEC}");
+            ExitCode::SUCCESS
+        }
+        Some("verify") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: cppll verify <system.json>");
+                return ExitCode::FAILURE;
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let spec: SystemSpec = match serde_json::from_str(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_inevitability(&spec) {
+                Ok(report) => {
+                    print_report(&report);
+                    if report.verdict.is_verified() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(2)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("pll") => {
+            let order = match args.get(1).map(String::as_str) {
+                Some("3") => PllOrder::Third,
+                Some("4") => PllOrder::Fourth,
+                _ => {
+                    eprintln!("usage: cppll pll <3|4> [degree]");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let degree: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let model = PllModelBuilder::new(order).build();
+            println!("CP PLL order {order:?}, certificate degree {degree}");
+            println!("scaled coefficients: {}", model.coeffs());
+            let verifier = InevitabilityVerifier::for_pll(&model);
+            match verifier.verify(&PipelineOptions::degree(degree)) {
+                Ok(report) => {
+                    print_report(&report);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "cppll — inevitability verifier for polynomial hybrid systems\n\
+                 \n\
+                 usage:\n\
+                 \x20 cppll verify <system.json>   verify a JSON system spec\n\
+                 \x20 cppll pll <3|4> [degree]     run the CP PLL benchmarks\n\
+                 \x20 cppll schema                 print an example spec"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

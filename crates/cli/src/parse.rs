@@ -1,0 +1,176 @@
+//! A small parser for human-readable polynomial strings.
+//!
+//! Grammar (whitespace-separated factors inside terms):
+//!
+//! ```text
+//! poly   := term (('+'|'-') term)*
+//! term   := [coeff] (var)*          e.g. "2.5 x0^2 x1", "x2", "-0.5"
+//! var    := 'x' index ['^' exponent]
+//! ```
+
+use cppll_poly::{Monomial, Polynomial};
+
+/// Error produced when a polynomial string cannot be parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsePolynomialError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParsePolynomialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid polynomial: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePolynomialError {}
+
+fn err(message: impl Into<String>) -> ParsePolynomialError {
+    ParsePolynomialError {
+        message: message.into(),
+    }
+}
+
+/// Parses a polynomial over `nvars` variables from a term-sum string.
+///
+/// # Errors
+///
+/// Returns [`ParsePolynomialError`] on malformed input or out-of-range
+/// variable indices.
+///
+/// # Examples
+///
+/// ```
+/// use cppll_cli::parse_polynomial;
+///
+/// let p = parse_polynomial("-1 x0 + 2 x0^2 x1 - 0.5", 2).unwrap();
+/// assert_eq!(p.eval(&[1.0, 1.0]), 0.5);
+/// ```
+pub fn parse_polynomial(input: &str, nvars: usize) -> Result<Polynomial, ParsePolynomialError> {
+    let mut poly = Polynomial::zero(nvars);
+    // Normalize: ensure '+'/'-' separate terms; keep exponent carets intact.
+    let cleaned = input.replace('*', " ");
+    let mut terms: Vec<(f64, String)> = Vec::new();
+    let mut current = String::new();
+    let mut sign = 1.0;
+    let mut chars = cleaned.chars().peekable();
+    // Split on top-level + and - (a '-' directly after 'e'/'E' inside a
+    // number would be scientific notation; keep the parser simple and
+    // require explicit spacing for exponents instead).
+    while let Some(c) = chars.next() {
+        match c {
+            '+' => {
+                if !current.trim().is_empty() {
+                    terms.push((sign, current.clone()));
+                }
+                current.clear();
+                sign = 1.0;
+            }
+            '-' => {
+                if !current.trim().is_empty() {
+                    terms.push((sign, current.clone()));
+                    current.clear();
+                    sign = 1.0;
+                }
+                sign = -sign;
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        terms.push((sign, current));
+    }
+    if terms.is_empty() {
+        return Ok(poly); // "0" by omission
+    }
+    for (sign, body) in terms {
+        let mut coeff = sign;
+        let mut exps = vec![0u32; nvars];
+        let mut saw_anything = false;
+        for factor in body.split_whitespace() {
+            saw_anything = true;
+            if let Some(rest) = factor.strip_prefix('x') {
+                let (idx_str, exp) = match rest.split_once('^') {
+                    Some((i, e)) => (
+                        i,
+                        e.parse::<u32>()
+                            .map_err(|_| err(format!("bad exponent in '{factor}'")))?,
+                    ),
+                    None => (rest, 1),
+                };
+                let idx: usize = idx_str
+                    .parse()
+                    .map_err(|_| err(format!("bad variable in '{factor}'")))?;
+                if idx >= nvars {
+                    return Err(err(format!(
+                        "variable x{idx} out of range (system has {nvars} states)"
+                    )));
+                }
+                exps[idx] += exp;
+            } else {
+                let v: f64 = factor
+                    .parse()
+                    .map_err(|_| err(format!("bad coefficient '{factor}'")))?;
+                coeff *= v;
+            }
+        }
+        if !saw_anything {
+            return Err(err("empty term"));
+        }
+        poly.add_term(Monomial::new(exps), coeff);
+    }
+    Ok(poly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_signs() {
+        let p = parse_polynomial("1.5", 2).unwrap();
+        assert_eq!(p.eval(&[9.0, 9.0]), 1.5);
+        let q = parse_polynomial("-2", 1).unwrap();
+        assert_eq!(q.eval(&[0.0]), -2.0);
+        let r = parse_polynomial("- 2 + 3", 1).unwrap();
+        assert_eq!(r.eval(&[0.0]), 1.0);
+    }
+
+    #[test]
+    fn variables_and_exponents() {
+        let p = parse_polynomial("x0^2 x1 - 1 x1", 2).unwrap();
+        assert_eq!(p.eval(&[2.0, 3.0]), 12.0 - 3.0);
+        let q = parse_polynomial("2 x1", 2).unwrap();
+        assert_eq!(q.eval(&[0.0, 4.0]), 8.0);
+    }
+
+    #[test]
+    fn star_separator_is_accepted() {
+        let p = parse_polynomial("2*x0*x1", 2).unwrap();
+        assert_eq!(p.eval(&[3.0, 4.0]), 24.0);
+    }
+
+    #[test]
+    fn round_trips_display_output() {
+        // Our Display prints e.g. "x0^2 - 2*x1 + 1"; parse it back.
+        let orig = cppll_poly::Polynomial::from_terms(
+            2,
+            &[(&[2, 0], 1.0), (&[0, 1], -2.0), (&[0, 0], 1.0)],
+        );
+        let reparsed = parse_polynomial(&orig.to_string(), 2).unwrap();
+        assert!((&reparsed - &orig).max_abs_coefficient() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_polynomial("x9", 2).is_err());
+        assert!(parse_polynomial("x0^z", 2).is_err());
+        assert!(parse_polynomial("foo", 2).is_err());
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let p = parse_polynomial("", 3).unwrap();
+        assert!(p.is_zero());
+    }
+}

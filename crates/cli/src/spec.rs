@@ -1,0 +1,323 @@
+//! JSON system specification and pipeline execution.
+
+use cppll_hybrid::{HybridSystem, Jump, Mode, ParamBox};
+use cppll_poly::Polynomial;
+use cppll_verify::{InevitabilityVerifier, PipelineOptions, Region, VerificationReport};
+use serde::{Deserialize, Serialize};
+
+use crate::parse::{parse_polynomial, ParsePolynomialError};
+
+/// One mode of the system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModeSpec {
+    /// Mode name.
+    pub name: String,
+    /// Flow components `ẋᵢ` as polynomial strings over states (+ params).
+    pub flow: Vec<String>,
+    /// Flow-set inequalities `g(x) ≥ 0` over the states.
+    #[serde(default)]
+    pub flow_set: Vec<String>,
+}
+
+/// One jump of the system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JumpSpec {
+    /// Source mode index.
+    pub from: usize,
+    /// Target mode index.
+    pub to: usize,
+    /// Guard inequalities `g(x) ≥ 0`.
+    #[serde(default)]
+    pub guard: Vec<String>,
+    /// Guard equalities `h(x) = 0`.
+    #[serde(default)]
+    pub guard_eq: Vec<String>,
+    /// Reset map components (identity when omitted).
+    #[serde(default)]
+    pub reset: Vec<String>,
+}
+
+/// Uncertain-parameter box.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Lower bounds.
+    #[serde(default)]
+    pub lo: Vec<f64>,
+    /// Upper bounds.
+    #[serde(default)]
+    pub hi: Vec<f64>,
+}
+
+/// A polynomial hybrid system plus the inevitability query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Number of state variables (`x0 … x{n−1}`).
+    pub states: usize,
+    /// Modes.
+    pub modes: Vec<ModeSpec>,
+    /// Jumps.
+    #[serde(default)]
+    pub jumps: Vec<JumpSpec>,
+    /// Uncertain parameters (appended as `x{n} …` in flow strings).
+    #[serde(default)]
+    pub params: ParamSpec,
+    /// Verified-region boundary inequalities `g(x) ≥ 0`.
+    pub boundary: Vec<String>,
+    /// Semi-axes of the ellipsoidal initial set.
+    pub initial_radii: Vec<f64>,
+    /// Lyapunov certificate degree (even).
+    #[serde(default = "default_degree")]
+    pub degree: u32,
+}
+
+fn default_degree() -> u32 {
+    2
+}
+
+/// Errors surfaced while interpreting a [`SystemSpec`].
+#[derive(Debug)]
+pub enum SpecError {
+    /// A polynomial string failed to parse (`context` says which field).
+    Parse {
+        /// Field the string came from.
+        context: String,
+        /// Underlying parse error.
+        source: ParsePolynomialError,
+    },
+    /// The specification is structurally inconsistent.
+    Invalid {
+        /// What is wrong.
+        message: String,
+    },
+    /// The verification pipeline failed.
+    Verify(cppll_verify::VerifyError),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse { context, source } => write!(f, "in {context}: {source}"),
+            SpecError::Invalid { message } => write!(f, "invalid spec: {message}"),
+            SpecError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SystemSpec {
+    /// Builds the [`HybridSystem`] the spec describes.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] / [`SpecError::Invalid`] on malformed input.
+    pub fn build_system(&self) -> Result<HybridSystem, SpecError> {
+        let n = self.states;
+        if self.params.lo.len() != self.params.hi.len() {
+            return Err(SpecError::Invalid {
+                message: "params.lo and params.hi must have equal length".into(),
+            });
+        }
+        let ring = n + self.params.lo.len();
+        let parse = |s: &str, nv: usize, ctx: &str| {
+            parse_polynomial(s, nv).map_err(|source| SpecError::Parse {
+                context: ctx.to_string(),
+                source,
+            })
+        };
+        let mut modes = Vec::with_capacity(self.modes.len());
+        for (mi, m) in self.modes.iter().enumerate() {
+            if m.flow.len() != n {
+                return Err(SpecError::Invalid {
+                    message: format!(
+                        "mode {mi} has {} flow components; system has {n} states",
+                        m.flow.len()
+                    ),
+                });
+            }
+            let flow: Vec<Polynomial> = m
+                .flow
+                .iter()
+                .map(|s| parse(s, ring, &format!("modes[{mi}].flow")))
+                .collect::<Result<_, _>>()?;
+            let flow_set: Vec<Polynomial> = m
+                .flow_set
+                .iter()
+                .map(|s| parse(s, n, &format!("modes[{mi}].flow_set")))
+                .collect::<Result<_, _>>()?;
+            modes.push(Mode::new(m.name.clone(), flow).with_flow_set(flow_set));
+        }
+        let mut jumps = Vec::with_capacity(self.jumps.len());
+        for (ji, j) in self.jumps.iter().enumerate() {
+            if j.from >= self.modes.len() || j.to >= self.modes.len() {
+                return Err(SpecError::Invalid {
+                    message: format!("jump {ji} references an unknown mode"),
+                });
+            }
+            let mut jump = Jump::identity(j.from, j.to)
+                .with_guard(
+                    j.guard
+                        .iter()
+                        .map(|s| parse(s, n, &format!("jumps[{ji}].guard")))
+                        .collect::<Result<_, _>>()?,
+                )
+                .with_guard_eq(
+                    j.guard_eq
+                        .iter()
+                        .map(|s| parse(s, n, &format!("jumps[{ji}].guard_eq")))
+                        .collect::<Result<_, _>>()?,
+                );
+            if !j.reset.is_empty() {
+                if j.reset.len() != n {
+                    return Err(SpecError::Invalid {
+                        message: format!("jump {ji} reset must have {n} components"),
+                    });
+                }
+                jump = jump.with_reset(
+                    j.reset
+                        .iter()
+                        .map(|s| parse(s, n, &format!("jumps[{ji}].reset")))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            jumps.push(jump);
+        }
+        Ok(HybridSystem::with_params(
+            n,
+            modes,
+            jumps,
+            ParamBox::new(self.params.lo.clone(), self.params.hi.clone()),
+        ))
+    }
+
+    /// Parses the boundary inequalities.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on malformed polynomials.
+    pub fn build_boundary(&self) -> Result<Vec<Polynomial>, SpecError> {
+        self.boundary
+            .iter()
+            .map(|s| {
+                parse_polynomial(s, self.states).map_err(|source| SpecError::Parse {
+                    context: "boundary".into(),
+                    source,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Runs the inevitability pipeline for a JSON spec.
+///
+/// # Errors
+///
+/// [`SpecError`] on malformed input or pipeline failure.
+pub fn run_inevitability(spec: &SystemSpec) -> Result<VerificationReport, SpecError> {
+    if spec.initial_radii.len() != spec.states {
+        return Err(SpecError::Invalid {
+            message: "initial_radii must have one entry per state".into(),
+        });
+    }
+    let system = spec.build_system()?;
+    let boundary = spec.build_boundary()?;
+    let initial = Region::ellipsoid(&spec.initial_radii);
+    let verifier = InevitabilityVerifier::new(&system, boundary, initial);
+    verifier
+        .verify(&PipelineOptions::degree(spec.degree))
+        .map_err(SpecError::Verify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_spec() -> SystemSpec {
+        serde_json::from_str(
+            r#"{
+              "states": 2,
+              "modes": [
+                {"name": "right", "flow": ["-1 x0 + 1 x1", "-1 x0 - 1 x1"], "flow_set": ["x0"]},
+                {"name": "left",  "flow": ["-1 x0 + 0.5 x1", "-0.5 x0 - 1 x1"], "flow_set": ["-1 x0"]}
+              ],
+              "jumps": [
+                {"from": 0, "to": 1, "guard_eq": ["x0"]},
+                {"from": 1, "to": 0, "guard_eq": ["x0"]}
+              ],
+              "boundary": ["3 - 1 x0", "3 + 1 x0", "3 - 1 x1", "3 + 1 x1"],
+              "initial_radii": [2.0, 2.0],
+              "degree": 2
+            }"#,
+        )
+        .expect("valid json")
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = toy_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SystemSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.states, 2);
+        assert_eq!(back.modes.len(), 2);
+        assert_eq!(back.jumps.len(), 2);
+    }
+
+    #[test]
+    fn builds_hybrid_system() {
+        let sys = toy_spec().build_system().expect("valid spec");
+        assert_eq!(sys.nstates(), 2);
+        assert_eq!(sys.modes().len(), 2);
+        assert_eq!(sys.jumps().len(), 2);
+        // Flow evaluates as written.
+        let f = sys.eval_flow(0, &[1.0, 2.0], &[]);
+        assert_eq!(f, vec![1.0, -3.0]);
+    }
+
+    #[test]
+    fn end_to_end_verification_from_json() {
+        let report = run_inevitability(&toy_spec()).expect("toy verifies");
+        assert!(report.verdict.is_verified());
+    }
+
+    #[test]
+    fn uncertain_parameters_flow_through_json() {
+        // ẋ = −u·x with u ∈ [1, 2]: parameters are extra ring variables in
+        // flow strings (x1 here), and the pipeline must verify robustly
+        // over the box vertices.
+        let spec: SystemSpec = serde_json::from_str(
+            r#"{
+              "states": 1,
+              "modes": [{"name": "decay", "flow": ["-1 x0 x1"]}],
+              "params": {"lo": [1.0], "hi": [2.0]},
+              "boundary": ["3 - 1 x0", "3 + 1 x0"],
+              "initial_radii": [2.0],
+              "degree": 2
+            }"#,
+        )
+        .expect("valid json");
+        let sys = spec.build_system().expect("valid spec");
+        assert_eq!(sys.params().len(), 1);
+        assert_eq!(sys.eval_flow(0, &[2.0], &[1.5]), vec![-3.0]);
+        let report = run_inevitability(&spec).expect("verifies");
+        assert!(report.verdict.is_verified());
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        let mut spec = toy_spec();
+        spec.modes[0].flow.pop();
+        assert!(matches!(
+            spec.build_system(),
+            Err(SpecError::Invalid { .. })
+        ));
+        let mut spec2 = toy_spec();
+        spec2.jumps[0].from = 9;
+        assert!(matches!(
+            spec2.build_system(),
+            Err(SpecError::Invalid { .. })
+        ));
+        let mut spec3 = toy_spec();
+        spec3.modes[0].flow[0] = "x7".into();
+        assert!(matches!(spec3.build_system(), Err(SpecError::Parse { .. })));
+    }
+}

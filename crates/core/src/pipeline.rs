@@ -1,0 +1,403 @@
+//! End-to-end inevitability verification (`P = P1 ∧ P2`, Algorithm 1).
+
+use std::time::Instant;
+
+use cppll_hybrid::HybridSystem;
+use cppll_poly::Polynomial;
+use cppll_sos::{check_inclusion, InclusionOptions};
+
+use crate::advection::{Advection, AdvectionOptions};
+use crate::escape::{EscapeCertificate, EscapeOptions, EscapeSynthesizer};
+use crate::levelset::{LevelSetMaximizer, LevelSetOptions, LevelSetResult};
+use crate::lyapunov::{LyapunovCertificates, LyapunovOptions, LyapunovSynthesizer};
+use crate::region::Region;
+use crate::VerifyError;
+
+/// Options for the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Lyapunov synthesis options (step "Attractive Invariant" of Table 2).
+    pub lyapunov: LyapunovOptions,
+    /// Level maximisation options (step "Max. Level Curves").
+    pub level: LevelSetOptions,
+    /// Advection options (step "Advection").
+    pub advection: AdvectionOptions,
+    /// Escape-certificate options (step "Escape Certificate").
+    pub escape: EscapeOptions,
+    /// Bound on advection iterations (Algorithm 1's `K`).
+    pub max_advection_iters: usize,
+    /// Margin by which the attractive invariant is shrunk in inclusion
+    /// checks, on top of the accumulated Taylor-error estimates.
+    pub inclusion_margin: f64,
+    /// Multiplier half-degree for the inclusion checks (step "Checking Set
+    /// Inclusion").
+    pub inclusion_mult_half_degree: u32,
+}
+
+impl PipelineOptions {
+    /// Reasonable defaults for a certificate of the given degree.
+    pub fn degree(lyapunov_degree: u32) -> Self {
+        PipelineOptions {
+            lyapunov: LyapunovOptions::degree(lyapunov_degree),
+            level: LevelSetOptions::default(),
+            advection: AdvectionOptions::default(),
+            escape: EscapeOptions::degree(4),
+            max_advection_iters: 40,
+            inclusion_margin: 1e-3,
+            // The Lemma-1 certificate needs σ·front to reach the degree of
+            // the attractive-invariant polynomial: deg σ ≥ deg V − deg front.
+            inclusion_mult_half_degree: (lyapunov_degree.saturating_sub(2) / 2).max(1),
+        }
+    }
+}
+
+/// Wall-clock timing of one pipeline step — the rows of the paper's Table 2.
+#[derive(Debug, Clone)]
+pub struct StepTiming {
+    /// Step name (matches Table 2's row labels).
+    pub name: &'static str,
+    /// Elapsed seconds.
+    pub seconds: f64,
+}
+
+/// Outcome of the verification.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Inevitability verified: `P1 ∧ P2` hold.
+    Inevitable {
+        /// `true` when bounded advection alone proved `P2`; `false` when
+        /// escape certificates were needed for a leftover subset (as in the
+        /// paper's fourth-order benchmark).
+        advection_sufficed: bool,
+    },
+    /// The relaxations could not decide (sound but incomplete — a higher
+    /// degree or finer advection may still succeed).
+    Inconclusive {
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Inevitable`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Inevitable { .. })
+    }
+}
+
+/// One entry of the advection trace.
+#[derive(Debug, Clone)]
+pub struct AdvectionTraceEntry {
+    /// The piecewise front after this step (one polynomial per mode).
+    pub pieces: Vec<Polynomial>,
+    /// Taylor truncation error estimate of this step.
+    pub taylor_error: f64,
+    /// Guard-consistency mismatch of the piecewise front after this step.
+    pub guard_mismatch: f64,
+    /// Whether the front was certified inside the attractive invariant
+    /// after this step.
+    pub included: bool,
+}
+
+/// Everything the pipeline produced: certificates, levels, traces, timings
+/// and the verdict.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// The multiple Lyapunov certificates (P1).
+    pub certificates: LyapunovCertificates,
+    /// Maximised level sets / attractive invariant (P1).
+    pub levels: LevelSetResult,
+    /// Advection trace (P2).
+    pub advection_trace: Vec<AdvectionTraceEntry>,
+    /// Escape certificates for the leftover region, if any (P2).
+    pub escape_certificates: Vec<EscapeCertificate>,
+    /// Per-step wall-clock timings (Table 2 reproduction).
+    pub timings: Vec<StepTiming>,
+    /// Final verdict.
+    pub verdict: Verdict,
+}
+
+impl VerificationReport {
+    /// Number of advection iterations performed.
+    pub fn advection_iterations(&self) -> usize {
+        self.advection_trace.len()
+    }
+
+    /// Iteration after which the front was inside the attractive invariant,
+    /// if advection sufficed.
+    pub fn included_after(&self) -> Option<usize> {
+        self.advection_trace
+            .iter()
+            .position(|e| e.included)
+            .map(|i| i + 1)
+    }
+
+    /// Total wall-clock seconds across all steps.
+    pub fn total_seconds(&self) -> f64 {
+        self.timings.iter().map(|t| t.seconds).sum()
+    }
+}
+
+/// The one-call verifier for inevitability of an origin equilibrium.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cppll_pll::{PllModelBuilder, PllOrder};
+/// use cppll_verify::{InevitabilityVerifier, PipelineOptions, Region};
+///
+/// let model = PllModelBuilder::new(PllOrder::Third).build();
+/// let verifier = InevitabilityVerifier::for_pll(&model);
+/// let report = verifier.verify(&PipelineOptions::degree(4))?;
+/// assert!(report.verdict.is_verified());
+/// # Ok::<(), cppll_verify::VerifyError>(())
+/// ```
+pub struct InevitabilityVerifier<'s> {
+    system: &'s HybridSystem,
+    /// Verified-region boundary `{g ≥ 0}` (the modeled envelope).
+    boundary: Vec<Polynomial>,
+    /// Initial set whose inevitability is to be proven (`S1 ∪ S2`).
+    initial: Region,
+}
+
+impl<'s> InevitabilityVerifier<'s> {
+    /// Creates a verifier for a hybrid system with an origin equilibrium.
+    ///
+    /// `boundary` lists polynomials `g` with the modeled region
+    /// `= {g ≥ 0}`; `initial` is the outer set from which inevitability is
+    /// claimed (the solid outer curve of the paper's Figs. 4–5).
+    pub fn new(system: &'s HybridSystem, boundary: Vec<Polynomial>, initial: Region) -> Self {
+        InevitabilityVerifier {
+            system,
+            boundary,
+            initial,
+        }
+    }
+
+    /// Convenience constructor for a CP PLL verification model: the
+    /// boundary is `|e| ≤ θ_max` and the initial set an ellipsoid spanning
+    /// most of the modeled region.
+    pub fn for_pll(model: &'s cppll_pll::VerificationModel) -> Self {
+        let n = model.nstates();
+        let e_idx = model.phase_error_index();
+        let theta = model.theta_max();
+        let e = Polynomial::var(n, e_idx);
+        let boundary = vec![
+            &Polynomial::constant(n, theta) - &e,
+            &Polynomial::constant(n, theta) + &e,
+        ];
+        // Initial ellipsoid: voltages up to ±1.5 (well beyond the certified
+        // level sets), phase error up to 0.95·θ — the large solid outer set
+        // of the paper's Figs. 4–5.
+        let mut radii = vec![1.5; n];
+        radii[e_idx] = 0.95 * theta;
+        InevitabilityVerifier {
+            system: model.system(),
+            boundary,
+            initial: Region::ellipsoid(&radii),
+        }
+    }
+
+    /// The initial region.
+    pub fn initial(&self) -> &Region {
+        &self.initial
+    }
+
+    /// Runs the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Lyapunov-synthesis failures ([`VerifyError`]); all later
+    /// steps degrade into an [`Verdict::Inconclusive`] report instead of
+    /// erroring, matching Algorithm 1's "No Answer" path.
+    pub fn verify(&self, opt: &PipelineOptions) -> Result<VerificationReport, VerifyError> {
+        let mut timings = Vec::new();
+
+        // ---- P1: attractive invariant --------------------------------
+        let t0 = Instant::now();
+        let certs = LyapunovSynthesizer::new(self.system).synthesize_auto(&opt.lyapunov)?;
+        timings.push(StepTiming {
+            name: "attractive invariant",
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+
+        let t0 = Instant::now();
+        let levels =
+            LevelSetMaximizer::new(self.system, self.boundary.clone()).maximize(&certs, &opt.level);
+        timings.push(StepTiming {
+            name: "max level curves",
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+        let Some(levels) = levels else {
+            return Ok(VerificationReport {
+                certificates: certs,
+                levels: LevelSetResult {
+                    level: 0.0,
+                    ai_polys: Vec::new(),
+                    probes: 0,
+                },
+                advection_trace: Vec::new(),
+                escape_certificates: Vec::new(),
+                timings,
+                verdict: Verdict::Inconclusive {
+                    reason: "no level value could be certified".into(),
+                },
+            });
+        };
+
+        // ---- P2: bounded advection (Algorithm 1, piecewise fronts) ----
+        let t0 = Instant::now();
+        let advector = Advection::new(self.system);
+        let mut adv_opt = opt.advection.clone();
+        if adv_opt.error_box.is_empty() {
+            adv_opt.error_box = self.default_error_box();
+        }
+        let inc_opt = InclusionOptions {
+            mult_half_degree: opt.inclusion_mult_half_degree,
+            sos: opt.level.sos.clone(),
+        };
+        let nmodes = self.system.modes().len();
+        let mut pieces: Vec<Polynomial> = vec![self.initial.level().clone(); nmodes];
+        let mut trace: Vec<AdvectionTraceEntry> = Vec::new();
+        let mut advection_ok = false;
+        let mut inclusion_seconds = 0.0;
+        for _k in 0..opt.max_advection_iters {
+            let taylor_error = advector.estimate_taylor_error(&pieces[0], &adv_opt);
+            pieces = advector.step_pieces(&pieces, &adv_opt);
+            let guard_mismatch = advector.guard_mismatch(&pieces, &adv_opt);
+            let ti = Instant::now();
+            let margin = opt.inclusion_margin;
+            let included = self.pieces_inside_ai(&pieces, &levels, margin, &inc_opt);
+            inclusion_seconds += ti.elapsed().as_secs_f64();
+            trace.push(AdvectionTraceEntry {
+                pieces: pieces.clone(),
+                taylor_error,
+                guard_mismatch,
+                included,
+            });
+            if included {
+                advection_ok = true;
+                break;
+            }
+        }
+        timings.push(StepTiming {
+            name: "advection",
+            seconds: t0.elapsed().as_secs_f64() - inclusion_seconds,
+        });
+        // Inclusion checking is booked separately (Table 2 reports it so).
+        timings.push(StepTiming {
+            name: "checking set inclusion",
+            seconds: inclusion_seconds,
+        });
+        let final_included = advection_ok;
+
+        if final_included {
+            return Ok(VerificationReport {
+                certificates: certs,
+                levels,
+                advection_trace: trace,
+                escape_certificates: Vec::new(),
+                timings,
+                verdict: Verdict::Inevitable {
+                    advection_sufficed: true,
+                },
+            });
+        }
+
+        // ---- Escape certificates for the leftover ----------------------
+        // Per mode, the front piece must either be certified inside the AI
+        // (Lemma-1 inclusion) or admit an escape certificate on the leftover
+        // {frontᵢ ≤ 0} ∖ int(AI) ∩ Cᵢ. A grid emptiness test would not be a
+        // certificate, so modes are never skipped without one of the two.
+        let t0 = Instant::now();
+        let n = self.system.nstates();
+        let mut escapes = Vec::new();
+        let mut failed_mode: Option<usize> = None;
+        for mi in 0..self.system.modes().len() {
+            let ai = &levels.ai_polys[mi] + &Polynomial::constant(n, opt.inclusion_margin);
+            let mut domain = self.boundary.clone();
+            domain.extend(self.system.modes()[mi].flow_set().iter().cloned());
+            if check_inclusion(&pieces[mi], &ai, &domain, &inc_opt) {
+                continue; // this mode's piece is already inside the AI
+            }
+            let set = vec![
+                pieces[mi].scale(-1.0),
+                levels.ai_polys[mi].clone(), // Vᵢ − c ≥ 0 (outside the AI)
+            ];
+            match EscapeSynthesizer::new(self.system).synthesize(mi, &set, &opt.escape) {
+                Ok(c) => escapes.push(c),
+                Err(_) => {
+                    failed_mode = Some(mi);
+                    break;
+                }
+            }
+        }
+        timings.push(StepTiming {
+            name: "escape certificate",
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+
+        let verdict = if let Some(mi) = failed_mode {
+            Verdict::Inconclusive {
+                reason: format!(
+                    "advection did not immerse the front and no escape certificate \
+                     of degree {} exists for mode {mi}",
+                    opt.escape.degree
+                ),
+            }
+        } else {
+            Verdict::Inevitable {
+                advection_sufficed: escapes.is_empty(),
+            }
+        };
+        Ok(VerificationReport {
+            certificates: certs,
+            levels,
+            advection_trace: trace,
+            escape_certificates: escapes,
+            timings,
+            verdict,
+        })
+    }
+
+    /// Error-sampling box half-widths: the initial region's coordinate
+    /// extents (found by axis probing of the level polynomial), inflated.
+    fn default_error_box(&self) -> Vec<f64> {
+        let n = self.system.nstates();
+        let p = self.initial.level();
+        (0..n)
+            .map(|i| {
+                let mut extent = 0.1f64;
+                for k in 1..200 {
+                    let t = 0.05 * k as f64;
+                    let mut x = vec![0.0; n];
+                    x[i] = t;
+                    let mut y = vec![0.0; n];
+                    y[i] = -t;
+                    if p.eval(&x) <= 0.0 || p.eval(&y) <= 0.0 {
+                        extent = t;
+                    }
+                }
+                1.25 * extent
+            })
+            .collect()
+    }
+
+    /// Per-mode Lemma-1 inclusion of the piecewise front into the
+    /// (margin-shrunk) AI.
+    fn pieces_inside_ai(
+        &self,
+        pieces: &[Polynomial],
+        levels: &LevelSetResult,
+        margin: f64,
+        inc_opt: &InclusionOptions,
+    ) -> bool {
+        let n = self.system.nstates();
+        (0..self.system.modes().len()).all(|mi| {
+            let ai = &levels.ai_polys[mi] + &Polynomial::constant(n, margin);
+            let mut domain = self.boundary.clone();
+            domain.extend(self.system.modes()[mi].flow_set().iter().cloned());
+            check_inclusion(&pieces[mi], &ai, &domain, inc_opt)
+        })
+    }
+}

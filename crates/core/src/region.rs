@@ -1,0 +1,144 @@
+//! Semialgebraic regions described by polynomial sublevel sets.
+
+use cppll_poly::Polynomial;
+
+/// A basic semialgebraic region `{x : p(x) ≤ 0, gⱼ(x) ≥ 0}` — one sublevel
+/// inequality plus optional side constraints.
+///
+/// Used for attractive-invariant level sets, advected fronts and escape
+/// domains.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The defining sublevel polynomial (`p(x) ≤ 0`).
+    level: Polynomial,
+    /// Side constraints `g(x) ≥ 0`.
+    side: Vec<Polynomial>,
+}
+
+impl Region {
+    /// Region `{p ≤ 0}`.
+    pub fn sublevel(level: Polynomial) -> Self {
+        Region {
+            level,
+            side: Vec::new(),
+        }
+    }
+
+    /// The closed ball `{‖x‖² ≤ r²}` over `nvars` variables.
+    pub fn ball(nvars: usize, radius: f64) -> Self {
+        let p = &Polynomial::norm_squared(nvars) - &Polynomial::constant(nvars, radius * radius);
+        Region::sublevel(p)
+    }
+
+    /// An axis-aligned ellipsoid `{Σ (xᵢ/rᵢ)² ≤ 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any radius is non-positive.
+    pub fn ellipsoid(radii: &[f64]) -> Self {
+        let n = radii.len();
+        let mut p = Polynomial::constant(n, -1.0);
+        for (i, &r) in radii.iter().enumerate() {
+            assert!(r > 0.0, "ellipsoid radii must be positive");
+            let xi = Polynomial::var(n, i);
+            p = &p + &(&xi * &xi).scale(1.0 / (r * r));
+        }
+        Region::sublevel(p)
+    }
+
+    /// Adds a side constraint `g(x) ≥ 0` (builder style).
+    pub fn with_side(mut self, g: Polynomial) -> Self {
+        self.side.push(g);
+        self
+    }
+
+    /// The defining sublevel polynomial.
+    pub fn level(&self) -> &Polynomial {
+        &self.level
+    }
+
+    /// The side constraints.
+    pub fn side(&self) -> &[Polynomial] {
+        &self.side
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.level.nvars()
+    }
+
+    /// Membership test (up to `tol`).
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        self.level.eval(x) <= tol && self.side.iter().all(|g| g.eval(x) >= -tol)
+    }
+
+    /// Samples the region's bounding box `[-bound, bound]ⁿ` with `steps`
+    /// points per axis and returns the points inside the region — a crude
+    /// but dependency-free way to extract figure data.
+    pub fn grid_sample(&self, bound: f64, steps: usize) -> Vec<Vec<f64>> {
+        let n = self.nvars();
+        let mut out = Vec::new();
+        let mut idx = vec![0usize; n];
+        loop {
+            let point: Vec<f64> = idx
+                .iter()
+                .map(|&i| -bound + 2.0 * bound * (i as f64) / ((steps - 1) as f64))
+                .collect();
+            if self.contains(&point, 0.0) {
+                out.push(point);
+            }
+            // Increment the mixed-radix counter.
+            let mut k = 0;
+            loop {
+                if k == n {
+                    return out;
+                }
+                idx[k] += 1;
+                if idx[k] < steps {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ball_membership() {
+        let b = Region::ball(2, 2.0);
+        assert!(b.contains(&[1.0, 1.0], 0.0));
+        assert!(!b.contains(&[2.0, 2.0], 0.0));
+    }
+
+    #[test]
+    fn ellipsoid_membership() {
+        let e = Region::ellipsoid(&[2.0, 0.5]);
+        assert!(e.contains(&[1.9, 0.0], 0.0));
+        assert!(!e.contains(&[0.0, 0.6], 0.0));
+    }
+
+    #[test]
+    fn side_constraints_cut() {
+        let half = Region::ball(2, 1.0).with_side(Polynomial::var(2, 0)); // x ≥ 0
+        assert!(half.contains(&[0.5, 0.0], 0.0));
+        assert!(!half.contains(&[-0.5, 0.0], 0.0));
+    }
+
+    #[test]
+    fn grid_sampling_counts() {
+        let b = Region::ball(2, 1.0);
+        let pts = b.grid_sample(1.0, 51);
+        // Area ratio → π/4 of the box samples as the grid refines (the
+        // coarse-grid fraction under-counts the boundary ring).
+        let frac = pts.len() as f64 / (51.0 * 51.0);
+        assert!(
+            (frac - std::f64::consts::FRAC_PI_4).abs() < 0.04,
+            "frac = {frac}"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! A-posteriori validation of certificates by Monte-Carlo simulation.
+//!
+//! The SOS pipeline is numerical; this module closes the loop by sampling
+//! trajectories of the actual hybrid system and checking the certified
+//! claims along them: the Lyapunov certificate decreases, trajectories
+//! enter the attractive invariant, and final states approach the
+//! equilibrium.
+
+use cppll_hybrid::{HybridSystem, Simulator};
+
+use crate::levelset::LevelSetResult;
+use crate::lyapunov::LyapunovCertificates;
+
+/// Outcome of a Monte-Carlo validation run.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Number of trajectories simulated.
+    pub trials: usize,
+    /// Trajectories along which the active certificate was monotone
+    /// non-increasing (within tolerance) while inside the modeled region.
+    pub monotone: usize,
+    /// Trajectories that entered the attractive invariant.
+    pub reached_ai: usize,
+    /// Trajectories whose final state norm was below the lock threshold.
+    pub locked: usize,
+    /// Worst observed certificate increase along any trajectory.
+    pub worst_increase: f64,
+}
+
+impl ValidationReport {
+    /// `true` when every sampled trajectory respected every claim.
+    pub fn all_passed(&self) -> bool {
+        self.monotone == self.trials && self.reached_ai == self.trials && self.locked == self.trials
+    }
+}
+
+/// Deterministic xorshift sampler (no external RNG dependency; reproducible
+/// validation runs).
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    state: u64,
+}
+
+impl Sampler {
+    /// Creates a sampler from a seed.
+    pub fn new(seed: u64) -> Self {
+        Sampler { state: seed.max(1) }
+    }
+
+    /// Next value in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Next value in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+}
+
+/// Monte-Carlo validator.
+pub struct Validator<'s> {
+    system: &'s HybridSystem,
+    /// Simulation horizon (scaled time units).
+    pub horizon: f64,
+    /// Integration step.
+    pub dt: f64,
+    /// Norm threshold counting as "locked".
+    pub lock_tol: f64,
+    /// Allowed relative certificate increase (numerical slack).
+    pub monotone_tol: f64,
+}
+
+impl<'s> Validator<'s> {
+    /// Creates a validator with defaults suitable for the scaled PLL models.
+    pub fn new(system: &'s HybridSystem) -> Self {
+        Validator {
+            system,
+            horizon: 300.0,
+            dt: 1e-2,
+            lock_tol: 5e-2,
+            monotone_tol: 1e-6,
+        }
+    }
+
+    /// Samples `trials` initial states inside the box `[-bound, bound]ⁿ`
+    /// intersected with the flow sets, simulates each, and checks the
+    /// certificates. Initial mode: any mode containing the state.
+    pub fn validate(
+        &self,
+        certs: &LyapunovCertificates,
+        levels: &LevelSetResult,
+        bound: &[f64],
+        trials: usize,
+        seed: u64,
+    ) -> ValidationReport {
+        let n = self.system.nstates();
+        assert_eq!(bound.len(), n, "bound dimension mismatch");
+        let mut sampler = Sampler::new(seed);
+        let mut report = ValidationReport {
+            trials: 0,
+            monotone: 0,
+            reached_ai: 0,
+            locked: 0,
+            worst_increase: 0.0,
+        };
+        let nominal = self.system.params().nominal();
+        while report.trials < trials {
+            let x0: Vec<f64> = bound.iter().map(|&b| sampler.range(-b, b)).collect();
+            let modes = self.system.modes_containing(&x0, 1e-9);
+            let Some(&mode0) = modes.first() else {
+                continue; // outside every flow set; resample
+            };
+            report.trials += 1;
+            let sim = Simulator::new(self.system)
+                .with_step(self.dt)
+                .with_params(nominal.clone())
+                .with_thinning(5);
+            let arc = sim.simulate(&x0, mode0, self.horizon);
+            // Monotone check of the active-mode certificate.
+            let mut prev = f64::INFINITY;
+            let mut monotone = true;
+            let mut reached = false;
+            for s in arc.samples() {
+                let v = certs.for_mode(s.mode).eval(&s.state);
+                if v > prev * (1.0 + self.monotone_tol) + self.monotone_tol {
+                    report.worst_increase = report.worst_increase.max(v - prev);
+                    monotone = false;
+                }
+                prev = v;
+                if levels.contains(self.system, &s.state, 0.0) {
+                    reached = true;
+                }
+            }
+            let fin = arc.final_state();
+            let norm: f64 = fin.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if monotone {
+                report.monotone += 1;
+            }
+            if reached {
+                report.reached_ai += 1;
+            }
+            if norm < self.lock_tol {
+                report.locked += 1;
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_uniform_ish() {
+        let mut s = Sampler::new(42);
+        let mut acc = 0.0;
+        let k = 10_000;
+        for _ in 0..k {
+            let v = s.unit();
+            assert!((0.0..1.0).contains(&v));
+            acc += v;
+        }
+        let mean = acc / k as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+}

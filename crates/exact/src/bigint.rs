@@ -1,0 +1,432 @@
+//! Arbitrary-precision signed integers, built from scratch.
+//!
+//! Only the operations the rational kernel needs: addition, subtraction,
+//! multiplication, comparison, shifts, and binary GCD (no long division is
+//! required anywhere in the crate — rational arithmetic divides by
+//! inverting, and GCD uses the binary algorithm).
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sign {
+    Negative,
+    Zero,
+    Positive,
+}
+
+/// An arbitrary-precision signed integer (little-endian `u64` limbs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    /// Magnitude limbs, least significant first; no trailing zeros.
+    limbs: Vec<u64>,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            limbs: Vec::new(),
+        }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigInt::from(1i64)
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> BigInt {
+        BigInt {
+            sign: match self.sign {
+                Sign::Negative => Sign::Positive,
+                Sign::Zero => Sign::Zero,
+                Sign::Positive => Sign::Negative,
+            },
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    fn from_limbs(sign: Sign, mut limbs: Vec<u64>) -> BigInt {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        if limbs.is_empty() {
+            return BigInt::zero();
+        }
+        BigInt { sign, limbs }
+    }
+
+    /// Magnitude comparison `|self| ? |rhs|`.
+    fn cmp_mag(&self, rhs: &BigInt) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match self.limbs.len().cmp(&rhs.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(rhs.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        other => return other,
+                    }
+                }
+                Ordering::Equal
+            }
+            other => other,
+        }
+    }
+
+    fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let (s1, c1) = long[i].overflowing_add(*short.get(i).unwrap_or(&0));
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// `a - b` for `|a| ≥ |b|`.
+    fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0u64;
+        for i in 0..a.len() {
+            let bi = *b.get(i).unwrap_or(&0);
+            let (d1, br1) = a[i].overflowing_sub(bi);
+            let (d2, br2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (br1 as u64) + (br2 as u64);
+        }
+        debug_assert_eq!(borrow, 0, "sub_mag requires |a| >= |b|");
+        out
+    }
+
+    fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Sum.
+    pub fn add(&self, rhs: &BigInt) -> BigInt {
+        use std::cmp::Ordering;
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_limbs(a, Self::add_mag(&self.limbs, &rhs.limbs)),
+            _ => match self.cmp_mag(rhs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_limbs(self.sign, Self::sub_mag(&self.limbs, &rhs.limbs))
+                }
+                Ordering::Less => {
+                    BigInt::from_limbs(rhs.sign, Self::sub_mag(&rhs.limbs, &self.limbs))
+                }
+            },
+        }
+    }
+
+    /// Difference.
+    pub fn sub(&self, rhs: &BigInt) -> BigInt {
+        self.add(&rhs.neg())
+    }
+
+    /// Product.
+    pub fn mul(&self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        BigInt::from_limbs(sign, Self::mul_mag(&self.limbs, &rhs.limbs))
+    }
+
+    /// Left shift by `k` bits (magnitude).
+    pub fn shl(&self, k: u32) -> BigInt {
+        if self.is_zero() || k == 0 {
+            return self.clone();
+        }
+        let limb_shift = (k / 64) as usize;
+        let bit_shift = k % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                limbs.push(carry);
+            }
+        }
+        BigInt::from_limbs(self.sign, limbs)
+    }
+
+    /// Right shift by one bit (magnitude halving, toward zero).
+    pub(crate) fn shr1(&self) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        let mut limbs = vec![0u64; self.limbs.len()];
+        let mut carry = 0u64;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            limbs[i] = (l >> 1) | (carry << 63);
+            carry = l & 1;
+        }
+        BigInt::from_limbs(self.sign, limbs)
+    }
+
+    /// `true` iff the magnitude is even.
+    pub(crate) fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Greatest common divisor of magnitudes (binary GCD; no division).
+    pub fn gcd(&self, rhs: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = rhs.abs();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0u32;
+        while a.is_even() && b.is_even() {
+            a = a.shr1();
+            b = b.shr1();
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr1();
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr1();
+            }
+            if a.cmp_mag(&b) == std::cmp::Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = BigInt::from_limbs(Sign::Positive, BigInt::sub_mag(&b.limbs, &a.limbs));
+            if b.is_zero() {
+                return a.shl(shift);
+            }
+        }
+    }
+
+    /// Approximate conversion to `f64` (for diagnostics only).
+    pub fn to_f64(&self) -> f64 {
+        let mut mag = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            mag = mag * 1.8446744073709552e19 + l as f64;
+        }
+        match self.sign {
+            Sign::Negative => -mag,
+            Sign::Zero => 0.0,
+            Sign::Positive => mag,
+        }
+    }
+
+    /// Number of significant bits of the magnitude.
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        use std::cmp::Ordering;
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                limbs: vec![v as u64],
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                limbs: vec![v.unsigned_abs()],
+            },
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: Sign::Positive,
+                limbs: vec![v],
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.sign, other.sign) {
+            (Sign::Negative, Sign::Negative) => other.cmp_mag(self),
+            (Sign::Negative, _) => Ordering::Less,
+            (Sign::Zero, Sign::Negative) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => self.cmp_mag(other),
+            (Sign::Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl std::fmt::Display for BigInt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Decimal printing needs division; print in hex instead (exact and
+        // cheap), which is sufficient for diagnostics.
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        if self.is_negative() {
+            write!(f, "-")?;
+        }
+        write!(f, "0x")?;
+        let mut first = true;
+        for &l in self.limbs.iter().rev() {
+            if first {
+                write!(f, "{l:x}")?;
+                first = false;
+            } else {
+                write!(f, "{l:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(big(3).add(&big(4)), big(7));
+        assert_eq!(big(3).sub(&big(4)), big(-1));
+        assert_eq!(big(-3).mul(&big(4)), big(-12));
+        assert_eq!(big(0).add(&big(0)), BigInt::zero());
+        assert_eq!(big(5).sub(&big(5)), BigInt::zero());
+    }
+
+    #[test]
+    fn carries_across_limbs() {
+        let max = BigInt::from(u64::MAX);
+        let sum = max.add(&big(1));
+        assert_eq!(sum.bits(), 65);
+        assert_eq!(sum.sub(&big(1)), max);
+        let sq = max.mul(&max);
+        // (2^64-1)² = 2^128 - 2^65 + 1
+        assert_eq!(sq.bits(), 128);
+        assert_eq!(sq.add(&max.shl(1)), BigInt::one().shl(128).sub(&big(1)));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(-5) < big(-2));
+        assert!(big(-2) < big(0));
+        assert!(big(0) < big(7));
+        assert!(BigInt::from(u64::MAX).shl(64) > BigInt::from(u64::MAX));
+    }
+
+    #[test]
+    fn gcd_matches_euclid() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(-12).gcd(&big(18)), big(6));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(1 << 20).gcd(&big(1 << 12)), big(1 << 12));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(
+            big(1).shl(64),
+            BigInt::from_limbs(Sign::Positive, vec![0, 1])
+        );
+        assert_eq!(big(6).shr1(), big(3));
+        assert_eq!(big(7).shr1(), big(3));
+    }
+
+    #[test]
+    fn to_f64_round_trip_small() {
+        for v in [-12345i64, 0, 1, 999_999_937] {
+            assert_eq!(big(v).to_f64(), v as f64);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+// Index-based loops over matrix rows/columns mirror the textbook
+// formulations of the algorithms and keep row/column symmetry visible.
+#![allow(clippy::needless_range_loop)]
+// The arithmetic kernels use by-reference inherent methods (`a.add(&b)`)
+// rather than operator traits: operands are non-Copy big values and the
+// uniform style avoids hidden clones.
+#![allow(clippy::should_implement_trait)]
+
+//! Exact rational verification of SOS certificates.
+//!
+//! The rest of the workspace finds certificates with a floating-point
+//! interior-point method — fast, but every answer carries numerical error.
+//! This crate closes the gap with the classical rounding-and-projection
+//! recipe (Peyrl–Parrilo): given a numeric Gram matrix `Q` for a target
+//! polynomial `p`,
+//!
+//! 1. convert `p` and `Q` **exactly** to rationals (every `f64` is a
+//!    dyadic rational),
+//! 2. round `Q` to a modest denominator,
+//! 3. project the rounded matrix back onto the affine subspace
+//!    `{Q : z(x)ᵀ Q z(x) = p}` — the coefficient-matching structure makes
+//!    the orthogonal projection exact and cheap, because the constraint
+//!    matrices `E_α` have disjoint supports,
+//! 4. check `Q ⪰ 0` with an **exact rational LDLᵀ** — no rounding anywhere.
+//!
+//! Success yields a mathematically rigorous proof that `p` is a sum of
+//! squares; combined with the S-procedure pieces it upgrades the pipeline's
+//! key inequalities (Lyapunov positivity and decrease) from "numerically
+//! plausible" to "machine-checked".
+//!
+//! Everything here is built from scratch — big integers ([`BigInt`]),
+//! rationals ([`Rational`]), rational matrices ([`RationalMatrix`]) — so the
+//! trusted base stays inside this workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use cppll_poly::Polynomial;
+//! use cppll_exact::prove_sos;
+//!
+//! // p = 2x² − 2xy + y² + 1 is strictly SOS.
+//! let p = Polynomial::from_terms(2, &[
+//!     (&[2, 0], 2.0), (&[1, 1], -2.0), (&[0, 2], 1.0), (&[0, 0], 1.0),
+//! ]);
+//! let proof = prove_sos(&p, &Default::default()).expect("exact certificate");
+//! assert!(proof.gram_dimension() > 0);
+//! ```
+
+mod bigint;
+mod matrix;
+mod rational;
+mod rpoly;
+mod verify;
+
+pub use bigint::BigInt;
+pub use matrix::RationalMatrix;
+pub use rational::Rational;
+pub use rpoly::RationalPoly;
+pub use verify::{
+    prove_nonneg_on, prove_nonneg_on_rational, prove_sos, ExactError, ExactOptions, ExactProof,
+    NonnegProof,
+};

@@ -1,0 +1,209 @@
+//! Dense rational matrices with an exact PSD test.
+
+use crate::Rational;
+
+/// A dense matrix of exact rationals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RationalMatrix {
+    n: usize,
+    /// Row-major entries.
+    data: Vec<Rational>,
+}
+
+impl RationalMatrix {
+    /// The `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        RationalMatrix {
+            n,
+            data: vec![Rational::zero(); n * n],
+        }
+    }
+
+    /// Builds from a float matrix by **exact** dyadic conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not square or contains non-finite entries.
+    pub fn from_f64(m: &cppll_linalg::Matrix) -> Self {
+        assert!(m.is_square(), "rational conversion requires square input");
+        let n = m.nrows();
+        let mut out = RationalMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                out.set(r, c, Rational::from_f64(m[(r, c)]));
+            }
+        }
+        out
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, r: usize, c: usize) -> &Rational {
+        &self.data[r * self.n + c]
+    }
+
+    /// Entry setter.
+    pub fn set(&mut self, r: usize, c: usize, v: Rational) {
+        self.data[r * self.n + c] = v;
+    }
+
+    /// Adds `v` to entry `(r, c)`.
+    pub fn add_to(&mut self, r: usize, c: usize, v: &Rational) {
+        let cur = self.get(r, c).clone();
+        self.set(r, c, cur.add(v));
+    }
+
+    /// Symmetrises exactly: `(A + Aᵀ)` entries averaged.
+    pub fn symmetrize(&mut self) {
+        let half = Rational::new(crate::BigInt::one(), crate::BigInt::from(2i64));
+        for r in 0..self.n {
+            for c in (r + 1)..self.n {
+                let avg = self.get(r, c).add(self.get(c, r)).mul(&half);
+                self.set(r, c, avg.clone());
+                self.set(c, r, avg);
+            }
+        }
+    }
+
+    /// Exact positive-**semi**definiteness test by rational LDLᵀ with
+    /// semidefinite pivot handling: a zero pivot is admissible only when its
+    /// entire remaining row/column is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not symmetric (call
+    /// [`RationalMatrix::symmetrize`] first if needed).
+    pub fn is_psd(&self) -> bool {
+        let n = self.n;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                assert!(
+                    self.get(r, c) == self.get(c, r),
+                    "psd test requires a symmetric matrix"
+                );
+            }
+        }
+        // Work on a copy; standard outer-product elimination.
+        let mut a = self.clone();
+        for k in 0..n {
+            let pivot = a.get(k, k).clone();
+            if pivot.is_negative() {
+                return false;
+            }
+            if pivot.is_zero() {
+                // Semidefinite case: the whole remaining row must vanish.
+                for j in (k + 1)..n {
+                    if !a.get(k, j).is_zero() {
+                        return false;
+                    }
+                }
+                continue;
+            }
+            for i in (k + 1)..n {
+                let lik = a.get(i, k).div(&pivot);
+                if lik.is_zero() {
+                    continue;
+                }
+                for j in i..n {
+                    // Only the lower-right block, symmetric update.
+                    let delta = lik.mul(a.get(k, j));
+                    let cur = a.get(i, j).sub(&delta);
+                    a.set(i, j, cur.clone());
+                    a.set(j, i, cur);
+                }
+            }
+        }
+        true
+    }
+
+    /// Quadratic form `vᵀ A v` (exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn quadratic_form(&self, v: &[Rational]) -> Rational {
+        assert_eq!(v.len(), self.n, "dimension mismatch");
+        let mut acc = Rational::zero();
+        for r in 0..self.n {
+            if v[r].is_zero() {
+                continue;
+            }
+            for c in 0..self.n {
+                if v[c].is_zero() {
+                    continue;
+                }
+                acc = acc.add(&v[r].mul(self.get(r, c)).mul(&v[c]));
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigInt;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    fn mat(entries: &[&[i64]]) -> RationalMatrix {
+        let n = entries.len();
+        let mut m = RationalMatrix::zeros(n);
+        for (i, row) in entries.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, r(v, 1));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn identity_is_psd() {
+        assert!(mat(&[&[1, 0], &[0, 1]]).is_psd());
+    }
+
+    #[test]
+    fn definite_and_indefinite() {
+        assert!(mat(&[&[2, 1], &[1, 2]]).is_psd());
+        assert!(!mat(&[&[1, 2], &[2, 1]]).is_psd());
+        assert!(!mat(&[&[-1, 0], &[0, 1]]).is_psd());
+    }
+
+    #[test]
+    fn semidefinite_boundary_is_exact() {
+        // Rank-1 PSD: [[1,1],[1,1]] — floating point can waver; exact must not.
+        assert!(mat(&[&[1, 1], &[1, 1]]).is_psd());
+        // An epsilon off: [[1,1],[1, 1 - 1/10^9]] is indefinite.
+        let mut m = mat(&[&[1, 1], &[1, 1]]);
+        m.set(1, 1, r(999_999_999, 1_000_000_000));
+        assert!(!m.is_psd());
+        // Zero pivot with nonzero row ⇒ not PSD.
+        assert!(!mat(&[&[0, 1], &[1, 0]]).is_psd());
+        // All-zero matrix is PSD.
+        assert!(mat(&[&[0, 0], &[0, 0]]).is_psd());
+    }
+
+    #[test]
+    fn quadratic_form_matches() {
+        let m = mat(&[&[2, 1], &[1, 3]]);
+        let v = vec![r(1, 1), r(-1, 1)];
+        // 2 - 1 - 1 + 3 = 3.
+        assert_eq!(m.quadratic_form(&v), r(3, 1));
+    }
+
+    #[test]
+    fn from_f64_exact() {
+        let f = cppll_linalg::Matrix::from_rows(&[&[0.5, 0.25], &[0.25, 0.125]]);
+        let m = RationalMatrix::from_f64(&f);
+        assert_eq!(*m.get(0, 0), r(1, 2));
+        assert_eq!(*m.get(1, 1), r(1, 8));
+        // det = 1/16 − 1/16 = 0: an exactly singular PSD matrix.
+        assert!(m.is_psd());
+    }
+}

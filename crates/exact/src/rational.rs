@@ -1,0 +1,336 @@
+//! Exact rational numbers over [`BigInt`].
+
+use crate::BigInt;
+
+/// An exact rational `num/den` with `den > 0`, always normalized (gcd 1).
+///
+/// Every `f64` converts **exactly** (dyadic rationals), so floating-point
+/// certificates can be lifted into exact arithmetic without any further
+/// rounding step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// Zero.
+    pub fn zero() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Builds `num/den`, normalizing sign and gcd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let (num, den) = if den.is_negative() {
+            (num.neg(), den.neg())
+        } else {
+            (num, den)
+        };
+        let g = num.gcd(&den);
+        if g == BigInt::one() {
+            Rational { num, den }
+        } else {
+            Rational {
+                num: divide_exact(&num, &g),
+                den: divide_exact(&den, &g),
+            }
+        }
+    }
+
+    /// Exact conversion from `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinity.
+    pub fn from_f64(v: f64) -> Self {
+        assert!(v.is_finite(), "cannot convert non-finite float");
+        if v == 0.0 {
+            return Rational::zero();
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let fraction = bits & ((1u64 << 52) - 1);
+        let (mantissa, exp2) = if exponent == 0 {
+            (fraction, -1074i64) // subnormal
+        } else {
+            (fraction | (1u64 << 52), exponent - 1075)
+        };
+        let m = BigInt::from(mantissa);
+        let m = if sign < 0 { m.neg() } else { m };
+        if exp2 >= 0 {
+            Rational::new(m.shl(exp2 as u32), BigInt::one())
+        } else {
+            Rational::new(m, BigInt::one().shl((-exp2) as u32))
+        }
+    }
+
+    /// Integer constructor.
+    pub fn from_int(v: i64) -> Self {
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numerator(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (positive).
+    pub fn denominator(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Sum.
+    pub fn add(&self, rhs: &Rational) -> Rational {
+        Rational::new(
+            self.num.mul(&rhs.den).add(&rhs.num.mul(&self.den)),
+            self.den.mul(&rhs.den),
+        )
+    }
+
+    /// Difference.
+    pub fn sub(&self, rhs: &Rational) -> Rational {
+        self.add(&rhs.neg())
+    }
+
+    /// Product.
+    pub fn mul(&self, rhs: &Rational) -> Rational {
+        Rational::new(self.num.mul(&rhs.num), self.den.mul(&rhs.den))
+    }
+
+    /// Quotient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div(&self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Rational::new(self.num.mul(&rhs.den), self.den.mul(&rhs.num))
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Rational {
+        Rational {
+            num: self.num.neg(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Approximate `f64` value (diagnostics only).
+    pub fn to_f64(&self) -> f64 {
+        // Scale so both parts stay in f64 range for reasonable sizes.
+        let nb = self.num.bits() as i64;
+        let db = self.den.bits() as i64;
+        if nb < 900 && db < 900 {
+            self.num.to_f64() / self.den.to_f64()
+        } else {
+            // Shift both down; only the ratio matters.
+            let shift = (nb.max(db) - 512).max(0) as u32;
+            let sn = shift_down(&self.num, shift);
+            let sd = shift_down(&self.den, shift);
+            sn / sd
+        }
+    }
+
+    /// Rounds to the nearest multiple of `1/denominator` (ties toward zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero.
+    pub fn round_to(&self, denominator: u64) -> Rational {
+        assert!(denominator > 0, "zero rounding denominator");
+        // round(v·D)/D computed via exact arithmetic on f64 of the scaled
+        // value is unsafe for large values; instead use the identity
+        // round(n·D/d) = floor((2nD + d)/(2d)) for positive n — but we have
+        // no integer division. A simpler exact scheme: binary search the
+        // integer k with |k/D − v| minimal over k in a window around the
+        // f64 estimate, which is exact because comparisons are exact.
+        let estimate = (self.to_f64() * denominator as f64).round();
+        let mut best: Option<(Rational, Rational)> = None; // (k/D, |err|)
+        let base = estimate as i64;
+        for dk in -2i64..=2 {
+            let k = base.saturating_add(dk);
+            let cand = Rational::new(BigInt::from(k), BigInt::from(denominator as i64));
+            let err = cand.sub(self).abs();
+            let better = match &best {
+                None => true,
+                Some((_, e)) => err < *e,
+            };
+            if better {
+                best = Some((cand, err));
+            }
+        }
+        best.expect("window is nonempty").0
+    }
+}
+
+/// Exact division `a / g` for `g` dividing `a`, by binary long division
+/// (shift-and-subtract — consistent with the crate's no-long-division rule,
+/// since halving is a one-bit shift). Used only for gcd normalization.
+fn divide_exact(a: &BigInt, g: &BigInt) -> BigInt {
+    let negative = a.is_negative() != g.is_negative();
+    let mut rem = a.abs();
+    let g = g.abs();
+    if g == BigInt::one() {
+        return if negative { rem.neg() } else { rem };
+    }
+    let mut quotient = BigInt::zero();
+    let shift = rem.bits().saturating_sub(g.bits()) as u32;
+    let mut divisor = g.shl(shift);
+    let mut bit = BigInt::one().shl(shift);
+    loop {
+        if divisor <= rem {
+            rem = rem.sub(&divisor);
+            quotient = quotient.add(&bit);
+        }
+        if bit == BigInt::one() {
+            break;
+        }
+        divisor = divisor.shr1();
+        bit = bit.shr1();
+    }
+    debug_assert!(rem.is_zero(), "divide_exact requires exact divisibility");
+    if negative {
+        quotient.neg()
+    } else {
+        quotient
+    }
+}
+
+fn shift_down(v: &BigInt, mut k: u32) -> f64 {
+    let mut x = v.clone();
+    while k > 0 {
+        x = x.shr1();
+        k -= 1;
+    }
+    x.to_f64()
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // a/b ? c/d ⟺ ad ? cb for positive b, d.
+        self.num.mul(&other.den).cmp(&other.num.mul(&self.den))
+    }
+}
+
+impl std::fmt::Display for Rational {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == BigInt::one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert!(r(-1, 2).is_negative());
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        assert_eq!(r(1, 2).add(&r(1, 3)), r(5, 6));
+        assert_eq!(r(1, 2).sub(&r(1, 3)), r(1, 6));
+        assert_eq!(r(2, 3).mul(&r(3, 4)), r(1, 2));
+        assert_eq!(r(2, 3).div(&r(4, 3)), r(1, 2));
+    }
+
+    #[test]
+    fn exact_f64_conversion() {
+        assert_eq!(Rational::from_f64(0.5), r(1, 2));
+        assert_eq!(Rational::from_f64(-0.75), r(-3, 4));
+        assert_eq!(Rational::from_f64(3.0), r(3, 1));
+        // 0.1 is NOT 1/10 in binary; conversion must be exact, so
+        // multiplying back by 10 must NOT give exactly 1.
+        let tenth = Rational::from_f64(0.1);
+        assert_ne!(tenth.mul(&r(10, 1)), Rational::one());
+        // but must agree with f64 semantics
+        assert!((tenth.to_f64() - 0.1).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rational::one());
+    }
+
+    #[test]
+    fn rounding_to_denominator() {
+        let v = Rational::from_f64(0.333_333_333);
+        assert_eq!(v.round_to(3), r(1, 3));
+        let w = Rational::from_f64(1.499);
+        assert_eq!(w.round_to(2), r(3, 2));
+        let z = Rational::from_f64(-0.26);
+        assert_eq!(z.round_to(4), r(-1, 4));
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        let v = r(22, 7);
+        assert!((v.to_f64() - 22.0 / 7.0).abs() < 1e-15);
+    }
+}

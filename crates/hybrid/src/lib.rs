@@ -1,0 +1,36 @@
+//! Hybrid dynamical systems in the Goebel–Sanfelice–Teel framework used by
+//! the paper: flow sets `C = ∪ᵢ Cᵢ`, jump sets `D`, polynomial flow maps
+//! `fᵢ(x, u)` and jump maps `Rᵢ(x)`, evolving over *hybrid time* `(t, j)`.
+//!
+//! The crate provides
+//!
+//! * the modelling types ([`HybridSystem`], [`Mode`], [`Jump`],
+//!   [`ParamBox`]) with uncertain parameters entering the flow maps,
+//! * hybrid time domains and arcs ([`HybridTime`], [`HybridArc`],
+//!   Definitions 1–2 of the paper),
+//! * an event-detecting RK4 [`Simulator`] producing hybrid arcs — the
+//!   ground-truth oracle used to cross-validate SOS certificates.
+//!
+//! # Examples
+//!
+//! A one-mode linear system flowing towards the origin:
+//!
+//! ```
+//! use cppll_poly::Polynomial;
+//! use cppll_hybrid::{HybridSystem, Mode, Simulator};
+//!
+//! let f = vec![Polynomial::from_terms(1, &[(&[1], -1.0)])]; // ẋ = −x
+//! let mode = Mode::new("decay", f).with_flow_set(vec![]);
+//! let sys = HybridSystem::new(1, vec![mode], vec![]);
+//! let sim = Simulator::new(&sys).with_step(1e-3);
+//! let arc = sim.simulate(&[1.0], 0, 5.0);
+//! assert!(arc.final_state()[0].abs() < 0.01);
+//! ```
+
+mod arc;
+mod simulator;
+mod system;
+
+pub use arc::{HybridArc, HybridSample, HybridTime};
+pub use simulator::{SimOutcome, Simulator};
+pub use system::{HybridSystem, Jump, Mode, ParamBox};

@@ -1,0 +1,341 @@
+//! Event-detecting fixed-step RK4 simulation of hybrid systems.
+
+use crate::arc::{HybridArc, HybridSample, HybridTime};
+use crate::system::HybridSystem;
+
+/// Why a simulation run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// The time horizon was reached.
+    TimeHorizon,
+    /// The jump budget was exhausted (possible Zeno behaviour).
+    JumpBudget,
+    /// The state left every flow set and no jump was enabled — the model is
+    /// incomplete at this state (or tolerances are too tight).
+    Blocked,
+}
+
+/// Fixed-step RK4 simulator with guard-event detection.
+///
+/// On each step the simulator integrates the active mode's flow; if the new
+/// state leaves the mode's flow set, enabled jumps are taken (identity or
+/// polynomial resets), incrementing the jump counter of hybrid time.
+///
+/// The simulator is deliberately simple — it is a *validation oracle* for
+/// the SOS certificates, not a performance-critical engine. Guard crossings
+/// are resolved by bisection to `time_tol`.
+#[derive(Debug, Clone)]
+pub struct Simulator<'s> {
+    system: &'s HybridSystem,
+    params: Vec<f64>,
+    dt: f64,
+    set_tol: f64,
+    max_jumps: u32,
+    store_every: usize,
+}
+
+impl<'s> Simulator<'s> {
+    /// Creates a simulator with nominal parameters and default step `1e-3`.
+    pub fn new(system: &'s HybridSystem) -> Self {
+        Simulator {
+            system,
+            params: system.params().nominal(),
+            dt: 1e-3,
+            set_tol: 1e-9,
+            max_jumps: 100_000,
+            store_every: 1,
+        }
+    }
+
+    /// Sets the integration step (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn with_step(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0, "step must be positive");
+        self.dt = dt;
+        self
+    }
+
+    /// Fixes the uncertain parameter sample (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the system's parameter count.
+    pub fn with_params(mut self, params: Vec<f64>) -> Self {
+        assert_eq!(
+            params.len(),
+            self.system.params().len(),
+            "parameter count mismatch"
+        );
+        self.params = params;
+        self
+    }
+
+    /// Sets the flow-set membership tolerance (builder style).
+    pub fn with_set_tolerance(mut self, tol: f64) -> Self {
+        self.set_tol = tol;
+        self
+    }
+
+    /// Sets the jump budget (builder style).
+    pub fn with_max_jumps(mut self, max_jumps: u32) -> Self {
+        self.max_jumps = max_jumps;
+        self
+    }
+
+    /// Stores only every `k`-th flow sample (jumps are always stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_thinning(mut self, k: usize) -> Self {
+        assert!(k > 0, "thinning factor must be positive");
+        self.store_every = k;
+        self
+    }
+
+    /// Simulates from `x0` in `mode0` until continuous time `t_end`.
+    ///
+    /// Returns the sampled [`HybridArc`]; inspect
+    /// [`Simulator::simulate_with_outcome`] for the stop reason.
+    pub fn simulate(&self, x0: &[f64], mode0: usize, t_end: f64) -> HybridArc {
+        self.simulate_with_outcome(x0, mode0, t_end).0
+    }
+
+    /// Simulates and also reports why the run stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` has the wrong dimension or `mode0` is out of range.
+    pub fn simulate_with_outcome(
+        &self,
+        x0: &[f64],
+        mode0: usize,
+        t_end: f64,
+    ) -> (HybridArc, SimOutcome) {
+        assert_eq!(x0.len(), self.system.nstates(), "state dimension mismatch");
+        assert!(mode0 < self.system.modes().len(), "mode out of range");
+        let mut arc = HybridArc::new();
+        let mut x = x0.to_vec();
+        let mut mode = mode0;
+        let mut t = 0.0;
+        let mut j = 0u32;
+        let mut step_count = 0usize;
+        arc.push(HybridSample {
+            time: HybridTime { t, j },
+            mode,
+            state: x.clone(),
+        });
+        while t < t_end {
+            // Take any enabled jump first if we are outside the flow set.
+            if !self.system.modes()[mode].contains(&x, self.set_tol) {
+                match self.take_jump(&mut x, &mut mode) {
+                    true => {
+                        j += 1;
+                        if j >= self.max_jumps {
+                            arc.push(HybridSample {
+                                time: HybridTime { t, j },
+                                mode,
+                                state: x.clone(),
+                            });
+                            return (arc, SimOutcome::JumpBudget);
+                        }
+                        arc.push(HybridSample {
+                            time: HybridTime { t, j },
+                            mode,
+                            state: x.clone(),
+                        });
+                        continue;
+                    }
+                    false => {
+                        return (arc, SimOutcome::Blocked);
+                    }
+                }
+            }
+            let h = self.dt.min(t_end - t);
+            let x_next = self.rk4_step(mode, &x, h);
+            // Guard-event detection: if the step exits the flow set, bisect
+            // to the boundary before switching.
+            if !self.system.modes()[mode].contains(&x_next, self.set_tol) {
+                let (x_hit, h_hit) = self.bisect_exit(mode, &x, h);
+                x = x_hit;
+                t += h_hit;
+            } else {
+                x = x_next;
+                t += h;
+            }
+            step_count += 1;
+            if step_count.is_multiple_of(self.store_every) {
+                arc.push(HybridSample {
+                    time: HybridTime { t, j },
+                    mode,
+                    state: x.clone(),
+                });
+            }
+        }
+        if arc.final_time().t < t {
+            arc.push(HybridSample {
+                time: HybridTime { t, j },
+                mode,
+                state: x.clone(),
+            });
+        }
+        (arc, SimOutcome::TimeHorizon)
+    }
+
+    /// Classic RK4 step of length `h` in `mode`.
+    fn rk4_step(&self, mode: usize, x: &[f64], h: f64) -> Vec<f64> {
+        let f = |p: &[f64]| self.system.eval_flow(mode, p, &self.params);
+        let k1 = f(x);
+        let k2 = f(&combine(x, &k1, h / 2.0));
+        let k3 = f(&combine(x, &k2, h / 2.0));
+        let k4 = f(&combine(x, &k3, h));
+        x.iter()
+            .enumerate()
+            .map(|(i, &xi)| xi + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
+            .collect()
+    }
+
+    /// Bisection to the flow-set boundary within one step.
+    fn bisect_exit(&self, mode: usize, x: &[f64], h: f64) -> (Vec<f64>, f64) {
+        let mut lo = 0.0;
+        let mut hi = h;
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            let xm = self.rk4_step(mode, x, mid);
+            if self.system.modes()[mode].contains(&xm, self.set_tol) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Land slightly past the boundary so a jump becomes enabled.
+        let h_hit = hi;
+        (self.rk4_step(mode, x, h_hit), h_hit)
+    }
+
+    /// Attempts to take an enabled jump; returns `false` if none.
+    fn take_jump(&self, x: &mut Vec<f64>, mode: &mut usize) -> bool {
+        // Loosen the guard tolerance relative to set tolerance: the state is
+        // marginally past the boundary after bisection.
+        let tol = (self.set_tol * 1e3).max(1e-6);
+        let jumps = self.system.enabled_jumps(*mode, x, tol);
+        if let Some(jump) = jumps.first() {
+            *x = jump.apply_reset(x);
+            *mode = jump.to;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn combine(x: &[f64], k: &[f64], s: f64) -> Vec<f64> {
+    x.iter().zip(k).map(|(xi, ki)| xi + s * ki).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{HybridSystem, Jump, Mode};
+    use cppll_poly::Polynomial;
+
+    /// ẋ = −x, single mode: exponential decay.
+    fn decay_system() -> HybridSystem {
+        let f = vec![Polynomial::from_terms(1, &[(&[1], -1.0)])];
+        HybridSystem::new(1, vec![Mode::new("decay", f)], vec![])
+    }
+
+    #[test]
+    fn rk4_matches_exponential() {
+        let sys = decay_system();
+        let sim = Simulator::new(&sys).with_step(1e-2);
+        let arc = sim.simulate(&[1.0], 0, 1.0);
+        let expected = (-1.0f64).exp();
+        assert!(
+            (arc.final_state()[0] - expected).abs() < 1e-6,
+            "got {}",
+            arc.final_state()[0]
+        );
+    }
+
+    /// Bouncing ball: ḣ = v, v̇ = −g on {h ≥ 0}; jump v⁺ = −c v at h = 0, v < 0.
+    fn bouncing_ball(c: f64) -> HybridSystem {
+        let flow = vec![
+            Polynomial::from_terms(2, &[(&[0, 1], 1.0)]),
+            Polynomial::from_terms(2, &[(&[0, 0], -9.81)]),
+        ];
+        let mode = Mode::new("fall", flow).with_flow_set(vec![Polynomial::var(2, 0)]); // h ≥ 0
+        let guard = vec![
+            // −h ≥ 0 (at/past the floor) and −v ≥ 0 (moving down)
+            Polynomial::var(2, 0).scale(-1.0),
+            Polynomial::var(2, 1).scale(-1.0),
+        ];
+        let reset = vec![
+            Polynomial::zero(2), // h⁺ = 0
+            Polynomial::from_terms(2, &[(&[0, 1], -c)]),
+        ];
+        let jump = Jump::identity(0, 0).with_guard(guard).with_reset(reset);
+        HybridSystem::new(2, vec![mode], vec![jump])
+    }
+
+    #[test]
+    fn bouncing_ball_loses_energy() {
+        let sys = bouncing_ball(0.8);
+        let sim = Simulator::new(&sys).with_step(1e-4).with_thinning(10);
+        let (arc, outcome) = sim.simulate_with_outcome(&[1.0, 0.0], 0, 2.0);
+        assert_eq!(outcome, SimOutcome::TimeHorizon);
+        assert!(
+            arc.jumps() >= 2,
+            "expected several bounces, got {}",
+            arc.jumps()
+        );
+        // Energy must decrease across the run.
+        let e0 = 9.81 * 1.0;
+        let e_end = 9.81 * arc.final_state()[0] + 0.5 * arc.final_state()[1].powi(2);
+        assert!(e_end < 0.8 * e0, "energy did not decrease: {e_end} vs {e0}");
+        // Height stays (numerically) nonnegative.
+        assert!(arc.max_over(|x| -x[0]) < 1e-3);
+    }
+
+    #[test]
+    fn jump_budget_detects_zeno() {
+        let sys = bouncing_ball(0.5);
+        let sim = Simulator::new(&sys)
+            .with_step(1e-4)
+            .with_max_jumps(3)
+            .with_thinning(100);
+        let (_, outcome) = sim.simulate_with_outcome(&[1.0, 0.0], 0, 10.0);
+        assert_eq!(outcome, SimOutcome::JumpBudget);
+    }
+
+    #[test]
+    fn blocked_when_no_jump_enabled() {
+        // Flow pushes x up but flow set requires x ≤ 1 and there is no jump.
+        let f = vec![Polynomial::constant(1, 1.0)];
+        let set = vec![&Polynomial::constant(1, 1.0) - &Polynomial::var(1, 0)];
+        let mode = Mode::new("m", f).with_flow_set(set);
+        let sys = HybridSystem::new(1, vec![mode], vec![]);
+        let sim = Simulator::new(&sys).with_step(1e-2);
+        let (arc, outcome) = sim.simulate_with_outcome(&[0.0], 0, 5.0);
+        assert_eq!(outcome, SimOutcome::Blocked);
+        assert!((arc.final_state()[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn parameterized_flow_uses_sample() {
+        // ẋ = −u x, u ∈ [1, 3]; with u = 2 fixed, x(1) = e^{-2}.
+        let f = vec![Polynomial::from_terms(2, &[(&[1, 1], -1.0)])];
+        let sys = HybridSystem::with_params(
+            1,
+            vec![Mode::new("m", f)],
+            vec![],
+            crate::ParamBox::new(vec![1.0], vec![3.0]),
+        );
+        let sim = Simulator::new(&sys).with_step(1e-3).with_params(vec![2.0]);
+        let arc = sim.simulate(&[1.0], 0, 1.0);
+        assert!((arc.final_state()[0] - (-2.0f64).exp()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,448 @@
+//! Hybrid system modelling types.
+
+use cppll_poly::Polynomial;
+
+/// A box of uncertain parameters `u ∈ [lo, hi]` entering the flow maps.
+///
+/// Parameters are appended as extra indeterminates after the state
+/// variables: a flow polynomial of a system with `n` states and `k`
+/// parameters lives in an `(n + k)`-variable ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamBox {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl ParamBox {
+    /// Creates a parameter box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound vectors have different lengths or `lo > hi`
+    /// componentwise.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound lengths must match");
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(l <= h, "lower bound exceeds upper bound");
+        }
+        ParamBox { lo, hi }
+    }
+
+    /// The empty box (no parameters).
+    pub fn empty() -> Self {
+        ParamBox {
+            lo: Vec::new(),
+            hi: Vec::new(),
+        }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// `true` when there are no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Midpoint of the box (the nominal parameter value).
+    pub fn nominal(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// All `2ᵏ` vertices of the box. For flows affine in the parameters,
+    /// robustness over the box is equivalent to robustness at the vertices.
+    pub fn vertices(&self) -> Vec<Vec<f64>> {
+        let k = self.len();
+        let mut out = Vec::with_capacity(1 << k);
+        for mask in 0u64..(1u64 << k) {
+            let v: Vec<f64> = (0..k)
+                .map(|i| {
+                    if mask >> i & 1 == 1 {
+                        self.hi[i]
+                    } else {
+                        self.lo[i]
+                    }
+                })
+                .collect();
+            out.push(v);
+        }
+        out
+    }
+
+    /// The box description as polynomial inequalities `gⱼ(u) ≥ 0` over an
+    /// `(n + k)`-variable ring (states first): `(uᵢ − loᵢ)(hiᵢ − uᵢ) ≥ 0`.
+    pub fn constraints(&self, nstates: usize) -> Vec<Polynomial> {
+        let nvars = nstates + self.len();
+        (0..self.len())
+            .map(|i| {
+                let u = Polynomial::var(nvars, nstates + i);
+                let lo = Polynomial::constant(nvars, self.lo[i]);
+                let hi = Polynomial::constant(nvars, self.hi[i]);
+                &(&u - &lo) * &(&hi - &u)
+            })
+            .collect()
+    }
+
+    /// Uniform sample inside the box, driven by values in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit.len() != self.len()`.
+    pub fn sample(&self, unit: &[f64]) -> Vec<f64> {
+        assert_eq!(unit.len(), self.len(), "sample dimension mismatch");
+        unit.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(t, (l, h))| l + t * (h - l))
+            .collect()
+    }
+}
+
+/// One mode of a hybrid system: a polynomial flow map `f(x, u)` valid on the
+/// semialgebraic flow set `Cᵢ = {x : gⱼ(x) ≥ 0}`.
+#[derive(Debug, Clone)]
+pub struct Mode {
+    name: String,
+    /// Flow map components over the `(nstates + nparams)`-variable ring.
+    flow: Vec<Polynomial>,
+    /// Flow set inequalities `g(x) ≥ 0` over the state ring only.
+    flow_set: Vec<Polynomial>,
+}
+
+impl Mode {
+    /// Creates a mode with the given flow map and an unconstrained flow set.
+    pub fn new(name: impl Into<String>, flow: Vec<Polynomial>) -> Self {
+        Mode {
+            name: name.into(),
+            flow,
+            flow_set: Vec::new(),
+        }
+    }
+
+    /// Sets the flow set inequalities `g(x) ≥ 0` (builder style).
+    pub fn with_flow_set(mut self, flow_set: Vec<Polynomial>) -> Self {
+        self.flow_set = flow_set;
+        self
+    }
+
+    /// Mode name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Flow map components (over the state+parameter ring).
+    pub fn flow(&self) -> &[Polynomial] {
+        &self.flow
+    }
+
+    /// Flow set inequalities (over the state ring).
+    pub fn flow_set(&self) -> &[Polynomial] {
+        &self.flow_set
+    }
+
+    /// `true` when `x` satisfies every flow-set inequality within `tol`.
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        self.flow_set.iter().all(|g| g.eval(x) >= -tol)
+    }
+}
+
+/// A discrete transition: from one mode to another, enabled on a guard set,
+/// applying a polynomial reset map.
+#[derive(Debug, Clone)]
+pub struct Jump {
+    /// Source mode index.
+    pub from: usize,
+    /// Target mode index.
+    pub to: usize,
+    /// Guard inequalities `g(x) ≥ 0` (state ring).
+    pub guard: Vec<Polynomial>,
+    /// Guard equalities `h(x) = 0` (state ring) — the switching surfaces.
+    pub guard_eq: Vec<Polynomial>,
+    /// Reset map `x⁺ = R(x)`; identity when empty.
+    pub reset: Vec<Polynomial>,
+}
+
+impl Jump {
+    /// Creates an identity-reset jump.
+    pub fn identity(from: usize, to: usize) -> Self {
+        Jump {
+            from,
+            to,
+            guard: Vec::new(),
+            guard_eq: Vec::new(),
+            reset: Vec::new(),
+        }
+    }
+
+    /// Adds guard inequalities (builder style).
+    pub fn with_guard(mut self, guard: Vec<Polynomial>) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Adds guard equalities (builder style).
+    pub fn with_guard_eq(mut self, guard_eq: Vec<Polynomial>) -> Self {
+        self.guard_eq = guard_eq;
+        self
+    }
+
+    /// Sets a non-identity reset map (builder style).
+    pub fn with_reset(mut self, reset: Vec<Polynomial>) -> Self {
+        self.reset = reset;
+        self
+    }
+
+    /// `true` when the reset map is the identity.
+    pub fn is_identity_reset(&self) -> bool {
+        self.reset.is_empty()
+    }
+
+    /// Applies the reset map to a state.
+    pub fn apply_reset(&self, x: &[f64]) -> Vec<f64> {
+        if self.reset.is_empty() {
+            x.to_vec()
+        } else {
+            self.reset.iter().map(|r| r.eval(x)).collect()
+        }
+    }
+
+    /// `true` when the guard is satisfied within `tol`.
+    pub fn enabled(&self, x: &[f64], tol: f64) -> bool {
+        self.guard.iter().all(|g| g.eval(x) >= -tol)
+            && self.guard_eq.iter().all(|h| h.eval(x).abs() <= tol)
+    }
+}
+
+/// A hybrid system `(C, F, D, G)` with finitely many modes, polynomial flow
+/// and jump maps, and a box of uncertain parameters.
+#[derive(Debug, Clone)]
+pub struct HybridSystem {
+    nstates: usize,
+    modes: Vec<Mode>,
+    jumps: Vec<Jump>,
+    params: ParamBox,
+}
+
+impl HybridSystem {
+    /// Creates a hybrid system without uncertain parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mode's flow map has the wrong arity or jump indices are
+    /// out of range.
+    pub fn new(nstates: usize, modes: Vec<Mode>, jumps: Vec<Jump>) -> Self {
+        Self::with_params(nstates, modes, jumps, ParamBox::empty())
+    }
+
+    /// Creates a hybrid system with uncertain parameters; every flow
+    /// polynomial must live in the `(nstates + params.len())`-variable ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatches or out-of-range jump mode indices.
+    pub fn with_params(
+        nstates: usize,
+        modes: Vec<Mode>,
+        jumps: Vec<Jump>,
+        params: ParamBox,
+    ) -> Self {
+        let ring = nstates + params.len();
+        for m in &modes {
+            assert_eq!(m.flow.len(), nstates, "flow map arity mismatch");
+            for f in &m.flow {
+                assert_eq!(f.nvars(), ring, "flow polynomial ring mismatch");
+            }
+            for g in &m.flow_set {
+                assert_eq!(g.nvars(), nstates, "flow set ring mismatch");
+            }
+        }
+        for j in &jumps {
+            assert!(
+                j.from < modes.len() && j.to < modes.len(),
+                "jump mode out of range"
+            );
+            for r in &j.reset {
+                assert_eq!(r.nvars(), nstates, "reset ring mismatch");
+            }
+        }
+        HybridSystem {
+            nstates,
+            modes,
+            jumps,
+            params,
+        }
+    }
+
+    /// Number of state variables.
+    pub fn nstates(&self) -> usize {
+        self.nstates
+    }
+
+    /// The modes.
+    pub fn modes(&self) -> &[Mode] {
+        &self.modes
+    }
+
+    /// The jumps.
+    pub fn jumps(&self) -> &[Jump] {
+        &self.jumps
+    }
+
+    /// The uncertain parameter box.
+    pub fn params(&self) -> &ParamBox {
+        &self.params
+    }
+
+    /// Flow map of `mode` with parameters substituted by `u`, returned over
+    /// the **state-only** ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is out of range or `u.len() != self.params().len()`.
+    pub fn flow_with_params(&self, mode: usize, u: &[f64]) -> Vec<Polynomial> {
+        assert_eq!(u.len(), self.params.len(), "parameter count mismatch");
+        let n = self.nstates;
+        let ring = n + u.len();
+        // Substitution x_i -> x_i (state ring), u_j -> constant.
+        let mut subs: Vec<Polynomial> = (0..n).map(|i| Polynomial::var(n, i)).collect();
+        for &uv in u {
+            subs.push(Polynomial::constant(n, uv));
+        }
+        self.modes[mode]
+            .flow
+            .iter()
+            .map(|f| {
+                debug_assert_eq!(f.nvars(), ring);
+                f.compose(&subs)
+            })
+            .collect()
+    }
+
+    /// Flow maps of `mode` at every vertex of the parameter box (state-only
+    /// ring). For parameter-free systems this is a single entry.
+    pub fn flow_vertices(&self, mode: usize) -> Vec<Vec<Polynomial>> {
+        if self.params.is_empty() {
+            return vec![self.flow_with_params(mode, &[])];
+        }
+        self.params
+            .vertices()
+            .into_iter()
+            .map(|v| self.flow_with_params(mode, &v))
+            .collect()
+    }
+
+    /// Numeric evaluation of the flow at `(x, u)` in `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatches.
+    pub fn eval_flow(&self, mode: usize, x: &[f64], u: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nstates, "state dimension mismatch");
+        assert_eq!(u.len(), self.params.len(), "parameter count mismatch");
+        let mut point = x.to_vec();
+        point.extend_from_slice(u);
+        self.modes[mode]
+            .flow
+            .iter()
+            .map(|f| f.eval(&point))
+            .collect()
+    }
+
+    /// Indices of modes whose flow set contains `x` (within `tol`).
+    pub fn modes_containing(&self, x: &[f64], tol: f64) -> Vec<usize> {
+        (0..self.modes.len())
+            .filter(|&i| self.modes[i].contains(x, tol))
+            .collect()
+    }
+
+    /// `true` if `(x, u)` is an equilibrium of some mode containing `x`
+    /// (Definition 3 of the paper).
+    pub fn is_equilibrium(&self, x: &[f64], u: &[f64], tol: f64) -> bool {
+        self.modes_containing(x, tol)
+            .iter()
+            .any(|&m| self.eval_flow(m, x, u).iter().all(|v| v.abs() <= tol))
+    }
+
+    /// Jumps leaving `mode` that are enabled at `x`.
+    pub fn enabled_jumps(&self, mode: usize, x: &[f64], tol: f64) -> Vec<&Jump> {
+        self.jumps
+            .iter()
+            .filter(|j| j.from == mode && j.enabled(x, tol))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_box_vertices_and_constraints() {
+        let b = ParamBox::new(vec![0.0, -1.0], vec![1.0, 1.0]);
+        let vs = b.vertices();
+        assert_eq!(vs.len(), 4);
+        assert!(vs.contains(&vec![0.0, -1.0]));
+        assert!(vs.contains(&vec![1.0, 1.0]));
+        let cs = b.constraints(1); // 1 state + 2 params = 3-var ring
+        assert_eq!(cs.len(), 2);
+        // g(u1) at u1 = 0.5 interior: positive.
+        assert!(cs[0].eval(&[9.9, 0.5, 0.0]) > 0.0);
+        // outside: negative.
+        assert!(cs[0].eval(&[9.9, 2.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn flow_with_params_substitutes() {
+        // ẋ = -u·x with u ∈ [1, 2].
+        let f = vec![Polynomial::from_terms(2, &[(&[1, 1], -1.0)])];
+        let mode = Mode::new("m", f);
+        let sys =
+            HybridSystem::with_params(1, vec![mode], vec![], ParamBox::new(vec![1.0], vec![2.0]));
+        let f1 = sys.flow_with_params(0, &[1.5]);
+        assert_eq!(f1[0].eval(&[2.0]), -3.0);
+        assert_eq!(sys.flow_vertices(0).len(), 2);
+        assert_eq!(sys.eval_flow(0, &[2.0], &[2.0]), vec![-4.0]);
+    }
+
+    #[test]
+    fn equilibrium_detection() {
+        let f = vec![Polynomial::from_terms(1, &[(&[1], -1.0)])];
+        let sys = HybridSystem::new(1, vec![Mode::new("m", f)], vec![]);
+        assert!(sys.is_equilibrium(&[0.0], &[], 1e-9));
+        assert!(!sys.is_equilibrium(&[1.0], &[], 1e-9));
+    }
+
+    #[test]
+    fn jumps_enable_on_guards() {
+        let guard = vec![Polynomial::from_terms(1, &[(&[1], 1.0), (&[0], -1.0)])]; // x ≥ 1
+        let j = Jump::identity(0, 1).with_guard(guard);
+        assert!(j.enabled(&[1.5], 1e-9));
+        assert!(!j.enabled(&[0.5], 1e-9));
+        assert!(j.is_identity_reset());
+        assert_eq!(j.apply_reset(&[3.0]), vec![3.0]);
+    }
+
+    #[test]
+    fn reset_maps_apply() {
+        // x⁺ = -0.5 x
+        let reset = vec![Polynomial::from_terms(1, &[(&[1], -0.5)])];
+        let j = Jump::identity(0, 0).with_reset(reset);
+        assert_eq!(j.apply_reset(&[4.0]), vec![-2.0]);
+        assert!(!j.is_identity_reset());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the hybrid simulator: conservation against
+//! analytic solutions, flow-set respect, hybrid-time monotonicity and
+//! parameter handling.
+
+use cppll_hybrid::{HybridSystem, Jump, Mode, ParamBox, Simulator};
+use cppll_poly::Polynomial;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Linear decay ẋ = −λx matches the analytic exponential for random
+    /// rates and initial values.
+    #[test]
+    fn exponential_decay_accuracy(lambda in 0.1f64..3.0, x0 in -5.0f64..5.0) {
+        let f = vec![Polynomial::from_terms(1, &[(&[1], -lambda)])];
+        let sys = HybridSystem::new(1, vec![Mode::new("decay", f)], vec![]);
+        let sim = Simulator::new(&sys).with_step(1e-3);
+        let arc = sim.simulate(&[x0], 0, 1.0);
+        let expect = x0 * (-lambda).exp();
+        prop_assert!((arc.final_state()[0] - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    /// Harmonic oscillator conserves energy over moderate horizons.
+    #[test]
+    fn oscillator_energy_conservation(x0 in -2.0f64..2.0, v0 in -2.0f64..2.0) {
+        prop_assume!(x0.abs() + v0.abs() > 0.1);
+        let f = vec![
+            Polynomial::from_terms(2, &[(&[0, 1], 1.0)]),
+            Polynomial::from_terms(2, &[(&[1, 0], -1.0)]),
+        ];
+        let sys = HybridSystem::new(2, vec![Mode::new("osc", f)], vec![]);
+        let sim = Simulator::new(&sys).with_step(1e-3).with_thinning(100);
+        let arc = sim.simulate(&[x0, v0], 0, 10.0);
+        let e0 = x0 * x0 + v0 * v0;
+        for s in arc.samples() {
+            let e = s.state[0] * s.state[0] + s.state[1] * s.state[1];
+            prop_assert!((e - e0).abs() < 1e-5 * e0, "energy drift: {e} vs {e0}");
+        }
+    }
+
+    /// Hybrid time along any arc is monotone and jumps only at constant t.
+    #[test]
+    fn hybrid_time_monotonicity(h0 in 0.2f64..2.0, c in 0.3f64..0.9) {
+        // Bouncing ball, random drop height and restitution.
+        let flow = vec![
+            Polynomial::from_terms(2, &[(&[0, 1], 1.0)]),
+            Polynomial::from_terms(2, &[(&[0, 0], -9.81)]),
+        ];
+        let mode = Mode::new("fall", flow)
+            .with_flow_set(vec![Polynomial::var(2, 0)]);
+        let guard = vec![
+            Polynomial::var(2, 0).scale(-1.0),
+            Polynomial::var(2, 1).scale(-1.0),
+        ];
+        let reset = vec![
+            Polynomial::zero(2),
+            Polynomial::from_terms(2, &[(&[0, 1], -c)]),
+        ];
+        let jump = Jump::identity(0, 0).with_guard(guard).with_reset(reset);
+        let sys = HybridSystem::new(2, vec![mode], vec![jump]);
+        // Thinning 1: every flow sample is stored, so a jump's sample pairs
+        // with the boundary-hit sample at the same continuous time.
+        let sim = Simulator::new(&sys).with_step(5e-4).with_thinning(1);
+        let arc = sim.simulate(&[h0, 0.0], 0, 1.5);
+        for (a, b) in arc.transitions() {
+            prop_assert!(b.time.t >= a.time.t);
+            prop_assert!(b.time.j >= a.time.j);
+            if b.time.j > a.time.j {
+                prop_assert!((b.time.t - a.time.t).abs() < 1e-3,
+                    "jump advanced t by {}", b.time.t - a.time.t);
+            }
+        }
+        // Height stays above the floor (within integration slop).
+        prop_assert!(arc.max_over(|x| -x[0]) < 1e-2);
+    }
+
+    /// Parameter box sampling respects bounds and vertices are extreme.
+    #[test]
+    fn param_box_geometry(lo in -3.0f64..0.0, width in 0.1f64..2.0, t in 0.0f64..1.0) {
+        let b = ParamBox::new(vec![lo], vec![lo + width]);
+        let s = b.sample(&[t]);
+        prop_assert!(s[0] >= lo && s[0] <= lo + width);
+        let vs = b.vertices();
+        prop_assert_eq!(vs.len(), 2);
+        prop_assert!(vs.iter().any(|v| (v[0] - lo).abs() < 1e-12));
+        prop_assert!(vs.iter().any(|v| (v[0] - lo - width).abs() < 1e-12));
+        prop_assert!((b.nominal()[0] - (lo + width / 2.0)).abs() < 1e-12);
+    }
+
+    /// The simulated flow with a fixed parameter equals the flow of the
+    /// parameter-substituted system.
+    #[test]
+    fn parameter_substitution_consistency(u in 0.5f64..2.0, x0 in 0.5f64..2.0) {
+        // ẋ = −u·x² (polynomial, nonlinear).
+        let f = vec![Polynomial::from_terms(2, &[(&[2, 1], -1.0)])];
+        let sys = HybridSystem::with_params(
+            1,
+            vec![Mode::new("m", f)],
+            vec![],
+            ParamBox::new(vec![0.1], vec![3.0]),
+        );
+        let sim = Simulator::new(&sys).with_step(1e-3).with_params(vec![u]);
+        let arc = sim.simulate(&[x0], 0, 1.0);
+        // Analytic solution of ẋ = −u x²: x(t) = x0 / (1 + u x0 t).
+        let expect = x0 / (1.0 + u * x0);
+        prop_assert!((arc.final_state()[0] - expect).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,266 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+
+use crate::{FactorError, Matrix};
+
+/// Cholesky factorisation `A = L Lᵀ` with `L` lower triangular.
+///
+/// Besides solving SPD systems, [`Cholesky::new`] is the *definiteness
+/// oracle* of the interior-point method: the line search asks "is
+/// `X + α ΔX ≻ 0`?" by attempting a factorisation.
+///
+/// # Examples
+///
+/// ```
+/// use cppll_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0],
+///                             &[15.0, 18.0, 0.0],
+///                             &[-5.0, 0.0, 11.0]]);
+/// let l = a.cholesky().expect("spd").l().clone();
+/// assert!((l[(0, 0)] - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::NotPositiveDefinite`] when a pivot is not
+    /// strictly positive, and [`FactorError::DimensionMismatch`] for
+    /// non-square input.
+    pub fn new(a: &Matrix) -> Result<Self, FactorError> {
+        if !a.is_square() {
+            return Err(FactorError::DimensionMismatch {
+                context: "cholesky requires a square matrix",
+            });
+        }
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d -= ljk * ljk;
+            }
+            // NOTE: `!(d > 0.0)` would also catch NaN; spell it out.
+            if d <= 0.0 || d.is_nan() || !d.is_finite() {
+                return Err(FactorError::NotPositiveDefinite { pivot: j, value: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A x = b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the factored dimension.
+    pub fn solve_in_place(&self, x: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "rhs length must equal matrix dimension");
+        // L y = b
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.nrows()` differs from the factored dimension.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "rhs rows must equal matrix dimension");
+        let mut out = b.clone();
+        for c in 0..b.ncols() {
+            self.solve_in_place(out.col_mut(c));
+        }
+        out
+    }
+
+    /// Inverse of the factored matrix.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Solves the lower-triangular system `L y = b` only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `L Z = B` (lower-triangular, matrix right-hand side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.nrows()` differs from the factored dimension.
+    pub fn solve_lower_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "rhs rows must equal matrix dimension");
+        let mut out = b.clone();
+        for c in 0..b.ncols() {
+            let col = out.col_mut(c);
+            for i in 0..n {
+                let mut acc = col[i];
+                for j in 0..i {
+                    acc -= self.l[(i, j)] * col[j];
+                }
+                col[i] = acc / self.l[(i, i)];
+            }
+        }
+        out
+    }
+
+    /// Computes the symmetric similarity transform `L⁻¹ M L⁻ᵀ` for a
+    /// symmetric `M` (used for exact interior-point step lengths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not square of the factored dimension.
+    pub fn whiten(&self, m: &Matrix) -> Matrix {
+        let y = self.solve_lower_matrix(m); // L⁻¹ M
+        let mut w = self.solve_lower_matrix(&y.transpose()); // L⁻¹ Mᵀ L⁻ᵀ … transposed
+        w.symmetrize();
+        w
+    }
+
+    /// log(det A) computed stably from the factor.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Returns `true` when the symmetric matrix is positive definite.
+///
+/// Convenience wrapper over [`Cholesky::new`].
+pub(crate) fn _is_positive_definite(a: &Matrix) -> bool {
+    Cholesky::new(a).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd3();
+        let l = a.cholesky().unwrap().l().clone();
+        let llt = l.matmul(&l.transpose());
+        assert!(llt.sub(&a).norm() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd3();
+        let b = [1.0, 2.0, 3.0];
+        let x1 = a.cholesky().unwrap().solve(&b);
+        let x2 = a.lu().unwrap().solve(&b);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            a.cholesky(),
+            Err(FactorError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    fn whiten_matches_explicit() {
+        let a = spd3();
+        let ch = a.cholesky().unwrap();
+        // whiten(A) must be the identity.
+        let w = ch.whiten(&a);
+        assert!(w.sub(&Matrix::identity(3)).norm() < 1e-12);
+        // whiten preserves eigenvalue signs of M w.r.t. A (congruence).
+        let m = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, -2.0, 0.0], &[0.0, 0.0, 0.5]]);
+        let w = ch.whiten(&m);
+        let e = w.symmetric_eigen();
+        assert!(e.min_eigenvalue() < 0.0);
+        assert!(e.max_eigenvalue() > 0.0);
+    }
+
+    #[test]
+    fn log_det_matches_det() {
+        let a = spd3();
+        let ld = a.cholesky().unwrap().log_det();
+        let d = a.lu().unwrap().det();
+        assert!((ld - d.ln()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,193 @@
+//! LDLᵀ factorisation for symmetric (quasidefinite) KKT systems.
+
+use crate::{FactorError, Matrix};
+
+/// LDLᵀ factorisation `A = L D Lᵀ` with unit lower-triangular `L` and
+/// diagonal `D`, using 1×1 pivots and *static regularisation*.
+///
+/// The interior-point method produces symmetric quasidefinite KKT systems of
+/// the form `[[M, B], [Bᵀ, -δI]]` with `M ⪰ 0`. Such matrices admit an LDLᵀ
+/// factorisation without pivoting; near-zero pivots (possible in the limit of
+/// the central path) are nudged by `reg` with the sign they were drifting
+/// towards, which is the standard static-regularisation safeguard.
+///
+/// # Examples
+///
+/// ```
+/// use cppll_linalg::Matrix;
+///
+/// // A saddle-point system.
+/// let a = Matrix::from_rows(&[&[2.0, 0.0, 1.0],
+///                             &[0.0, 2.0, 1.0],
+///                             &[1.0, 1.0, 0.0]]);
+/// let f = a.ldlt(1e-12).expect("factorable");
+/// let x = f.solve(&[1.0, 1.0, 1.0]);
+/// let r = a.matvec(&x);
+/// assert!((r[0] - 1.0).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ldlt {
+    /// Packed unit-lower L (strictly below diagonal) with D on the diagonal.
+    ld: Matrix,
+    /// Number of pivots that required regularisation.
+    regularised: usize,
+}
+
+impl Ldlt {
+    /// Factors a symmetric matrix; only the lower triangle is read.
+    ///
+    /// `reg` is the magnitude used to replace pivots whose absolute value
+    /// falls below `reg` (zero disables regularisation — then a vanishing
+    /// pivot produces [`FactorError::Singular`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::DimensionMismatch`] for non-square input, and
+    /// [`FactorError::Singular`] when a pivot vanishes and `reg == 0`.
+    pub fn new(a: &Matrix, reg: f64) -> Result<Self, FactorError> {
+        if !a.is_square() {
+            return Err(FactorError::DimensionMismatch {
+                context: "ldlt requires a square matrix",
+            });
+        }
+        let n = a.nrows();
+        let mut ld = Matrix::zeros(n, n);
+        // Copy lower triangle.
+        for c in 0..n {
+            for r in c..n {
+                ld[(r, c)] = a[(r, c)];
+            }
+        }
+        let mut regularised = 0;
+        for j in 0..n {
+            // d_j = a_jj - Σ_k L_jk² d_k
+            let mut d = ld[(j, j)];
+            for k in 0..j {
+                let l = ld[(j, k)];
+                d -= l * l * ld[(k, k)];
+            }
+            if d.abs() < reg {
+                regularised += 1;
+                d = if d >= 0.0 { reg } else { -reg };
+            }
+            if d == 0.0 {
+                return Err(FactorError::Singular { pivot: j });
+            }
+            ld[(j, j)] = d;
+            for i in (j + 1)..n {
+                let mut v = ld[(i, j)];
+                for k in 0..j {
+                    v -= ld[(i, k)] * ld[(j, k)] * ld[(k, k)];
+                }
+                ld[(i, j)] = v / d;
+            }
+        }
+        Ok(Ldlt { ld, regularised })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.ld.nrows()
+    }
+
+    /// Number of pivots that hit the regularisation floor.
+    pub fn regularised_pivots(&self) -> usize {
+        self.regularised
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+        let mut x = b.to_vec();
+        // L y = b (unit diagonal)
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.ld[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // D z = y
+        for i in 0..n {
+            x[i] /= self.ld[(i, i)];
+        }
+        // Lᵀ x = z
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.ld[(j, i)] * x[j];
+            }
+            x[i] = acc;
+        }
+        x
+    }
+
+    /// Inertia `(n_pos, n_neg)` of the factored matrix — the counts of
+    /// positive and negative pivots (Sylvester's law of inertia).
+    pub fn inertia(&self) -> (usize, usize) {
+        let mut pos = 0;
+        let mut neg = 0;
+        for i in 0..self.dim() {
+            if self.ld[(i, i)] > 0.0 {
+                pos += 1;
+            } else {
+                neg += 1;
+            }
+        }
+        (pos, neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_spd_matches_cholesky() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let b = [1.0, -1.0];
+        let x1 = a.ldlt(0.0).unwrap().solve(&b);
+        let x2 = a.cholesky().unwrap().solve(&b);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_indefinite_saddle() {
+        // KKT-like quasidefinite matrix.
+        let a = Matrix::from_rows(&[
+            &[2.0, 0.0, 1.0, 0.0],
+            &[0.0, 3.0, 0.0, 1.0],
+            &[1.0, 0.0, -1e-8, 0.0],
+            &[0.0, 1.0, 0.0, -1e-8],
+        ]);
+        let f = a.ldlt(1e-14).unwrap();
+        let (pos, neg) = f.inertia();
+        assert_eq!((pos, neg), (2, 2));
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = f.solve(&b);
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-6, "residual too large: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn regularisation_counts_pivots() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]); // rank 1
+        let f = a.ldlt(1e-10).unwrap();
+        assert_eq!(f.regularised_pivots(), 1);
+    }
+
+    #[test]
+    fn zero_reg_singular_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(matches!(a.ldlt(0.0), Err(FactorError::Singular { .. })));
+    }
+}

@@ -1,0 +1,194 @@
+//! LU factorisation with partial (row) pivoting.
+
+use crate::{FactorError, Matrix};
+
+/// LU factorisation `P A = L U` with partial pivoting.
+///
+/// # Examples
+///
+/// ```
+/// use cppll_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 1.0]]);
+/// let lu = a.lu().expect("nonsingular");
+/// let x = lu.solve(&[1.0, 4.0]);
+/// assert!((x[0] - 1.5).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row moved to position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::DimensionMismatch`] for non-square input and
+    /// [`FactorError::Singular`] when a pivot vanishes to working precision.
+    pub fn new(a: &Matrix) -> Result<Self, FactorError> {
+        if !a.is_square() {
+            return Err(FactorError::DimensionMismatch {
+                context: "lu factorisation requires a square matrix",
+            });
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = lu.norm_max().max(1.0);
+        for k in 0..n {
+            // Pivot search in column k.
+            let mut piv = k;
+            let mut piv_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > piv_val {
+                    piv = r;
+                    piv_val = v;
+                }
+            }
+            if piv_val <= f64::EPSILON * scale * (n as f64) {
+                return Err(FactorError::Singular { pivot: k });
+            }
+            if piv != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(piv, c)];
+                    lu[(piv, c)] = tmp;
+                }
+                perm.swap(k, piv);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let m = lu[(r, k)] / pivot;
+                lu[(r, k)] = m;
+                if m != 0.0 {
+                    for c in (k + 1)..n {
+                        let u = lu[(k, c)];
+                        lu[(r, c)] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward solve L y = P b (unit diagonal).
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back solve U x = y.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.nrows()` differs from the factored dimension.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "rhs rows must equal matrix dimension");
+        let mut out = Matrix::zeros(n, b.ncols());
+        for c in 0..b.ncols() {
+            let x = self.solve(b.col(c));
+            out.col_mut(c).copy_from_slice(&x);
+        }
+        out
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factored matrix.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_reconstructs_rhs() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let b = [5.0, -2.0, 9.0];
+        let x = a.lu().unwrap().solve(&b);
+        let bx = a.matvec(&x);
+        for (u, v) in bx.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn det_matches_known_value() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((a.lu().unwrap().det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = a.lu().unwrap().inverse();
+        let prod = a.matmul(&inv);
+        let i = Matrix::identity(2);
+        assert!(prod.sub(&i).norm() < 1e-12);
+    }
+
+    #[test]
+    fn singular_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(FactorError::Singular { .. })));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.lu().unwrap().solve(&[3.0, 7.0]);
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+}

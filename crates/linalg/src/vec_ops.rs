@@ -1,0 +1,83 @@
+//! Small free functions on `&[f64]` vectors.
+//!
+//! Kept as free functions (not a newtype) because the SDP solver mixes these
+//! with raw index manipulation constantly; a wrapper type added friction
+//! without catching real bugs in practice.
+
+/// Dot product `xᵀ y`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `‖x‖∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// In-place `y += a * x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// In-place `x *= a`.
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Elementwise difference `x - y`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Elementwise sum `x + y`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "vector lengths must match");
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_identities() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, -5.0, 6.0];
+        assert_eq!(dot(&x, &y), 12.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&y), 6.0);
+        let mut z = y.to_vec();
+        axpy(2.0, &x, &mut z);
+        assert_eq!(z, vec![6.0, -1.0, 12.0]);
+        assert_eq!(sub(&x, &x), vec![0.0; 3]);
+        assert_eq!(add(&x, &x), vec![2.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The full cyclic PFD automaton — simulation ground truth.
+//!
+//! Unlike the difference-coordinate verification models, this automaton
+//! tracks the reference and VCO phases explicitly (normalized to `[0, 1]`,
+//! i.e. the paper's "phases normalized by 2π") and switches the charge pump
+//! on the phase *edges*:
+//!
+//! * reference edge (`p_ref` wraps): pump `OFF → UP`, `DOWN → OFF`;
+//! * VCO edge (`p_vco` wraps): pump `OFF → DOWN`, `UP → OFF`.
+//!
+//! Cycle slips saturate (self-loops), matching the paper's "ignoring the
+//! cycle slip phenomena". A locking transient crosses *hundreds* of these
+//! discrete transitions — the reason reach-set verification is expensive and
+//! the paper's certificate methodology pays off.
+
+use cppll_hybrid::{HybridSystem, Jump, Mode, ParamBox};
+use cppll_poly::Polynomial;
+
+use crate::{PllOrder, ScaledCoefficients, TableOneParams};
+
+/// A built cyclic PFD automaton with its metadata.
+#[derive(Debug, Clone)]
+pub struct CyclicPll {
+    system: HybridSystem,
+    order: PllOrder,
+    nvolts: usize,
+}
+
+impl CyclicPll {
+    /// The hybrid system: states `(w₁, …, w_k, p_ref, p_vco)` with the
+    /// voltages shifted so the lock point is the origin.
+    pub fn system(&self) -> &HybridSystem {
+        &self.system
+    }
+
+    /// The loop order.
+    pub fn order(&self) -> PllOrder {
+        self.order
+    }
+
+    /// Number of voltage states (2 or 3).
+    pub fn nvolts(&self) -> usize {
+        self.nvolts
+    }
+
+    /// Index of the reference-phase state.
+    pub fn p_ref_index(&self) -> usize {
+        self.nvolts
+    }
+
+    /// Index of the VCO-phase state.
+    pub fn p_vco_index(&self) -> usize {
+        self.nvolts + 1
+    }
+
+    /// Pump-off mode index.
+    pub fn off_mode(&self) -> usize {
+        0
+    }
+
+    /// Within-cycle phase error `p_ref − p_vco` of a state vector.
+    pub fn phase_error(&self, x: &[f64]) -> f64 {
+        x[self.p_ref_index()] - x[self.p_vco_index()]
+    }
+}
+
+/// Builds the cyclic PFD automaton at **nominal** parameters.
+///
+/// # Examples
+///
+/// ```
+/// use cppll_pll::{cyclic_automaton, PllOrder, TableOneParams};
+///
+/// let pll = cyclic_automaton(PllOrder::Third, &TableOneParams::third_order());
+/// assert_eq!(pll.system().modes().len(), 3); // off / up / down
+/// assert_eq!(pll.system().nstates(), 4);     // w1, w2, p_ref, p_vco
+/// ```
+pub fn cyclic_automaton(order: PllOrder, params: &TableOneParams) -> CyclicPll {
+    let coeffs = ScaledCoefficients::from_params(params);
+    let nvolts = match order {
+        PllOrder::Third => 2,
+        PllOrder::Fourth => 3,
+    };
+    let n = nvolts + 2; // + p_ref, p_vco
+    let var = |i: usize| Polynomial::var(n, i);
+    let c = |v: f64| Polynomial::constant(n, v);
+    let a1 = coeffs.a1.mid();
+    let a2 = coeffs.a2.mid();
+    let b = coeffs.b.mid();
+    let kappa = coeffs.kappa.mid();
+    let w1 = var(0);
+    let w2 = var(1);
+    let vctl = var(nvolts - 1); // voltage driving the VCO
+    let p_ref = var(nvolts);
+    let p_vco = var(nvolts + 1);
+
+    let flow_with_current = |i_n: f64| -> Vec<Polynomial> {
+        let mut f = Vec::with_capacity(n);
+        match order {
+            PllOrder::Third => {
+                f.push((&w2 - &w1).scale(a1));
+                f.push(&(&w1 - &w2).scale(a2) + &c(b * i_n));
+            }
+            PllOrder::Fourth => {
+                let w3 = var(2);
+                let a3 = coeffs.a3.expect("fourth order").mid();
+                let a4 = coeffs.a4.expect("fourth order").mid();
+                f.push((&w2 - &w1).scale(a1));
+                f.push(&(&(&w1 - &w2).scale(a2) + &(&w3 - &w2).scale(a3)) + &c(b * i_n));
+                f.push((&w2 - &w3).scale(a4));
+            }
+        }
+        f.push(c(1.0)); // ṗ_ref = 1
+        f.push(&c(1.0) + &vctl.scale(kappa)); // ṗ_vco = 1 + κ·v_ctl
+        f
+    };
+
+    // All modes share the flow set {p_ref ≤ 1, p_vco ≤ 1}.
+    let flow_set = || vec![&c(1.0) - &p_ref, &c(1.0) - &p_vco];
+    let modes = vec![
+        Mode::new("off", flow_with_current(0.0)).with_flow_set(flow_set()),
+        Mode::new("up", flow_with_current(1.0)).with_flow_set(flow_set()),
+        Mode::new("down", flow_with_current(-1.0)).with_flow_set(flow_set()),
+    ];
+
+    // Resets: wrap the crossing phase back by one period.
+    let wrap = |which: usize| -> Vec<Polynomial> {
+        (0..n)
+            .map(|i| {
+                if i == which {
+                    &var(i) - &c(1.0)
+                } else {
+                    var(i)
+                }
+            })
+            .collect()
+    };
+    let ref_edge_eq = vec![&p_ref - &c(1.0)];
+    let vco_edge_eq = vec![&p_vco - &c(1.0)];
+    let ref_jump = |from: usize, to: usize| {
+        Jump::identity(from, to)
+            .with_guard_eq(ref_edge_eq.clone())
+            .with_reset(wrap(nvolts))
+    };
+    let vco_jump = |from: usize, to: usize| {
+        Jump::identity(from, to)
+            .with_guard_eq(vco_edge_eq.clone())
+            .with_reset(wrap(nvolts + 1))
+    };
+    let jumps = vec![
+        // reference edges
+        ref_jump(0, 1), // OFF → UP
+        ref_jump(2, 0), // DOWN → OFF
+        ref_jump(1, 1), // UP self-loop (saturated)
+        // vco edges
+        vco_jump(0, 2), // OFF → DOWN
+        vco_jump(1, 0), // UP → OFF
+        vco_jump(2, 2), // DOWN self-loop (saturated)
+    ];
+
+    CyclicPll {
+        system: HybridSystem::with_params(n, modes, jumps, ParamBox::empty()),
+        order,
+        nvolts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cppll_hybrid::{SimOutcome, Simulator};
+
+    #[test]
+    fn cyclic_automaton_locks_with_many_transitions() {
+        let pll = cyclic_automaton(PllOrder::Third, &TableOneParams::third_order());
+        let sim = Simulator::new(pll.system())
+            .with_step(2e-3)
+            .with_thinning(50)
+            .with_max_jumps(100_000);
+        // Start with a frequency/phase offset: w2 = 0.4 (VCO fast).
+        let x0 = vec![0.0, 0.4, 0.0, 0.3];
+        let (arc, outcome) = sim.simulate_with_outcome(&x0, pll.off_mode(), 200.0);
+        assert_eq!(outcome, SimOutcome::TimeHorizon, "jumps: {}", arc.jumps());
+        // The PFD automaton must have cycled many times (paper: "hundreds of
+        // discrete transitions").
+        assert!(
+            arc.jumps() > 100,
+            "expected hundreds of edges, got {}",
+            arc.jumps()
+        );
+        // Lock: control voltage settles at the lock value (w = 0).
+        let xf = arc.final_state();
+        assert!(xf[1].abs() < 0.05, "v2 did not settle: {xf:?}");
+        assert!(
+            pll.phase_error(xf).abs() < 0.1,
+            "phase error too large: {}",
+            pll.phase_error(xf)
+        );
+    }
+
+    #[test]
+    fn fourth_order_cyclic_locks() {
+        let pll = cyclic_automaton(PllOrder::Fourth, &TableOneParams::fourth_order());
+        let sim = Simulator::new(pll.system())
+            .with_step(2e-3)
+            .with_thinning(100)
+            .with_max_jumps(1_000_000);
+        let x0 = vec![0.0, 0.1, 0.1, 0.0, 0.2];
+        let (arc, outcome) = sim.simulate_with_outcome(&x0, pll.off_mode(), 2000.0);
+        assert_eq!(outcome, SimOutcome::TimeHorizon);
+        let xf = arc.final_state();
+        assert!(xf[2].abs() < 0.05, "v3 did not settle: {xf:?}");
+    }
+
+    #[test]
+    fn agreement_with_difference_model() {
+        // The cyclic automaton and the averaged difference model must agree
+        // on the asymptotic lock point (origin voltages) from the same
+        // initial voltage offset.
+        use crate::PllModelBuilder;
+        let cyc = cyclic_automaton(PllOrder::Third, &TableOneParams::third_order());
+        let sim_c = Simulator::new(cyc.system())
+            .with_step(2e-3)
+            .with_thinning(100)
+            .with_max_jumps(100_000);
+        let arc_c = sim_c.simulate(&[0.0, 0.3, 0.0, 0.0], cyc.off_mode(), 200.0);
+
+        let avg = PllModelBuilder::new(PllOrder::Third).build();
+        let sim_a = Simulator::new(avg.system())
+            .with_step(2e-3)
+            .with_thinning(100);
+        let arc_a = sim_a.simulate(&[0.0, 0.3, 0.0], avg.tracking_mode(), 200.0);
+
+        let vc = arc_c.final_state()[1];
+        let va = arc_a.final_state()[1];
+        assert!(vc.abs() < 0.05 && va.abs() < 0.05, "both settle: {vc} {va}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Closed intervals with the small amount of interval arithmetic needed to
+//! carry Table-1 parameter uncertainty into scaled model coefficients.
+
+/// A closed interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "interval endpoints out of order");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Midpoint.
+    pub fn mid(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Width `hi − lo`.
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` when `v ∈ [lo, hi]`.
+    pub fn contains(self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` when the interval is a single point.
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Interval product (both operands may straddle zero).
+    pub fn mul(self, rhs: Interval) -> Interval {
+        let cands = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        Interval {
+            lo: cands.iter().cloned().fold(f64::INFINITY, f64::min),
+            hi: cands.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Interval reciprocal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval contains zero.
+    pub fn recip(self) -> Interval {
+        assert!(
+            !(self.lo <= 0.0 && self.hi >= 0.0),
+            "reciprocal of an interval containing zero"
+        );
+        Interval::new(1.0 / self.hi, 1.0 / self.lo)
+    }
+
+    /// Scalar multiple (sign-aware).
+    pub fn scale(self, s: f64) -> Interval {
+        if s >= 0.0 {
+            Interval::new(self.lo * s, self.hi * s)
+        } else {
+            Interval::new(self.hi * s, self.lo * s)
+        }
+    }
+
+    /// Interval quotient `self / rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` contains zero.
+    pub fn div(self, rhs: Interval) -> Interval {
+        self.mul(rhs.recip())
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_point() {
+            write!(f, "{:.6}", self.lo)
+        } else {
+            write!(f, "[{:.6}, {:.6}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(2.0, 4.0);
+        let b = Interval::new(-1.0, 1.0);
+        assert_eq!(a.mid(), 3.0);
+        assert_eq!(a.width(), 2.0);
+        let p = a.mul(b);
+        assert_eq!((p.lo, p.hi), (-4.0, 4.0));
+        let r = a.recip();
+        assert_eq!((r.lo, r.hi), (0.25, 0.5));
+        let q = a.div(Interval::new(2.0, 2.0));
+        assert_eq!((q.lo, q.hi), (1.0, 2.0));
+        assert!(a.contains(3.0));
+        assert!(!a.contains(5.0));
+    }
+
+    #[test]
+    fn negative_scale_flips() {
+        let a = Interval::new(1.0, 2.0);
+        let s = a.scale(-2.0);
+        assert_eq!((s.lo, s.hi), (-4.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "containing zero")]
+    fn recip_through_zero_panics() {
+        Interval::new(-1.0, 1.0).recip();
+    }
+}

@@ -1,0 +1,50 @@
+//! Behavioural charge-pump PLL models (third and fourth order) as hybrid
+//! systems, matching Section 2.2 of the paper.
+//!
+//! Two families of models are provided:
+//!
+//! * **Verification models** ([`PllModelBuilder`]) in *difference
+//!   coordinates*: states are the loop-filter voltages (shifted so that the
+//!   phase-lock equilibrium is the origin) and the normalized phase error
+//!   `e = (φ_ref − φ_vco)/2π`. The phase-frequency detector is abstracted as
+//!   a three-mode piecewise inclusion on `e` (Eq. 2 of the paper); all jump
+//!   maps are the identity (Remark 1), so the hybrid Lyapunov conditions
+//!   simplify accordingly.
+//! * **Simulation ground truth** ([`cyclic_automaton`]): the full cyclic PFD
+//!   automaton with explicit reference/VCO phases and modulo-2π resets —
+//!   the model whose hundreds of discrete transitions make reachability
+//!   expensive, and which the difference model abstracts.
+//!
+//! Raw Table-1 parameters (picofarads, kilohms, megahertz) produce
+//! absurdly-scaled polynomial coefficients, so models are built from
+//! [`ScaledCoefficients`] — a documented nondimensionalisation (time in
+//! reference periods, voltages relative to the lock voltage) with interval
+//! arithmetic carrying Table 1's parameter uncertainty through to the
+//! coefficients.
+//!
+//! # Examples
+//!
+//! ```
+//! use cppll_pll::{PllModelBuilder, PllOrder};
+//!
+//! let model = PllModelBuilder::new(PllOrder::Third).build();
+//! // Three modes: tracking, up-saturated, down-saturated.
+//! assert_eq!(model.system().modes().len(), 3);
+//! // Origin is the phase-lock equilibrium.
+//! let nominal = model.system().params().nominal();
+//! assert!(model.system().is_equilibrium(&vec![0.0; 3], &nominal, 1e-9));
+//! ```
+
+mod cyclic;
+mod interval;
+mod model;
+mod params;
+mod scaling;
+
+pub use cyclic::{cyclic_automaton, CyclicPll};
+pub use interval::Interval;
+pub use model::{
+    PfdAbstraction, PllModelBuilder, PllOrder, UncertaintySelection, VerificationModel,
+};
+pub use params::TableOneParams;
+pub use scaling::ScaledCoefficients;

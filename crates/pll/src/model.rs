@@ -1,0 +1,457 @@
+//! Difference-coordinate CP PLL verification models.
+
+use cppll_hybrid::{HybridSystem, Jump, Mode, ParamBox};
+use cppll_poly::Polynomial;
+
+use crate::{Interval, ScaledCoefficients, TableOneParams};
+
+/// Loop-filter order of the CP PLL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PllOrder {
+    /// Third-order loop (states `v1, v2, e`).
+    Third,
+    /// Fourth-order loop (states `v1, v2, v3, e`).
+    Fourth,
+}
+
+/// How the phase-frequency detector is abstracted in difference coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PfdAbstraction {
+    /// Averaged three-mode model: pump current `i = Ip·e` for `|e| ≤ 1`
+    /// (PFD pulse width proportional to the phase error) saturating at
+    /// `±Ip` beyond. Keeps an isolated equilibrium at the origin, which the
+    /// strict hybrid Lyapunov conditions of Theorem 1 require.
+    Saturated,
+    /// Literal dead-zone reading of Eq. 2: pump off for `|e| ≤ width`,
+    /// constant `±Ip` outside. Convergence is to the lock *set*
+    /// (practical inevitability); see `DESIGN.md`.
+    DeadZone {
+        /// Half-width of the pump-off region in normalized phase error.
+        width: f64,
+    },
+}
+
+/// Which scaled coefficients are treated as uncertain box parameters `u`
+/// (the rest are fixed at their interval midpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UncertaintySelection {
+    /// All coefficients at midpoints — fastest, no robustness.
+    Nominal,
+    /// Charge-pump drive `b` and loop gain `κ` uncertain (the paper's `u`:
+    /// the `Ip` and `N` rows of Table 1). Default.
+    PumpAndGain,
+    /// Every scaled coefficient uncertain (2⁴/2⁶ vertices) — the full
+    /// robustness ablation.
+    Full,
+}
+
+/// A built verification model: the hybrid system in shifted difference
+/// coordinates plus the metadata the verification pipeline needs.
+#[derive(Debug, Clone)]
+pub struct VerificationModel {
+    order: PllOrder,
+    abstraction: PfdAbstraction,
+    theta_max: f64,
+    coeffs: ScaledCoefficients,
+    system: HybridSystem,
+    state_names: Vec<&'static str>,
+}
+
+impl VerificationModel {
+    /// The underlying hybrid system (origin = phase-lock equilibrium).
+    pub fn system(&self) -> &HybridSystem {
+        &self.system
+    }
+
+    /// The loop order.
+    pub fn order(&self) -> PllOrder {
+        self.order
+    }
+
+    /// The PFD abstraction used.
+    pub fn abstraction(&self) -> PfdAbstraction {
+        self.abstraction
+    }
+
+    /// Bound on the modeled phase-error range.
+    pub fn theta_max(&self) -> f64 {
+        self.theta_max
+    }
+
+    /// The scaled coefficients the model was built from.
+    pub fn coeffs(&self) -> &ScaledCoefficients {
+        &self.coeffs
+    }
+
+    /// Number of state variables (3 or 4).
+    pub fn nstates(&self) -> usize {
+        self.system.nstates()
+    }
+
+    /// Index of the mode containing the equilibrium (tracking / pump off).
+    pub fn tracking_mode(&self) -> usize {
+        0
+    }
+
+    /// Index of the up-saturated mode.
+    pub fn up_mode(&self) -> usize {
+        1
+    }
+
+    /// Index of the down-saturated mode.
+    pub fn down_mode(&self) -> usize {
+        2
+    }
+
+    /// Human-readable state names (shifted coordinates).
+    pub fn state_names(&self) -> &[&'static str] {
+        &self.state_names
+    }
+
+    /// Index of the phase-error state `e`.
+    pub fn phase_error_index(&self) -> usize {
+        self.nstates() - 1
+    }
+}
+
+/// Builder for [`VerificationModel`].
+#[derive(Debug, Clone)]
+pub struct PllModelBuilder {
+    order: PllOrder,
+    abstraction: PfdAbstraction,
+    uncertainty: UncertaintySelection,
+    theta_max: Option<f64>,
+    params: Option<TableOneParams>,
+}
+
+impl PllModelBuilder {
+    /// Starts a builder for the given loop order with paper defaults
+    /// (saturated PFD, pump+gain uncertainty, Table-1 parameters,
+    /// `θ_max = 2` for third order and `1` for fourth — the ranges of the
+    /// paper's figures).
+    pub fn new(order: PllOrder) -> Self {
+        PllModelBuilder {
+            order,
+            abstraction: PfdAbstraction::Saturated,
+            uncertainty: UncertaintySelection::PumpAndGain,
+            theta_max: None,
+            params: None,
+        }
+    }
+
+    /// Overrides the PFD abstraction (builder style).
+    pub fn with_abstraction(mut self, abstraction: PfdAbstraction) -> Self {
+        self.abstraction = abstraction;
+        self
+    }
+
+    /// Overrides the uncertainty selection (builder style).
+    pub fn with_uncertainty(mut self, uncertainty: UncertaintySelection) -> Self {
+        self.uncertainty = uncertainty;
+        self
+    }
+
+    /// Overrides the modeled phase-error bound (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta_max <= 1`.
+    pub fn with_theta_max(mut self, theta_max: f64) -> Self {
+        assert!(theta_max > 1.0, "theta_max must exceed the tracking range");
+        self.theta_max = Some(theta_max);
+        self
+    }
+
+    /// Overrides the raw parameters (builder style).
+    pub fn with_params(mut self, params: TableOneParams) -> Self {
+        self.params = params.into();
+        self
+    }
+
+    /// Builds the verification model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fourth-order parameters are supplied for a third-order
+    /// model or vice versa.
+    pub fn build(self) -> VerificationModel {
+        let params = self.params.unwrap_or_else(|| match self.order {
+            PllOrder::Third => TableOneParams::third_order(),
+            PllOrder::Fourth => TableOneParams::fourth_order(),
+        });
+        match self.order {
+            PllOrder::Third => assert!(!params.is_fourth_order(), "parameter order mismatch"),
+            PllOrder::Fourth => assert!(params.is_fourth_order(), "parameter order mismatch"),
+        }
+        let coeffs = ScaledCoefficients::from_params(&params);
+        let theta_max = self.theta_max.unwrap_or(match self.order {
+            PllOrder::Third => 2.0,
+            PllOrder::Fourth => 2.0,
+        });
+        let (system, state_names) = build_system(
+            &coeffs,
+            self.order,
+            self.abstraction,
+            self.uncertainty,
+            theta_max,
+        );
+        VerificationModel {
+            order: self.order,
+            abstraction: self.abstraction,
+            theta_max,
+            coeffs,
+            system,
+            state_names,
+        }
+    }
+}
+
+/// Uncertain-coefficient bookkeeping during model construction.
+struct CoeffCtx {
+    nstates: usize,
+    nparams: usize,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// `(interval, Some(param slot))` per coefficient in registration order.
+    slots: Vec<Option<usize>>,
+    intervals: Vec<Interval>,
+}
+
+impl CoeffCtx {
+    fn new(nstates: usize) -> Self {
+        CoeffCtx {
+            nstates,
+            nparams: 0,
+            lo: Vec::new(),
+            hi: Vec::new(),
+            slots: Vec::new(),
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Registers a coefficient; `uncertain` promotes it to a box parameter.
+    fn register(&mut self, iv: Interval, uncertain: bool) -> usize {
+        let idx = self.slots.len();
+        if uncertain && !iv.is_point() {
+            self.slots.push(Some(self.nparams));
+            self.lo.push(iv.lo);
+            self.hi.push(iv.hi);
+            self.nparams += 1;
+        } else {
+            self.slots.push(None);
+        }
+        self.intervals.push(iv);
+        idx
+    }
+
+    /// Polynomial for coefficient `idx` over the final ring (call after all
+    /// registrations).
+    fn poly(&self, idx: usize) -> Polynomial {
+        let ring = self.nstates + self.nparams;
+        match self.slots[idx] {
+            Some(slot) => Polynomial::var(ring, self.nstates + slot),
+            None => Polynomial::constant(ring, self.intervals[idx].mid()),
+        }
+    }
+
+    /// State variable over the final ring.
+    fn state(&self, i: usize) -> Polynomial {
+        Polynomial::var(self.nstates + self.nparams, i)
+    }
+
+    fn param_box(&self) -> ParamBox {
+        ParamBox::new(self.lo.clone(), self.hi.clone())
+    }
+}
+
+fn build_system(
+    coeffs: &ScaledCoefficients,
+    order: PllOrder,
+    abstraction: PfdAbstraction,
+    uncertainty: UncertaintySelection,
+    theta_max: f64,
+) -> (HybridSystem, Vec<&'static str>) {
+    let nstates = coeffs.nstates();
+    let mut ctx = CoeffCtx::new(nstates);
+    let (unc_a, unc_bk) = match uncertainty {
+        UncertaintySelection::Nominal => (false, false),
+        UncertaintySelection::PumpAndGain => (false, true),
+        UncertaintySelection::Full => (true, true),
+    };
+    let ia1 = ctx.register(coeffs.a1, unc_a);
+    let ia2 = ctx.register(coeffs.a2, unc_a);
+    let (ia3, ia4) = if order == PllOrder::Fourth {
+        (
+            Some(ctx.register(coeffs.a3.expect("fourth order has a3"), unc_a)),
+            Some(ctx.register(coeffs.a4.expect("fourth order has a4"), unc_a)),
+        )
+    } else {
+        (None, None)
+    };
+    let ib = ctx.register(coeffs.b, unc_bk);
+    let ik = ctx.register(coeffs.kappa, unc_bk);
+
+    let ring = nstates + ctx.nparams;
+    let w1 = ctx.state(0);
+    let w2 = ctx.state(1);
+    let e = ctx.state(nstates - 1);
+    let a1 = ctx.poly(ia1);
+    let a2 = ctx.poly(ia2);
+    let b = ctx.poly(ib);
+    let kappa = ctx.poly(ik);
+
+    // Flow map with normalized pump drive `i_n` as a polynomial in the ring.
+    let flow_with_current = |i_n: &Polynomial| -> Vec<Polynomial> {
+        match order {
+            PllOrder::Third => {
+                let f1 = &a1 * &(&w2 - &w1);
+                let f2 = &(&a2 * &(&w1 - &w2)) + &(&b * i_n);
+                let fe = (&kappa * &w2).scale(-1.0);
+                vec![f1, f2, fe]
+            }
+            PllOrder::Fourth => {
+                let w3 = ctx.state(2);
+                let a3 = ctx.poly(ia3.expect("fourth order"));
+                let a4 = ctx.poly(ia4.expect("fourth order"));
+                let f1 = &a1 * &(&w2 - &w1);
+                let f2 = &(&(&a2 * &(&w1 - &w2)) + &(&a3 * &(&w3 - &w2))) + &(&b * i_n);
+                let f3 = &a4 * &(&w2 - &w3);
+                let fe = (&kappa * &w3).scale(-1.0);
+                vec![f1, f2, f3, fe]
+            }
+        }
+    };
+
+    // Tracking-region half width: 1 for the saturated abstraction, the dead
+    // zone width for the literal model.
+    let (track_halfwidth, track_current) = match abstraction {
+        PfdAbstraction::Saturated => (1.0, e.clone()),
+        PfdAbstraction::DeadZone { width } => {
+            assert!(width > 0.0 && width < theta_max, "invalid dead zone width");
+            (width, Polynomial::zero(ring))
+        }
+    };
+
+    // Flow sets over the state-only ring.
+    let es = Polynomial::var(nstates, nstates - 1);
+    let c = |v: f64| Polynomial::constant(nstates, v);
+    let track_set = vec![&c(track_halfwidth) - &es, &es + &c(track_halfwidth)];
+    let up_set = vec![&es - &c(track_halfwidth), &c(theta_max) - &es];
+    let down_set = vec![(&es + &c(track_halfwidth)).scale(-1.0), &es + &c(theta_max)];
+
+    let one = Polynomial::constant(ring, 1.0);
+    let modes = vec![
+        Mode::new("tracking", flow_with_current(&track_current)).with_flow_set(track_set),
+        Mode::new("up", flow_with_current(&one)).with_flow_set(up_set),
+        Mode::new("down", flow_with_current(&one.scale(-1.0))).with_flow_set(down_set),
+    ];
+
+    // Identity jumps at the mode boundaries (Remark 1 of the paper).
+    let boundary_up = vec![&es - &c(track_halfwidth)];
+    let boundary_up_eq = vec![&es - &c(track_halfwidth)];
+    let boundary_down_eq = vec![&es + &c(track_halfwidth)];
+    let jumps = vec![
+        Jump::identity(0, 1)
+            .with_guard(boundary_up.clone())
+            .with_guard_eq(boundary_up_eq.clone()),
+        Jump::identity(1, 0).with_guard_eq(boundary_up_eq),
+        Jump::identity(0, 2).with_guard_eq(boundary_down_eq.clone()),
+        Jump::identity(2, 0).with_guard_eq(boundary_down_eq),
+    ];
+
+    let names: Vec<&'static str> = match order {
+        PllOrder::Third => vec!["v1", "v2", "e"],
+        PllOrder::Fourth => vec!["v1", "v2", "v3", "e"],
+    };
+    (
+        HybridSystem::with_params(nstates, modes, jumps, ctx.param_box()),
+        names,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cppll_hybrid::Simulator;
+
+    #[test]
+    fn third_order_structure() {
+        let m = PllModelBuilder::new(PllOrder::Third).build();
+        assert_eq!(m.nstates(), 3);
+        assert_eq!(m.system().modes().len(), 3);
+        assert_eq!(m.system().params().len(), 2, "pump+gain uncertainty");
+        assert_eq!(m.phase_error_index(), 2);
+        let nominal = m.system().params().nominal();
+        assert!(m.system().is_equilibrium(&[0.0, 0.0, 0.0], &nominal, 1e-12));
+        // The saturated modes have no equilibrium on their flow sets.
+        let f_up = m
+            .system()
+            .eval_flow(m.up_mode(), &[0.0, 0.0, 1.5], &nominal);
+        assert!(f_up[1].abs() > 0.1, "up mode pumps charge");
+    }
+
+    #[test]
+    fn nominal_uncertainty_has_no_params() {
+        let m = PllModelBuilder::new(PllOrder::Third)
+            .with_uncertainty(UncertaintySelection::Nominal)
+            .build();
+        assert_eq!(m.system().params().len(), 0);
+    }
+
+    #[test]
+    fn full_uncertainty_counts_params() {
+        let m3 = PllModelBuilder::new(PllOrder::Third)
+            .with_uncertainty(UncertaintySelection::Full)
+            .build();
+        assert_eq!(m3.system().params().len(), 4); // a1 a2 b kappa
+        let m4 = PllModelBuilder::new(PllOrder::Fourth)
+            .with_uncertainty(UncertaintySelection::Full)
+            .build();
+        assert_eq!(m4.system().params().len(), 6);
+    }
+
+    #[test]
+    fn third_order_locks_from_perturbation() {
+        let m = PllModelBuilder::new(PllOrder::Third).build();
+        let sim = Simulator::new(m.system()).with_step(1e-2).with_thinning(10);
+        // Start inside the tracking region, perturbed.
+        let arc = sim.simulate(&[0.3, -0.2, 0.5], 0, 150.0);
+        let xf = arc.final_state();
+        let norm: f64 = xf.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm < 1e-2, "did not lock: final state {xf:?}");
+    }
+
+    #[test]
+    fn third_order_locks_from_saturation_region() {
+        let m = PllModelBuilder::new(PllOrder::Third).build();
+        let sim = Simulator::new(m.system()).with_step(1e-2).with_thinning(10);
+        let (arc, _) = sim.simulate_with_outcome(&[0.0, 0.0, 1.8], 1, 300.0);
+        let xf = arc.final_state();
+        let norm: f64 = xf.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm < 1e-2, "did not lock from saturation: {xf:?}");
+        assert!(arc.jumps() >= 1, "must cross the mode boundary");
+    }
+
+    #[test]
+    fn fourth_order_locks_from_perturbation() {
+        let m = PllModelBuilder::new(PllOrder::Fourth).build();
+        let sim = Simulator::new(m.system()).with_step(1e-2).with_thinning(10);
+        let arc = sim.simulate(&[0.1, 0.1, -0.1, 0.3], 0, 2000.0);
+        let xf = arc.final_state();
+        let norm: f64 = xf.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm < 1e-2, "fourth order did not lock: {xf:?}");
+    }
+
+    #[test]
+    fn dead_zone_variant_converges_to_lock_set() {
+        let m = PllModelBuilder::new(PllOrder::Third)
+            .with_abstraction(PfdAbstraction::DeadZone { width: 0.05 })
+            .build();
+        let sim = Simulator::new(m.system()).with_step(1e-2).with_thinning(10);
+        let (arc, _) = sim.simulate_with_outcome(&[0.0, 0.0, 0.8], 1, 400.0);
+        let xf = arc.final_state();
+        // Voltages settle; phase error lands inside the dead zone.
+        assert!(xf[0].abs() < 0.05 && xf[1].abs() < 0.05, "{xf:?}");
+        assert!(xf[2].abs() <= 0.06, "phase error outside lock set: {xf:?}");
+    }
+}

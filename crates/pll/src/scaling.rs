@@ -1,0 +1,159 @@
+//! Nondimensionalisation of the raw Table-1 parameters.
+//!
+//! SI-unit coefficients such as `1/(R C1) ≈ 6·10⁷ s⁻¹` would poison the SOS
+//! programs, so the verification models use scaled coordinates:
+//!
+//! * **time** is measured in reference periods: `t' = t · f_ref`,
+//! * **voltages** relative to the lock voltage: `v' = v / v_lock`,
+//! * **phase error** normalized by `2π` (as in the paper's figures):
+//!   `e = (φ_ref − φ_vco) / 2π`.
+//!
+//! In these coordinates the third-order flow becomes (with
+//! `w = v' − 1` shifted so the lock point is the origin)
+//!
+//! ```text
+//! ẇ₁ = a₁ (w₂ − w₁)              a₁ = 1 / (R C₁ f_ref)
+//! ẇ₂ = a₂ (w₁ − w₂) + b·i_n      a₂ = 1 / (R C₂ f_ref),  b = Ip / (C₂ f_ref v_lock)
+//! ė  = −κ w₂                     κ = K_v v_lock / (2π N f_ref)
+//! ```
+//!
+//! where `i_n = i/Ip ∈ [−1, 1]` is the normalized charge-pump current. The
+//! fourth order adds `a₃ = 1/(R₂ C₂ f_ref)`, `a₄ = 1/(R₂ C₃ f_ref)` and
+//! drives the VCO from `w₃`. All coefficients land in `[10⁻², 10²]`.
+
+use crate::{Interval, TableOneParams};
+
+/// Scaled (dimensionless) model coefficients with interval uncertainty
+/// propagated from Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledCoefficients {
+    /// `a₁ = 1/(R C₁ f_ref)`.
+    pub a1: Interval,
+    /// `a₂ = 1/(R C₂ f_ref)`.
+    pub a2: Interval,
+    /// `a₃ = 1/(R₂ C₂ f_ref)` — fourth order only.
+    pub a3: Option<Interval>,
+    /// `a₄ = 1/(R₂ C₃ f_ref)` — fourth order only.
+    pub a4: Option<Interval>,
+    /// Charge-pump drive `b = Ip/(C₂ f_ref v_lock)`.
+    pub b: Interval,
+    /// Loop gain `κ = K_v v_lock/(2π N f_ref)`.
+    pub kappa: Interval,
+    /// Voltage scale used (volts) — needed to map certificates back.
+    pub v_lock: f64,
+    /// Time scale used (seconds per unit) — the reference period.
+    pub t_scale: f64,
+}
+
+impl ScaledCoefficients {
+    /// Derives scaled coefficients from raw parameters via interval
+    /// arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are degenerate (zero-containing intervals in
+    /// denominators).
+    pub fn from_params(p: &TableOneParams) -> Self {
+        let v_lock = p.lock_voltage();
+        let fr = Interval::point(p.f_ref);
+        let a1 = p.r.mul(p.c1).mul(fr).recip();
+        let a2 = p.r.mul(p.c2).mul(fr).recip();
+        let (a3, a4) = match (p.r2, p.c3) {
+            (Some(r2), Some(c3)) => (
+                Some(r2.mul(p.c2).mul(fr).recip()),
+                Some(r2.mul(c3).mul(fr).recip()),
+            ),
+            _ => (None, None),
+        };
+        let b = p.ip.div(p.c2.mul(fr).scale(v_lock));
+        let kappa = Interval::point(p.kv * v_lock / (2.0 * std::f64::consts::PI)).div(p.n.mul(fr));
+        ScaledCoefficients {
+            a1,
+            a2,
+            a3,
+            a4,
+            b,
+            kappa,
+            v_lock,
+            t_scale: 1.0 / p.f_ref,
+        }
+    }
+
+    /// `true` when the coefficients describe a fourth-order loop filter.
+    pub fn is_fourth_order(&self) -> bool {
+        self.a3.is_some() && self.a4.is_some()
+    }
+
+    /// Number of state variables of the difference-coordinate model.
+    pub fn nstates(&self) -> usize {
+        if self.is_fourth_order() {
+            4
+        } else {
+            3
+        }
+    }
+
+    /// Maximum absolute coefficient magnitude — a scaling sanity metric.
+    pub fn max_magnitude(&self) -> f64 {
+        let mut m = self.a1.hi.abs().max(self.a2.hi.abs());
+        if let Some(a3) = self.a3 {
+            m = m.max(a3.hi.abs());
+        }
+        if let Some(a4) = self.a4 {
+            m = m.max(a4.hi.abs());
+        }
+        m.max(self.b.hi.abs()).max(self.kappa.hi.abs())
+    }
+}
+
+impl std::fmt::Display for ScaledCoefficients {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a1={} a2={}", self.a1, self.a2)?;
+        if let (Some(a3), Some(a4)) = (self.a3, self.a4) {
+            write!(f, " a3={a3} a4={a4}")?;
+        }
+        write!(f, " b={} kappa={}", self.b, self.kappa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn third_order_coefficients_are_order_one() {
+        let c = ScaledCoefficients::from_params(&TableOneParams::third_order());
+        assert!(!c.is_fourth_order());
+        assert_eq!(c.nstates(), 3);
+        // a1 ≈ 1/(8e3 · 2.09e-12 · 27e6) ≈ 2.2
+        assert!(c.a1.contains(2.2), "a1 = {}", c.a1);
+        // a2 ≈ 1/(8e3 · 6.25e-12 · 27e6) ≈ 0.74
+        assert!(c.a2.contains(0.74), "a2 = {}", c.a2);
+        // b ≈ 5e-4 / (6.25e-12 · 27e6 · 1.0) ≈ 2.96
+        assert!(c.b.contains(2.96), "b = {}", c.b);
+        // κ = (Nf − f0)/(N f) = 0.5 nominal.
+        assert!(c.kappa.contains(0.5), "kappa = {}", c.kappa);
+        assert!(c.max_magnitude() < 100.0);
+    }
+
+    #[test]
+    fn fourth_order_coefficients_are_bounded() {
+        let c = ScaledCoefficients::from_params(&TableOneParams::fourth_order());
+        assert!(c.is_fourth_order());
+        assert_eq!(c.nstates(), 4);
+        assert!(c.max_magnitude() < 100.0, "{c}");
+        assert!(c.a3.unwrap().lo > 0.0);
+        assert!(c.a4.unwrap().lo > 0.0);
+    }
+
+    #[test]
+    fn uncertainty_propagates() {
+        let c = ScaledCoefficients::from_params(&TableOneParams::third_order());
+        assert!(c.a1.width() > 0.0);
+        assert!(c.b.width() > 0.0);
+        assert!(
+            c.kappa.width() > 0.0,
+            "N interval must make kappa uncertain"
+        );
+    }
+}

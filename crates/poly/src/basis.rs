@@ -1,0 +1,115 @@
+//! Monomial basis generation for Gram-matrix parametrisations.
+
+use crate::Monomial;
+
+/// All monomials in `nvars` variables of total degree **exactly** `degree`,
+/// in graded-lex order.
+///
+/// # Examples
+///
+/// ```
+/// use cppll_poly::monomials_of_degree;
+///
+/// // x², xy, y² — three monomials of degree 2 in 2 variables.
+/// assert_eq!(monomials_of_degree(2, 2).len(), 3);
+/// ```
+pub fn monomials_of_degree(nvars: usize, degree: u32) -> Vec<Monomial> {
+    let mut out = Vec::new();
+    let mut exps = vec![0u32; nvars];
+    fill(&mut out, &mut exps, 0, degree);
+    out.sort();
+    out
+}
+
+/// All monomials in `nvars` variables of total degree **at most** `degree`,
+/// in graded-lex order. This is the standard basis `z(x)` used to write a
+/// degree-`2d` SOS candidate as `z(x)ᵀ Q z(x)`.
+///
+/// The count is `C(nvars + degree, degree)`.
+///
+/// # Examples
+///
+/// ```
+/// use cppll_poly::monomials_up_to;
+///
+/// // 1, x, y, x², xy, y² — six monomials.
+/// assert_eq!(monomials_up_to(2, 2).len(), 6);
+/// ```
+pub fn monomials_up_to(nvars: usize, degree: u32) -> Vec<Monomial> {
+    let mut out = Vec::new();
+    for d in 0..=degree {
+        out.extend(monomials_of_degree(nvars, d));
+    }
+    out
+}
+
+fn fill(out: &mut Vec<Monomial>, exps: &mut Vec<u32>, var: usize, remaining: u32) {
+    if var + 1 == exps.len() {
+        exps[var] = remaining;
+        out.push(Monomial::new(exps.clone()));
+        exps[var] = 0;
+        return;
+    }
+    if exps.is_empty() {
+        if remaining == 0 {
+            out.push(Monomial::new(Vec::new()));
+        }
+        return;
+    }
+    for e in 0..=remaining {
+        exps[var] = e;
+        fill(out, exps, var + 1, remaining - e);
+    }
+    exps[var] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: u64, k: u64) -> u64 {
+        let k = k.min(n - k);
+        let mut acc = 1u64;
+        for i in 0..k {
+            acc = acc * (n - i) / (i + 1);
+        }
+        acc
+    }
+
+    #[test]
+    fn counts_match_binomials() {
+        for nvars in 1..=5usize {
+            for degree in 0..=4u32 {
+                let ms = monomials_up_to(nvars, degree);
+                let expected = binomial((nvars as u64) + degree as u64, degree as u64);
+                assert_eq!(ms.len() as u64, expected, "nvars={nvars} degree={degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_degree_counts() {
+        // Monomials of exact degree d in n vars: C(n + d - 1, d).
+        assert_eq!(monomials_of_degree(3, 2).len(), 6);
+        assert_eq!(monomials_of_degree(2, 3).len(), 4);
+        assert_eq!(monomials_of_degree(4, 0).len(), 1);
+    }
+
+    #[test]
+    fn sorted_and_unique() {
+        let ms = monomials_up_to(3, 3);
+        for w in ms.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn degrees_respected() {
+        for m in monomials_up_to(3, 4) {
+            assert!(m.degree() <= 4);
+        }
+        for m in monomials_of_degree(3, 4) {
+            assert_eq!(m.degree(), 4);
+        }
+    }
+}

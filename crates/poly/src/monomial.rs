@@ -1,0 +1,205 @@
+//! Monomials as exponent multi-indices.
+
+/// A monomial `x₀^{e₀} x₁^{e₁} ⋯` over a fixed number of variables.
+///
+/// Ordered by **graded lexicographic** order (total degree first, then
+/// lexicographic on exponents), which gives deterministic term ordering in
+/// polynomial printing and Gram-matrix bases.
+///
+/// # Examples
+///
+/// ```
+/// use cppll_poly::Monomial;
+///
+/// let m = Monomial::new(vec![2, 1]); // x₀² x₁
+/// assert_eq!(m.degree(), 3);
+/// assert_eq!(m.eval(&[2.0, 3.0]), 12.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Monomial {
+    exps: Vec<u32>,
+}
+
+impl Monomial {
+    /// Creates a monomial from its exponent vector.
+    pub fn new(exps: Vec<u32>) -> Self {
+        Monomial { exps }
+    }
+
+    /// The constant monomial `1` over `nvars` variables.
+    pub fn one(nvars: usize) -> Self {
+        Monomial {
+            exps: vec![0; nvars],
+        }
+    }
+
+    /// The monomial `x_i` over `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nvars`.
+    pub fn var(nvars: usize, i: usize) -> Self {
+        assert!(i < nvars, "variable index out of range");
+        let mut exps = vec![0; nvars];
+        exps[i] = 1;
+        Monomial { exps }
+    }
+
+    /// Number of variables in the ambient polynomial ring.
+    pub fn nvars(&self) -> usize {
+        self.exps.len()
+    }
+
+    /// Exponent of variable `i`.
+    pub fn exp(&self, i: usize) -> u32 {
+        self.exps[i]
+    }
+
+    /// Exponent vector.
+    pub fn exps(&self) -> &[u32] {
+        &self.exps
+    }
+
+    /// Total degree `Σᵢ eᵢ`.
+    pub fn degree(&self) -> u32 {
+        self.exps.iter().sum()
+    }
+
+    /// `true` for the constant monomial.
+    pub fn is_one(&self) -> bool {
+        self.exps.iter().all(|&e| e == 0)
+    }
+
+    /// Product of two monomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    // An inherent `mul` (not `std::ops::Mul`) keeps the by-reference calling
+    // convention uniform with the BigInt/Rational kernels.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(&self, rhs: &Monomial) -> Monomial {
+        assert_eq!(self.nvars(), rhs.nvars(), "variable counts must match");
+        Monomial {
+            exps: self
+                .exps
+                .iter()
+                .zip(&rhs.exps)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Evaluates the monomial at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.nvars()`.
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.nvars(), "point dimension mismatch");
+        self.exps
+            .iter()
+            .zip(point)
+            .map(|(&e, &x)| x.powi(e as i32))
+            .product()
+    }
+
+    /// Embeds this monomial into a ring with `nvars_new ≥ nvars` variables
+    /// (new trailing variables get exponent zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars_new < self.nvars()`.
+    pub fn extend(&self, nvars_new: usize) -> Monomial {
+        assert!(nvars_new >= self.nvars(), "cannot shrink variable count");
+        let mut exps = self.exps.clone();
+        exps.resize(nvars_new, 0);
+        Monomial { exps }
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    /// Graded lexicographic order.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.degree()
+            .cmp(&other.degree())
+            .then_with(|| self.exps.cmp(&other.exps))
+    }
+}
+
+impl std::fmt::Display for Monomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (i, &e) in self.exps.iter().enumerate() {
+            if e == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, "*")?;
+            }
+            first = false;
+            if e == 1 {
+                write!(f, "x{i}")?;
+            } else {
+                write!(f, "x{i}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_eval() {
+        let m = Monomial::new(vec![1, 0, 3]);
+        assert_eq!(m.degree(), 4);
+        assert_eq!(m.eval(&[2.0, 5.0, 2.0]), 16.0);
+    }
+
+    #[test]
+    fn product_adds_exponents() {
+        let a = Monomial::new(vec![1, 2]);
+        let b = Monomial::new(vec![0, 3]);
+        assert_eq!(a.mul(&b), Monomial::new(vec![1, 5]));
+    }
+
+    #[test]
+    fn grlex_order() {
+        let one = Monomial::one(2);
+        let x = Monomial::var(2, 0);
+        let y = Monomial::var(2, 1);
+        let xy = x.mul(&y);
+        let x2 = x.mul(&x);
+        assert!(one < x);
+        assert!(y < x, "lex within same degree: (0,1) < (1,0)");
+        assert!(x < x2, "degree dominates");
+        assert!(xy < x2 || x2 < xy); // total order
+    }
+
+    #[test]
+    fn extend_preserves_eval() {
+        let m = Monomial::new(vec![2, 1]);
+        let m3 = m.extend(3);
+        assert_eq!(m3.nvars(), 3);
+        assert_eq!(m3.eval(&[2.0, 3.0, 9.0]), m.eval(&[2.0, 3.0]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = Monomial::new(vec![2, 0, 1]);
+        assert_eq!(m.to_string(), "x0^2*x2");
+        assert_eq!(Monomial::one(3).to_string(), "1");
+    }
+}

@@ -1,0 +1,544 @@
+//! Sparse multivariate polynomials.
+
+use std::collections::BTreeMap;
+
+use crate::Monomial;
+
+/// Coefficients with absolute value below this are dropped after arithmetic.
+const PRUNE_EPS: f64 = 0.0; // exact by default; use `prune` explicitly.
+
+/// A sparse multivariate polynomial with `f64` coefficients.
+///
+/// Terms are stored in a `BTreeMap` keyed by [`Monomial`] in graded-lex
+/// order, so iteration and printing are deterministic.
+///
+/// Arithmetic is provided through `&p + &q`, `&p - &q`, `&p * &q` operator
+/// impls on references (polynomials are not `Copy`, and by-reference
+/// operators avoid accidental clones in hot loops).
+///
+/// # Examples
+///
+/// ```
+/// use cppll_poly::Polynomial;
+///
+/// let x = Polynomial::var(1, 0);
+/// let p = &(&x * &x) - &Polynomial::constant(1, 1.0); // x² − 1
+/// assert_eq!(p.eval(&[3.0]), 8.0);
+/// assert_eq!(p.degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    nvars: usize,
+    terms: BTreeMap<Monomial, f64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial over `nvars` variables.
+    pub fn zero(nvars: usize) -> Self {
+        Polynomial {
+            nvars,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(nvars: usize, c: f64) -> Self {
+        let mut p = Polynomial::zero(nvars);
+        if c != 0.0 {
+            p.terms.insert(Monomial::one(nvars), c);
+        }
+        p
+    }
+
+    /// The coordinate polynomial `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nvars`.
+    pub fn var(nvars: usize, i: usize) -> Self {
+        let mut p = Polynomial::zero(nvars);
+        p.terms.insert(Monomial::var(nvars, i), 1.0);
+        p
+    }
+
+    /// A single-term polynomial `c · m`.
+    pub fn from_monomial(m: Monomial, c: f64) -> Self {
+        let nvars = m.nvars();
+        let mut p = Polynomial::zero(nvars);
+        if c != 0.0 {
+            p.terms.insert(m, c);
+        }
+        p
+    }
+
+    /// Builds a polynomial from `(exponents, coefficient)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an exponent vector has the wrong length.
+    pub fn from_terms(nvars: usize, terms: &[(&[u32], f64)]) -> Self {
+        let mut p = Polynomial::zero(nvars);
+        for (exps, c) in terms {
+            assert_eq!(exps.len(), nvars, "exponent vector length mismatch");
+            p.add_term(Monomial::new(exps.to_vec()), *c);
+        }
+        p
+    }
+
+    /// Number of variables of the ambient ring.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of nonzero terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when all coefficients are zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Coefficient of monomial `m` (zero if absent).
+    pub fn coefficient(&self, m: &Monomial) -> f64 {
+        self.terms.get(m).copied().unwrap_or(0.0)
+    }
+
+    /// Constant term.
+    pub fn constant_term(&self) -> f64 {
+        self.coefficient(&Monomial::one(self.nvars))
+    }
+
+    /// Adds `c` to the coefficient of `m`, removing the term if it cancels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.nvars() != self.nvars()`.
+    pub fn add_term(&mut self, m: Monomial, c: f64) {
+        assert_eq!(m.nvars(), self.nvars, "variable counts must match");
+        if c == 0.0 {
+            return;
+        }
+        let entry = self.terms.entry(m).or_insert(0.0);
+        *entry += c;
+        if entry.abs() <= PRUNE_EPS {
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, &v)| v == 0.0)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs in graded-lex order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, f64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Removes terms with `|coefficient| ≤ tol` and returns `self`.
+    pub fn prune(mut self, tol: f64) -> Self {
+        self.terms.retain(|_, c| c.abs() > tol);
+        self
+    }
+
+    /// Largest absolute coefficient (0 for the zero polynomial).
+    pub fn max_abs_coefficient(&self) -> f64 {
+        self.terms.values().fold(0.0, |m, c| m.max(c.abs()))
+    }
+
+    /// Scalar multiple `s · self`.
+    pub fn scale(&self, s: f64) -> Polynomial {
+        if s == 0.0 {
+            return Polynomial::zero(self.nvars);
+        }
+        Polynomial {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(m, c)| (m.clone(), c * s)).collect(),
+        }
+    }
+
+    /// Integer power `selfᵏ`.
+    pub fn pow(&self, k: u32) -> Polynomial {
+        let mut acc = Polynomial::constant(self.nvars, 1.0);
+        for _ in 0..k {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    /// Evaluates at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.nvars()`.
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.nvars, "point dimension mismatch");
+        self.terms.iter().map(|(m, c)| c * m.eval(point)).sum()
+    }
+
+    /// Partial derivative `∂self/∂x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.nvars()`.
+    pub fn partial_derivative(&self, i: usize) -> Polynomial {
+        assert!(i < self.nvars, "variable index out of range");
+        let mut out = Polynomial::zero(self.nvars);
+        for (m, &c) in &self.terms {
+            let e = m.exp(i);
+            if e == 0 {
+                continue;
+            }
+            let mut exps = m.exps().to_vec();
+            exps[i] = e - 1;
+            out.add_term(Monomial::new(exps), c * e as f64);
+        }
+        out
+    }
+
+    /// Gradient vector `[∂self/∂x₀, …]`.
+    pub fn gradient(&self) -> Vec<Polynomial> {
+        (0..self.nvars)
+            .map(|i| self.partial_derivative(i))
+            .collect()
+    }
+
+    /// Hessian matrix of second partials, `h[i][j] = ∂²self/∂xᵢ∂xⱼ`.
+    pub fn hessian(&self) -> Vec<Vec<Polynomial>> {
+        let grad = self.gradient();
+        grad.iter()
+            .map(|g| (0..self.nvars).map(|j| g.partial_derivative(j)).collect())
+            .collect()
+    }
+
+    /// Lie derivative `∇self · f = Σᵢ (∂self/∂xᵢ) fᵢ` along the polynomial
+    /// vector field `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f.len() != self.nvars()` or any component lives in a
+    /// different ring.
+    pub fn lie_derivative(&self, f: &[Polynomial]) -> Polynomial {
+        assert_eq!(f.len(), self.nvars, "vector field dimension mismatch");
+        let mut out = Polynomial::zero(self.nvars);
+        for (i, fi) in f.iter().enumerate() {
+            assert_eq!(fi.nvars(), self.nvars, "vector field ring mismatch");
+            let di = self.partial_derivative(i);
+            if !di.is_zero() && !fi.is_zero() {
+                out = &out + &(&di * fi);
+            }
+        }
+        out
+    }
+
+    /// Full substitution `self(q₀(y), q₁(y), …)` where `q` maps every
+    /// variable into a common target ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != self.nvars()` or the `qᵢ` live in different
+    /// rings.
+    pub fn compose(&self, q: &[Polynomial]) -> Polynomial {
+        assert_eq!(q.len(), self.nvars, "substitution arity mismatch");
+        let target_vars = q.first().map_or(self.nvars, Polynomial::nvars);
+        for qi in q {
+            assert_eq!(qi.nvars(), target_vars, "substitution ring mismatch");
+        }
+        // Cache powers of each qᵢ up to the maximum exponent used.
+        let mut max_exp = vec![0u32; self.nvars];
+        for m in self.terms.keys() {
+            for i in 0..self.nvars {
+                max_exp[i] = max_exp[i].max(m.exp(i));
+            }
+        }
+        let mut powers: Vec<Vec<Polynomial>> = Vec::with_capacity(self.nvars);
+        for (i, qi) in q.iter().enumerate() {
+            let mut ps = Vec::with_capacity(max_exp[i] as usize + 1);
+            ps.push(Polynomial::constant(target_vars, 1.0));
+            for k in 1..=max_exp[i] {
+                let next = &ps[(k - 1) as usize] * qi;
+                ps.push(next);
+            }
+            powers.push(ps);
+        }
+        let mut out = Polynomial::zero(target_vars);
+        for (m, &c) in &self.terms {
+            let mut term = Polynomial::constant(target_vars, c);
+            for i in 0..self.nvars {
+                let e = m.exp(i);
+                if e > 0 {
+                    term = &term * &powers[i][e as usize];
+                }
+            }
+            out = &out + &term;
+        }
+        out
+    }
+
+    /// Affine change of coordinates `self(x + shift)` (translation only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift.len() != self.nvars()`.
+    pub fn shift(&self, shift: &[f64]) -> Polynomial {
+        assert_eq!(shift.len(), self.nvars, "shift dimension mismatch");
+        let subs: Vec<Polynomial> = (0..self.nvars)
+            .map(|i| &Polynomial::var(self.nvars, i) + &Polynomial::constant(self.nvars, shift[i]))
+            .collect();
+        self.compose(&subs)
+    }
+
+    /// Diagonal rescaling `self(s₀ x₀, s₁ x₁, …)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales.len() != self.nvars()`.
+    pub fn scale_vars(&self, scales: &[f64]) -> Polynomial {
+        assert_eq!(scales.len(), self.nvars, "scale dimension mismatch");
+        let mut out = Polynomial::zero(self.nvars);
+        for (m, &c) in &self.terms {
+            let mut factor = c;
+            for (i, &s) in scales.iter().enumerate() {
+                factor *= s.powi(m.exp(i) as i32);
+            }
+            out.add_term(m.clone(), factor);
+        }
+        out
+    }
+
+    /// Embeds the polynomial into a larger ring with `nvars_new` variables
+    /// (existing variables keep their indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars_new < self.nvars()`.
+    pub fn extend(&self, nvars_new: usize) -> Polynomial {
+        assert!(nvars_new >= self.nvars, "cannot shrink variable count");
+        Polynomial {
+            nvars: nvars_new,
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, &c)| (m.extend(nvars_new), c))
+                .collect(),
+        }
+    }
+
+    /// The squared Euclidean norm polynomial `Σ xᵢ²` over `nvars` variables.
+    pub fn norm_squared(nvars: usize) -> Polynomial {
+        let mut p = Polynomial::zero(nvars);
+        for i in 0..nvars {
+            let mut exps = vec![0; nvars];
+            exps[i] = 2;
+            p.add_term(Monomial::new(exps), 1.0);
+        }
+        p
+    }
+
+    /// Returns `true` if every monomial has even total degree in each
+    /// variable (a cheap necessary condition used in tests).
+    pub fn has_even_exponents(&self) -> bool {
+        self.terms
+            .keys()
+            .all(|m| m.exps().iter().all(|e| e % 2 == 0))
+    }
+}
+
+impl std::ops::Add for &Polynomial {
+    type Output = Polynomial;
+
+    fn add(self, rhs: &Polynomial) -> Polynomial {
+        assert_eq!(self.nvars, rhs.nvars, "variable counts must match");
+        let mut out = self.clone();
+        for (m, &c) in &rhs.terms {
+            out.add_term(m.clone(), c);
+        }
+        out.terms.retain(|_, c| *c != 0.0);
+        out
+    }
+}
+
+impl std::ops::Sub for &Polynomial {
+    type Output = Polynomial;
+
+    fn sub(self, rhs: &Polynomial) -> Polynomial {
+        assert_eq!(self.nvars, rhs.nvars, "variable counts must match");
+        let mut out = self.clone();
+        for (m, &c) in &rhs.terms {
+            out.add_term(m.clone(), -c);
+        }
+        out.terms.retain(|_, c| *c != 0.0);
+        out
+    }
+}
+
+impl std::ops::Mul for &Polynomial {
+    type Output = Polynomial;
+
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        assert_eq!(self.nvars, rhs.nvars, "variable counts must match");
+        let mut out = Polynomial::zero(self.nvars);
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &rhs.terms {
+                out.add_term(ma.mul(mb), ca * cb);
+            }
+        }
+        out.terms.retain(|_, c| *c != 0.0);
+        out
+    }
+}
+
+impl std::ops::Neg for &Polynomial {
+    type Output = Polynomial;
+
+    fn neg(self) -> Polynomial {
+        self.scale(-1.0)
+    }
+}
+
+impl std::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        // Highest-degree first for readability.
+        for (m, &c) in self.terms.iter().rev() {
+            let (sign, mag) = if c < 0.0 { ("-", -c) } else { ("+", c) };
+            if first {
+                if sign == "-" {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else {
+                write!(f, " {sign} ")?;
+            }
+            if m.is_one() {
+                write!(f, "{mag}")?;
+            } else if (mag - 1.0).abs() < 1e-15 {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{mag}*{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy() -> (Polynomial, Polynomial) {
+        (Polynomial::var(2, 0), Polynomial::var(2, 1))
+    }
+
+    #[test]
+    fn ring_arithmetic() {
+        let (x, y) = xy();
+        let p = &x + &y;
+        let q = &x - &y;
+        let prod = &p * &q; // x² − y²
+        assert_eq!(prod.eval(&[3.0, 2.0]), 5.0);
+        assert_eq!(prod.degree(), 2);
+        assert_eq!(prod.num_terms(), 2);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let (x, _) = xy();
+        let p = &x - &x;
+        assert!(p.is_zero());
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn derivative_of_product_rule() {
+        let (x, y) = xy();
+        let p = &x * &y; // xy
+        let dp = p.partial_derivative(0);
+        assert_eq!(dp, y);
+    }
+
+    #[test]
+    fn lie_derivative_linear_field() {
+        // V = x² + y², f = (-x, -y) ⇒ V̇ = -2x² - 2y².
+        let v = Polynomial::norm_squared(2);
+        let f = vec![
+            Polynomial::var(2, 0).scale(-1.0),
+            Polynomial::var(2, 1).scale(-1.0),
+        ];
+        let vdot = v.lie_derivative(&f);
+        assert_eq!(vdot.eval(&[1.0, 2.0]), -10.0);
+    }
+
+    #[test]
+    fn compose_affine_shift() {
+        let (x, _) = xy();
+        let p = &x * &x; // x²
+        let shifted = p.shift(&[1.0, 0.0]); // (x+1)²
+        assert_eq!(shifted.eval(&[2.0, 0.0]), 9.0);
+        assert_eq!(shifted.coefficient(&Monomial::one(2)), 1.0);
+    }
+
+    #[test]
+    fn compose_into_different_ring() {
+        // p(t) = t², substitute t = x + y (2-var ring).
+        let t = Polynomial::var(1, 0);
+        let p = &t * &t;
+        let (x, y) = xy();
+        let q = p.compose(&[&x + &y]);
+        assert_eq!(q.nvars(), 2);
+        assert_eq!(q.eval(&[1.0, 2.0]), 9.0);
+    }
+
+    #[test]
+    fn scale_vars_substitutes_diagonally() {
+        let (x, y) = xy();
+        let p = &(&x * &x) + &y; // x² + y
+        let q = p.scale_vars(&[2.0, 3.0]); // 4x² + 3y
+        assert_eq!(q.eval(&[1.0, 1.0]), 7.0);
+    }
+
+    #[test]
+    fn extend_keeps_values() {
+        let (x, y) = xy();
+        let p = &x * &y;
+        let p3 = p.extend(3);
+        assert_eq!(p3.eval(&[2.0, 3.0, 99.0]), 6.0);
+    }
+
+    #[test]
+    fn hessian_of_quadratic_is_constant() {
+        let v = Polynomial::norm_squared(2);
+        let h = v.hessian();
+        assert_eq!(h[0][0], Polynomial::constant(2, 2.0));
+        assert_eq!(h[0][1], Polynomial::zero(2));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let (x, y) = xy();
+        let p = &(&(&x * &x) - &y.scale(2.0)) + &Polynomial::constant(2, 1.0);
+        let s = p.to_string();
+        assert!(s.contains("x0^2"), "got {s}");
+        assert!(s.contains("2*x1"), "got {s}");
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let (x, y) = xy();
+        let p = &x + &y;
+        assert_eq!(p.pow(3), &(&p * &p) * &p);
+        assert_eq!(p.pow(0), Polynomial::constant(2, 1.0));
+    }
+}

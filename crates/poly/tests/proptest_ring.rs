@@ -1,0 +1,122 @@
+//! Property-based tests: `Polynomial` is a commutative ring, calculus rules
+//! hold, and evaluation is a ring homomorphism.
+
+use cppll_poly::{monomials_up_to, Polynomial};
+use proptest::prelude::*;
+
+const NVARS: usize = 3;
+const DEG: u32 = 3;
+
+/// Random sparse polynomial in 3 variables of degree ≤ 3.
+fn poly() -> impl Strategy<Value = Polynomial> {
+    let basis = monomials_up_to(NVARS, DEG);
+    let n = basis.len();
+    prop::collection::vec(prop::option::of(-4.0f64..4.0), n).prop_map(move |coeffs| {
+        let mut p = Polynomial::zero(NVARS);
+        for (m, c) in basis.iter().zip(coeffs) {
+            if let Some(c) = c {
+                p.add_term(m.clone(), c);
+            }
+        }
+        p
+    })
+}
+
+fn point() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-2.0f64..2.0, NVARS)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-8 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addition_commutes(p in poly(), q in poly()) {
+        prop_assert_eq!(&p + &q, &q + &p);
+    }
+
+    #[test]
+    fn multiplication_commutes(p in poly(), q in poly()) {
+        let pq = &p * &q;
+        let qp = &q * &p;
+        prop_assert!((&pq - &qp).max_abs_coefficient() < 1e-10);
+    }
+
+    #[test]
+    fn multiplication_associates(p in poly(), q in poly(), r in poly()) {
+        let a = &(&p * &q) * &r;
+        let b = &p * &(&q * &r);
+        prop_assert!((&a - &b).max_abs_coefficient() < 1e-8);
+    }
+
+    #[test]
+    fn distributivity(p in poly(), q in poly(), r in poly()) {
+        let a = &p * &(&q + &r);
+        let b = &(&p * &q) + &(&p * &r);
+        prop_assert!((&a - &b).max_abs_coefficient() < 1e-9);
+    }
+
+    #[test]
+    fn eval_is_homomorphism(p in poly(), q in poly(), x in point()) {
+        prop_assert!(close((&p + &q).eval(&x), p.eval(&x) + q.eval(&x)));
+        prop_assert!(close((&p * &q).eval(&x), p.eval(&x) * q.eval(&x)));
+        prop_assert!(close((-&p).eval(&x), -p.eval(&x)));
+    }
+
+    #[test]
+    fn derivative_is_linear(p in poly(), q in poly(), x in point()) {
+        let d_sum = (&p + &q).partial_derivative(0);
+        let sum_d = &p.partial_derivative(0) + &q.partial_derivative(0);
+        prop_assert!(close(d_sum.eval(&x), sum_d.eval(&x)));
+    }
+
+    #[test]
+    fn leibniz_product_rule(p in poly(), q in poly(), x in point()) {
+        let lhs = (&p * &q).partial_derivative(1);
+        let rhs = &(&p.partial_derivative(1) * &q) + &(&p * &q.partial_derivative(1));
+        prop_assert!(close(lhs.eval(&x), rhs.eval(&x)));
+    }
+
+    #[test]
+    fn lie_derivative_is_linear_in_field(p in poly(), x in point()) {
+        let f: Vec<Polynomial> = (0..NVARS).map(|i| Polynomial::var(NVARS, i)).collect();
+        let g: Vec<Polynomial> =
+            (0..NVARS).map(|i| Polynomial::var(NVARS, (i + 1) % NVARS)).collect();
+        let fg: Vec<Polynomial> = f.iter().zip(&g).map(|(a, b)| a + b).collect();
+        let lhs = p.lie_derivative(&fg);
+        let rhs = &p.lie_derivative(&f) + &p.lie_derivative(&g);
+        prop_assert!(close(lhs.eval(&x), rhs.eval(&x)));
+    }
+
+    #[test]
+    fn shift_matches_eval(p in poly(), x in point(), s in point()) {
+        let shifted = p.shift(&s);
+        let moved: Vec<f64> = x.iter().zip(&s).map(|(a, b)| a + b).collect();
+        prop_assert!(close(shifted.eval(&x), p.eval(&moved)));
+    }
+
+    #[test]
+    fn compose_identity_is_identity(p in poly(), x in point()) {
+        let id: Vec<Polynomial> = (0..NVARS).map(|i| Polynomial::var(NVARS, i)).collect();
+        let q = p.compose(&id);
+        prop_assert!(close(q.eval(&x), p.eval(&x)));
+    }
+
+    #[test]
+    fn scale_vars_matches_eval(p in poly(), x in point(), s in point()) {
+        let scaled = p.scale_vars(&s);
+        let sx: Vec<f64> = x.iter().zip(&s).map(|(a, b)| a * b).collect();
+        prop_assert!(close(scaled.eval(&x), p.eval(&sx)));
+    }
+
+    #[test]
+    fn degree_of_product_bounded(p in poly(), q in poly()) {
+        let pq = &p * &q;
+        if !p.is_zero() && !q.is_zero() && !pq.is_zero() {
+            prop_assert!(pq.degree() <= p.degree() + q.degree());
+        }
+    }
+}

@@ -1,0 +1,746 @@
+//! Infeasible-start primal–dual interior-point method (HKM direction,
+//! Mehrotra predictor–corrector) for block SDPs with free variables.
+
+use cppll_linalg::{Cholesky, Matrix};
+
+use crate::problem::SdpProblem;
+use crate::solution::{SdpSolution, SdpStatus};
+use crate::sparse::SymSparse;
+
+/// Tunable solver parameters.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Relative feasibility / gap tolerance for [`SdpStatus::Optimal`].
+    pub tolerance: f64,
+    /// Iteration limit.
+    pub max_iterations: usize,
+    /// Fraction-to-boundary factor (close to but below 1).
+    pub step_fraction: f64,
+    /// Diagonal regularisation added to the Schur complement.
+    pub schur_regularization: f64,
+    /// Magnitude of the quasidefinite regularisation for free variables.
+    pub free_regularization: f64,
+    /// Print per-iteration diagnostics to stderr.
+    pub verbose: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tolerance: 1e-7,
+            max_iterations: 100,
+            step_fraction: 0.95,
+            schur_regularization: 1e-11,
+            free_regularization: 1e-9,
+            verbose: false,
+        }
+    }
+}
+
+/// Mutable interior-point iterate.
+struct Iterate {
+    x: Vec<Matrix>,
+    s: Vec<Matrix>,
+    y: Vec<f64>,
+    u: Vec<f64>,
+}
+
+/// Per-iteration factorisation/workspace data for one PSD block.
+struct BlockWork {
+    /// Cholesky of `Xⱼ`.
+    chol_x: Cholesky,
+    /// Cholesky of `Sⱼ`.
+    chol_s: Cholesky,
+    /// Dense `Sⱼ⁻¹`.
+    s_inv: Matrix,
+}
+
+/// Search direction.
+struct Direction {
+    dx: Vec<Matrix>,
+    ds: Vec<Matrix>,
+    dy: Vec<f64>,
+    du: Vec<f64>,
+}
+
+pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
+    let m = p.num_constraints();
+    let nblocks = p.num_blocks();
+    let nfree = p.num_free_vars();
+    let n_tot: usize = p.total_psd_dim().max(1);
+
+    // Degenerate corner: nothing to optimise.
+    if m == 0 && nblocks == 0 {
+        return SdpSolution {
+            status: SdpStatus::Optimal,
+            x: Vec::new(),
+            free: vec![0.0; nfree],
+            y: Vec::new(),
+            s: Vec::new(),
+            primal_objective: 0.0,
+            dual_objective: 0.0,
+            primal_infeasibility: 0.0,
+            dual_infeasibility: 0.0,
+            gap: 0.0,
+            iterations: 0,
+        };
+    }
+
+    // Block → constraints incidence.
+    let mut touching: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (i, row) in p.a.iter().enumerate() {
+        for (bj, _) in row {
+            touching[*bj].push(i);
+        }
+    }
+    // Constraint data norms for scaling-aware initial point.
+    let mut a_norm_max: f64 = 1.0;
+    let mut b_norm_max: f64 = 0.0;
+    for (i, row) in p.a.iter().enumerate() {
+        let mut rn = 0.0f64;
+        for (_, mat) in row {
+            let f = mat.norm();
+            rn += f * f;
+        }
+        for &(_, c) in &p.bfree[i] {
+            rn += c * c;
+        }
+        a_norm_max = a_norm_max.max(rn.sqrt());
+        b_norm_max = b_norm_max.max(p.b[i].abs());
+    }
+    let c_norm: f64 = {
+        let mut acc = 0.0f64;
+        for c in &p.costs {
+            acc += c.norm().powi(2);
+        }
+        for &f in &p.free_costs {
+            acc += f * f;
+        }
+        acc.sqrt()
+    };
+    let b_norm = cppll_linalg::vec_ops::norm2(&p.b);
+
+    // Initial point (SDPA-style magnitudes).
+    let p_init = (10.0_f64)
+        .max((n_tot as f64).sqrt())
+        .max(10.0 * b_norm_max / a_norm_max.max(1.0));
+    let d_init = (10.0_f64)
+        .max((n_tot as f64).sqrt())
+        .max(a_norm_max)
+        .max(c_norm);
+    let mut it = Iterate {
+        x: p.block_dims
+            .iter()
+            .map(|&n| Matrix::identity(n).scale(p_init))
+            .collect(),
+        s: p.block_dims
+            .iter()
+            .map(|&n| Matrix::identity(n).scale(d_init))
+            .collect(),
+        y: vec![0.0; m],
+        u: vec![0.0; nfree],
+    };
+
+    let mut stall_count = 0usize;
+    let mut stagnation = 0usize;
+    let mut prev_gap = f64::INFINITY;
+    let mut last = Metrics::default();
+    let mut iterations = 0usize;
+
+    for iter in 0..opt.max_iterations {
+        iterations = iter;
+        // ---- Residuals -------------------------------------------------
+        let av = p.constraint_values(&it.x, &it.u);
+        let rp: Vec<f64> = p.b.iter().zip(&av).map(|(b, a)| b - a).collect();
+        let mut rd: Vec<Matrix> = Vec::with_capacity(nblocks);
+        for j in 0..nblocks {
+            // Rdⱼ = Cⱼ − Sⱼ − Σᵢ yᵢ A_{ij}
+            let mut r = it.s[j].scale(-1.0);
+            p.costs[j].add_scaled_into(1.0, &mut r);
+            for &i in &touching[j] {
+                if it.y[i] == 0.0 {
+                    continue;
+                }
+                for (bj, mat) in &p.a[i] {
+                    if *bj == j {
+                        mat.add_scaled_into(-it.y[i], &mut r);
+                    }
+                }
+            }
+            rd.push(r);
+        }
+        // rf = f − Bᵀy
+        let mut rf = p.free_costs.clone();
+        for (i, row) in p.bfree.iter().enumerate() {
+            for &(k, c) in row {
+                rf[k] -= c * it.y[i];
+            }
+        }
+
+        let mut xs = 0.0;
+        for j in 0..nblocks {
+            xs += it.x[j].dot(&it.s[j]);
+        }
+        let mu = xs / n_tot as f64;
+
+        let pobj: f64 = (0..nblocks)
+            .map(|j| p.costs[j].dot_dense(&it.x[j]))
+            .sum::<f64>()
+            + cppll_linalg::vec_ops::dot(&p.free_costs, &it.u);
+        let dobj = cppll_linalg::vec_ops::dot(&p.b, &it.y);
+
+        let pinf = cppll_linalg::vec_ops::norm2(&rp) / (1.0 + b_norm);
+        let dinf = {
+            let mut acc = cppll_linalg::vec_ops::norm2(&rf).powi(2);
+            for r in &rd {
+                acc += r.norm().powi(2);
+            }
+            acc.sqrt() / (1.0 + c_norm)
+        };
+        let gap = (pobj - dobj).abs() / (1.0 + pobj.abs() + dobj.abs());
+        let mu_rel = mu.abs() / (1.0 + pobj.abs() + dobj.abs());
+        last = Metrics {
+            pobj,
+            dobj,
+            pinf,
+            dinf,
+            gap,
+            mu_rel,
+        };
+
+        if opt.verbose {
+            eprintln!(
+                "iter {iter:3}: pobj={pobj:+.6e} dobj={dobj:+.6e} pinf={pinf:.2e} dinf={dinf:.2e} gap={gap:.2e} mu={mu:.2e}"
+            );
+        }
+
+        // ---- Termination ----------------------------------------------
+        if pinf < opt.tolerance && dinf < opt.tolerance && gap.max(mu_rel) < opt.tolerance {
+            return finish(p, it, SdpStatus::Optimal, last, iter);
+        }
+        // Degenerate (no-strict-interior) instances: complementarity and
+        // feasibility converge but the objective gap stagnates because the
+        // multipliers blow up along the degenerate face. Accept the point as
+        // near-optimal once the gap has stopped improving.
+        if gap > 0.99 * prev_gap {
+            stagnation += 1;
+        } else {
+            stagnation = 0;
+        }
+        prev_gap = gap;
+        if stagnation >= 8 && pinf < 1e-5 && dinf < 1e-5 && mu_rel < 1e-6 {
+            return finish(p, it, SdpStatus::NearOptimal, last, iter);
+        }
+        // Infeasibility heuristics: unbounded dual ⇒ primal infeasible.
+        let scale = 1.0 + b_norm + c_norm;
+        if dobj > 1e9 * scale && dinf < 1e-4 {
+            return finish(p, it, SdpStatus::PrimalInfeasibleLikely, last, iter);
+        }
+        if pobj < -1e9 * scale && pinf < 1e-4 {
+            return finish(p, it, SdpStatus::DualInfeasibleLikely, last, iter);
+        }
+
+        // ---- Factorisations --------------------------------------------
+        let mut work: Vec<BlockWork> = Vec::with_capacity(nblocks);
+        let mut fact_ok = true;
+        for j in 0..nblocks {
+            let cx = match robust_cholesky(&it.x[j]) {
+                Some(c) => c,
+                None => {
+                    fact_ok = false;
+                    break;
+                }
+            };
+            let cs = match robust_cholesky(&it.s[j]) {
+                Some(c) => c,
+                None => {
+                    fact_ok = false;
+                    break;
+                }
+            };
+            let s_inv = cs.inverse();
+            work.push(BlockWork {
+                chol_x: cx,
+                chol_s: cs,
+                s_inv,
+            });
+        }
+        if !fact_ok {
+            return finish(p, it, SdpStatus::Stalled, last, iter);
+        }
+
+        // ---- Schur complement -------------------------------------------
+        // T_{ij} = Sⱼ⁻¹ A_{ij} Xⱼ computed per touching constraint.
+        let kdim = m + nfree;
+        let mut kkt = Matrix::zeros(kdim, kdim);
+        for j in 0..nblocks {
+            let cons = &touching[j];
+            if cons.is_empty() {
+                continue;
+            }
+            // Precompute T for every touching constraint.
+            let mut ts: Vec<(usize, Matrix)> = Vec::with_capacity(cons.len());
+            for &i in cons {
+                let a_ij = constraint_block(p, i, j);
+                let ax = a_ij.mul_dense(&it.x[j]);
+                let t = work[j].chol_s.solve_matrix(&ax);
+                ts.push((i, t));
+            }
+            for (idx, &i) in cons.iter().enumerate() {
+                let a_ij = constraint_block(p, i, j);
+                for &(i2, ref t2) in ts.iter().take(idx + 1) {
+                    let v = dot_general(a_ij, t2);
+                    kkt[(i, i2)] += v;
+                    if i != i2 {
+                        kkt[(i2, i)] += v;
+                    }
+                }
+            }
+        }
+        for i in 0..m {
+            kkt[(i, i)] += opt.schur_regularization * (1.0 + kkt[(i, i)].abs());
+        }
+        // Free-variable coupling and quasidefinite regularisation.
+        for (i, row) in p.bfree.iter().enumerate() {
+            for &(k, c) in row {
+                kkt[(i, m + k)] = c;
+                kkt[(m + k, i)] = c;
+            }
+        }
+        for k in 0..nfree {
+            kkt[(m + k, m + k)] = -opt.free_regularization;
+        }
+        let kkt_fact = match kkt.ldlt(opt.free_regularization.max(1e-13)) {
+            Ok(f) => f,
+            Err(_) => return finish(p, it, SdpStatus::Stalled, last, iter),
+        };
+        let kkt_solver = KktSolver {
+            matrix: &kkt,
+            factor: &kkt_fact,
+        };
+
+        // ---- Predictor (affine) direction --------------------------------
+        let dir_aff = compute_direction(
+            p,
+            &it,
+            &work,
+            &touching,
+            &kkt_solver,
+            &rp,
+            &rd,
+            &rf,
+            0.0,
+            mu,
+            None,
+        );
+        let (ap_aff, ad_aff) = step_lengths(&it, &dir_aff, &work, 1.0);
+        // μ_aff
+        let mut xs_aff = 0.0;
+        for j in 0..nblocks {
+            let xn = {
+                let mut t = it.x[j].clone();
+                t.axpy(ap_aff, &dir_aff.dx[j]);
+                t
+            };
+            let sn = {
+                let mut t = it.s[j].clone();
+                t.axpy(ad_aff, &dir_aff.ds[j]);
+                t
+            };
+            xs_aff += xn.dot(&sn);
+        }
+        let mu_aff = xs_aff / n_tot as f64;
+        let sigma = ((mu_aff / mu).max(0.0).powi(3)).clamp(1e-6, 1.0);
+
+        // ---- Corrector direction -----------------------------------------
+        let corr: Vec<Matrix> = (0..nblocks)
+            .map(|j| dir_aff.dx[j].matmul(&dir_aff.ds[j]))
+            .collect();
+        let dir = compute_direction(
+            p,
+            &it,
+            &work,
+            &touching,
+            &kkt_solver,
+            &rp,
+            &rd,
+            &rf,
+            sigma,
+            mu,
+            Some(&corr),
+        );
+        let tau = if iter < 4 { opt.step_fraction } else { 0.98 };
+        let (ap, ad) = step_lengths(&it, &dir, &work, tau);
+        if opt.verbose {
+            eprintln!("          sigma={sigma:.2e} ap={ap:.3e} ad={ad:.3e} (aff {ap_aff:.2e}/{ad_aff:.2e})");
+        }
+
+        if ap < 1e-4 && ad < 1e-4 {
+            stall_count += 1;
+            if stall_count >= 4 {
+                // Weakly infeasible or numerically exhausted.
+                let status = near_status(&last, opt);
+                return finish(p, it, status, last, iter);
+            }
+        } else {
+            stall_count = 0;
+        }
+
+        // ---- Update -------------------------------------------------------
+        for j in 0..nblocks {
+            it.x[j].axpy(ap, &dir.dx[j]);
+            it.x[j].symmetrize();
+            it.s[j].axpy(ad, &dir.ds[j]);
+            it.s[j].symmetrize();
+        }
+        for (u, du) in it.u.iter_mut().zip(&dir.du) {
+            *u += ap * du;
+        }
+        for (y, dy) in it.y.iter_mut().zip(&dir.dy) {
+            *y += ad * dy;
+        }
+    }
+
+    let status = near_status(&last, opt);
+    finish(p, it, status, last, iterations)
+}
+
+#[derive(Default, Clone, Copy)]
+struct Metrics {
+    pobj: f64,
+    dobj: f64,
+    pinf: f64,
+    dinf: f64,
+    gap: f64,
+    mu_rel: f64,
+}
+
+fn near_status(m: &Metrics, opt: &SolverOptions) -> SdpStatus {
+    let loose = (opt.tolerance * 1e3).min(1e-4);
+    if m.pinf < loose && m.dinf < loose && (m.gap < loose || m.mu_rel < 1e-6) {
+        SdpStatus::NearOptimal
+    } else if m.pinf > 1e-4 && m.mu_rel < 1e-7 {
+        // Complementarity converged while primal feasibility cannot: the
+        // classic footprint of primal infeasibility under HKM.
+        SdpStatus::PrimalInfeasibleLikely
+    } else {
+        SdpStatus::MaxIterations
+    }
+}
+
+fn finish(
+    p: &SdpProblem,
+    it: Iterate,
+    status: SdpStatus,
+    m: Metrics,
+    iterations: usize,
+) -> SdpSolution {
+    let _ = p;
+    SdpSolution {
+        status,
+        x: it.x,
+        free: it.u,
+        y: it.y,
+        s: it.s,
+        primal_objective: m.pobj,
+        dual_objective: m.dobj,
+        primal_infeasibility: m.pinf,
+        dual_infeasibility: m.dinf,
+        gap: m.gap,
+        iterations: iterations + 1,
+    }
+}
+
+/// Cholesky with one retry after a small diagonal nudge.
+fn robust_cholesky(a: &Matrix) -> Option<Cholesky> {
+    if let Ok(c) = a.cholesky() {
+        return Some(c);
+    }
+    let n = a.nrows();
+    let bump = 1e-12 * a.trace().abs().max(1.0) / n as f64;
+    let mut b = a.clone();
+    for i in 0..n {
+        b[(i, i)] += bump;
+    }
+    b.cholesky().ok()
+}
+
+/// The `A_{ij}` matrix of constraint `i` on block `j`.
+///
+/// # Panics
+///
+/// Panics if the constraint does not touch the block (callers iterate
+/// incidence lists, so this is an internal invariant).
+fn constraint_block(p: &SdpProblem, i: usize, j: usize) -> &SymSparse {
+    p.a[i]
+        .iter()
+        .find(|(bj, _)| *bj == j)
+        .map(|(_, m)| m)
+        .expect("incidence list out of sync")
+}
+
+/// `tr(A · T)` for symmetric sparse `A` and a general dense `T`.
+fn dot_general(a: &SymSparse, t: &Matrix) -> f64 {
+    let mut acc = 0.0;
+    for &(r, c, v) in a.raw_entries() {
+        acc += v * t[(c, r)];
+        if r != c {
+            acc += v * t[(r, c)];
+        }
+    }
+    acc
+}
+
+/// A factored KKT system with its dense matrix retained for iterative
+/// refinement.
+struct KktSolver<'a> {
+    matrix: &'a Matrix,
+    factor: &'a cppll_linalg::Ldlt,
+}
+
+impl KktSolver<'_> {
+    /// Solves with up to two rounds of iterative refinement, which is what
+    /// keeps primal feasibility converging once μ is small and the Schur
+    /// complement is ill-conditioned.
+    fn solve(&self, rhs: &[f64]) -> Vec<f64> {
+        let mut sol = self.factor.solve(rhs);
+        let rhs_norm = cppll_linalg::vec_ops::norm_inf(rhs).max(1e-300);
+        for _ in 0..3 {
+            let ax = self.matrix.matvec(&sol);
+            let res: Vec<f64> = rhs.iter().zip(&ax).map(|(b, a)| b - a).collect();
+            let rn = cppll_linalg::vec_ops::norm_inf(&res);
+            if rn <= 1e-14 * rhs_norm {
+                break;
+            }
+            let corr = self.factor.solve(&res);
+            for (s, c) in sol.iter_mut().zip(&corr) {
+                *s += c;
+            }
+        }
+        sol
+    }
+}
+
+/// Solves the Newton system for a given centring parameter and corrector.
+#[allow(clippy::too_many_arguments)]
+fn compute_direction(
+    p: &SdpProblem,
+    it: &Iterate,
+    work: &[BlockWork],
+    touching: &[Vec<usize>],
+    kkt: &KktSolver<'_>,
+    rp: &[f64],
+    rd: &[Matrix],
+    rf: &[f64],
+    sigma: f64,
+    mu: f64,
+    corr: Option<&[Matrix]>,
+) -> Direction {
+    let m = p.num_constraints();
+    let nblocks = p.num_blocks();
+    let nfree = p.num_free_vars();
+
+    // Hⱼ = σμ Sⱼ⁻¹ − Xⱼ − (corrⱼ + Xⱼ Rdⱼ) Sⱼ⁻¹
+    let mut h: Vec<Matrix> = Vec::with_capacity(nblocks);
+    for j in 0..nblocks {
+        let mut num = it.x[j].matmul(&rd[j]);
+        if let Some(c) = corr {
+            num = num.add(&c[j]);
+        }
+        let mut hj = num.matmul(&work[j].s_inv).scale(-1.0);
+        hj.axpy(-1.0, &it.x[j]);
+        if sigma != 0.0 {
+            hj.axpy(sigma * mu, &work[j].s_inv);
+        }
+        h.push(hj);
+    }
+
+    // RHS: r1ᵢ = rpᵢ − Σⱼ ⟨A_{ij}, Hⱼ⟩  (⟨·,·⟩ against the non-symmetric H).
+    let mut rhs = vec![0.0; m + nfree];
+    rhs[..m].copy_from_slice(rp);
+    for (j, hj) in h.iter().enumerate() {
+        for &i in &touching[j] {
+            let a_ij = constraint_block(p, i, j);
+            rhs[i] -= dot_general(a_ij, hj);
+        }
+    }
+    rhs[m..].copy_from_slice(rf);
+
+    let sol = kkt.solve(&rhs);
+    let dy = sol[..m].to_vec();
+    let du = sol[m..].to_vec();
+
+    // dSⱼ = Rdⱼ − Σᵢ dyᵢ A_{ij};  dXⱼ = Hⱼ + Xⱼ (Σᵢ dyᵢ A_{ij}) Sⱼ⁻¹.
+    let mut dx = Vec::with_capacity(nblocks);
+    let mut ds = Vec::with_capacity(nblocks);
+    for j in 0..nblocks {
+        let n = it.x[j].nrows();
+        let mut pj = Matrix::zeros(n, n);
+        for &i in &touching[j] {
+            if dy[i] == 0.0 {
+                continue;
+            }
+            constraint_block(p, i, j).add_scaled_into(dy[i], &mut pj);
+        }
+        let dsj = rd[j].sub(&pj);
+        let mut dxj = it.x[j].matmul(&pj).matmul(&work[j].s_inv);
+        dxj.axpy(1.0, &h[j]);
+        dxj.symmetrize();
+        dx.push(dxj);
+        ds.push(dsj);
+    }
+    Direction { dx, ds, dy, du }
+}
+
+/// Maximum primal/dual step lengths keeping `X, S ≻ 0`, scaled by `tau`.
+fn step_lengths(it: &Iterate, dir: &Direction, work: &[BlockWork], tau: f64) -> (f64, f64) {
+    let mut ap: f64 = 1.0;
+    let mut ad: f64 = 1.0;
+    for j in 0..it.x.len() {
+        ap = ap.min(tau * max_step(&work[j].chol_x, &dir.dx[j]));
+        ad = ad.min(tau * max_step(&work[j].chol_s, &dir.ds[j]));
+    }
+    (ap.min(1.0), ad.min(1.0))
+}
+
+/// Largest `α` with `M + α D ⪰ 0` given the Cholesky factor of `M ≻ 0`:
+/// `α = −1/λ_min(L⁻¹ D L⁻ᵀ)` when the minimum eigenvalue is negative.
+fn max_step(chol: &Cholesky, d: &Matrix) -> f64 {
+    let w = chol.whiten(d);
+    let lmin = w.symmetric_eigen().min_eigenvalue();
+    if lmin >= -1e-14 {
+        f64::INFINITY
+    } else {
+        -1.0 / lmin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SdpProblem;
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    #[test]
+    fn min_trace_with_diag_constraints() {
+        // min tr X s.t. X11 = 1, X22 = 2 ⇒ optimum X = diag(1,2) (off-diag 0).
+        let mut p = SdpProblem::new();
+        let b = p.add_psd_block(2);
+        p.set_block_cost_identity(b, 1.0);
+        let c1 = p.add_constraint(1.0);
+        p.set_entry(c1, b, 0, 0, 1.0);
+        let c2 = p.add_constraint(2.0);
+        p.set_entry(c2, b, 1, 1, 1.0);
+        let sol = p.solve(&opts());
+        assert!(sol.is_ok(), "{sol}");
+        assert!((sol.primal_objective - 3.0).abs() < 1e-5, "{sol}");
+        assert!(sol.x[0][(0, 1)].abs() < 1e-4);
+    }
+
+    #[test]
+    fn max_eigenvalue_lmi() {
+        // max y s.t. A − y I ⪰ 0 where A = [[2,1],[1,2]] ⇒ y* = λ_min(A) = 1.
+        // Primal form: min ⟨A, X⟩ s.t. ⟨I, X⟩ = 1, X ⪰ 0.
+        let mut p = SdpProblem::new();
+        let b = p.add_psd_block(2);
+        p.set_cost_entry(b, 0, 0, 2.0);
+        p.set_cost_entry(b, 0, 1, 1.0);
+        p.set_cost_entry(b, 1, 1, 2.0);
+        let c = p.add_constraint(1.0);
+        p.set_entry(c, b, 0, 0, 1.0);
+        p.set_entry(c, b, 1, 1, 1.0);
+        let sol = p.solve(&opts());
+        assert!(sol.is_ok(), "{sol}");
+        assert!((sol.primal_objective - 1.0).abs() < 1e-5, "{sol}");
+        assert!((sol.dual_objective - 1.0).abs() < 1e-5, "{sol}");
+    }
+
+    #[test]
+    fn free_variables_shift_solution() {
+        // min tr X s.t. X11 + u = 3, X22 - u = 1, X ⪰ 0, u free.
+        // tr X = X11 + X22 = 4 - 0 (independent of u? X11 = 3-u, X22 = 1+u,
+        // sum = 4) ⇒ optimum 4 with off-diagonals 0; u interior.
+        let mut p = SdpProblem::new();
+        let b = p.add_psd_block(2);
+        p.set_block_cost_identity(b, 1.0);
+        let u = p.add_free_var(0.0);
+        let c1 = p.add_constraint(3.0);
+        p.set_entry(c1, b, 0, 0, 1.0);
+        p.set_free_coeff(c1, u, 1.0);
+        let c2 = p.add_constraint(1.0);
+        p.set_entry(c2, b, 1, 1, 1.0);
+        p.set_free_coeff(c2, u, -1.0);
+        let sol = p.solve(&opts());
+        assert!(sol.is_ok(), "{sol}");
+        assert!((sol.primal_objective - 4.0).abs() < 1e-4, "{sol}");
+        // Feasibility of the returned point.
+        let vals = p.constraint_values(&sol.x, &sol.free);
+        assert!((vals[0] - 3.0).abs() < 1e-5);
+        assert!((vals[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn two_blocks_couple_through_constraint() {
+        // min tr X + tr Y s.t. X11 + Y11 = 2, X,Y ⪰ 0 (1x1 blocks ⇒ LP).
+        let mut p = SdpProblem::new();
+        let bx = p.add_psd_block(1);
+        let by = p.add_psd_block(1);
+        p.set_block_cost_identity(bx, 1.0);
+        p.set_block_cost_identity(by, 3.0);
+        let c = p.add_constraint(2.0);
+        p.set_entry(c, bx, 0, 0, 1.0);
+        p.set_entry(c, by, 0, 0, 1.0);
+        let sol = p.solve(&opts());
+        assert!(sol.is_ok(), "{sol}");
+        // Cheaper to satisfy with X: objective 2.
+        assert!((sol.primal_objective - 2.0).abs() < 1e-5, "{sol}");
+        assert!(sol.x[1][(0, 0)] < 1e-4);
+    }
+
+    #[test]
+    fn infeasible_problem_is_flagged() {
+        // X11 = -1 with X ⪰ 0 is infeasible.
+        let mut p = SdpProblem::new();
+        let b = p.add_psd_block(1);
+        p.set_block_cost_identity(b, 1.0);
+        let c = p.add_constraint(-1.0);
+        p.set_entry(c, b, 0, 0, 1.0);
+        let sol = p.solve(&opts());
+        assert!(
+            !sol.is_ok(),
+            "infeasible problem must not report success: {sol}"
+        );
+    }
+
+    #[test]
+    fn lovasz_theta_of_c5() {
+        // ϑ(C₅) = √5 — a classic SDP test instance.
+        // max ⟨J, X⟩ s.t. tr X = 1, X_{ij} = 0 for edges (i,i+1 mod 5), X ⪰ 0.
+        // As a min problem: min ⟨-J, X⟩.
+        let mut p = SdpProblem::new();
+        let b = p.add_psd_block(5);
+        for r in 0..5 {
+            for c in r..5 {
+                p.set_cost_entry(b, r, c, -1.0);
+            }
+        }
+        let t = p.add_constraint(1.0);
+        for i in 0..5 {
+            p.set_entry(t, b, i, i, 1.0);
+        }
+        for i in 0..5 {
+            let e = p.add_constraint(0.0);
+            p.set_entry(e, b, i, (i + 1) % 5, 1.0);
+        }
+        let sol = p.solve(&opts());
+        assert!(sol.is_ok(), "{sol}");
+        let theta = -sol.primal_objective;
+        assert!(
+            (theta - 5.0_f64.sqrt()).abs() < 1e-4,
+            "theta = {theta}, expected sqrt(5)"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Sparse symmetric matrices used for SDP constraint data.
+
+use cppll_linalg::Matrix;
+
+/// A sparse **symmetric** matrix stored as upper-triangle `(row, col, val)`
+/// triples with `row ≤ col`; the mirrored entry is implicit.
+///
+/// Setting the same entry twice *accumulates* the values, matching the way
+/// coefficient-matching constraints are assembled monomial by monomial.
+///
+/// # Examples
+///
+/// ```
+/// use cppll_sdp::SymSparse;
+///
+/// let mut a = SymSparse::new(2);
+/// a.add(0, 1, 3.0); // also sets (1, 0)
+/// let d = a.to_dense();
+/// assert_eq!(d[(1, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymSparse {
+    dim: usize,
+    /// Upper-triangle entries `(r, c, v)` with `r ≤ c`, sorted, deduplicated.
+    entries: Vec<(usize, usize, f64)>,
+    /// Whether `entries` is currently sorted/deduplicated.
+    normalized: bool,
+}
+
+impl SymSparse {
+    /// Creates an empty (zero) symmetric matrix of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        SymSparse {
+            dim,
+            entries: Vec::new(),
+            normalized: true,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `true` when no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `v` to entry `(r, c)` (and symmetrically `(c, r)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.dim && c < self.dim, "index out of range");
+        if v == 0.0 {
+            return;
+        }
+        let (r, c) = if r <= c { (r, c) } else { (c, r) };
+        self.entries.push((r, c, v));
+        self.normalized = false;
+    }
+
+    /// Sorts and merges duplicate entries; drops exact zeros.
+    pub fn normalize(&mut self) {
+        if self.normalized {
+            return;
+        }
+        self.entries.sort_by_key(|a| (a.0, a.1));
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == r && last.1 == c {
+                    last.2 += v;
+                    continue;
+                }
+            }
+            merged.push((r, c, v));
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+        self.entries = merged;
+        self.normalized = true;
+    }
+
+    /// Upper-triangle entries (normalizing first).
+    pub fn entries(&mut self) -> &[(usize, usize, f64)] {
+        self.normalize();
+        &self.entries
+    }
+
+    /// Upper-triangle entries without normalizing (may contain duplicates
+    /// if [`SymSparse::normalize`] has not run since the last `add`).
+    pub fn raw_entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Densifies to a full symmetric [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.dim, self.dim);
+        for &(r, c, v) in &self.entries {
+            m[(r, c)] += v;
+            if r != c {
+                m[(c, r)] += v;
+            }
+        }
+        m
+    }
+
+    /// Frobenius inner product `⟨self, X⟩` with a dense symmetric matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ. Requires normalized entries for
+    /// correctness with duplicate adds — call sites inside the solver
+    /// normalize once during presolve.
+    pub fn dot_dense(&self, x: &Matrix) -> f64 {
+        debug_assert_eq!(x.nrows(), self.dim);
+        let mut acc = 0.0;
+        for &(r, c, v) in &self.entries {
+            if r == c {
+                acc += v * x[(r, c)];
+            } else {
+                acc += 2.0 * v * x[(r, c)];
+            }
+        }
+        acc
+    }
+
+    /// In-place `y += s · self` into a dense matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_scaled_into(&self, s: f64, y: &mut Matrix) {
+        debug_assert_eq!(y.nrows(), self.dim);
+        for &(r, c, v) in &self.entries {
+            y[(r, c)] += s * v;
+            if r != c {
+                y[(c, r)] += s * v;
+            }
+        }
+    }
+
+    /// Dense product `self · X` (self symmetric sparse, `X` dense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.nrows() != self.dim()`.
+    pub fn mul_dense(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.nrows(), self.dim, "dimension mismatch");
+        let mut out = Matrix::zeros(self.dim, x.ncols());
+        for &(r, c, v) in &self.entries {
+            for j in 0..x.ncols() {
+                out[(r, j)] += v * x[(c, j)];
+                if r != c {
+                    out[(c, j)] += v * x[(r, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for &(r, c, v) in &self.entries {
+            acc += if r == c { v * v } else { 2.0 * v * v };
+        }
+        acc.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trip() {
+        let mut a = SymSparse::new(3);
+        a.add(0, 1, 2.0);
+        a.add(2, 2, -1.0);
+        a.add(1, 0, 0.5); // accumulates with (0,1)
+        a.normalize();
+        let d = a.to_dense();
+        assert_eq!(d[(0, 1)], 2.5);
+        assert_eq!(d[(1, 0)], 2.5);
+        assert_eq!(d[(2, 2)], -1.0);
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        let mut a = SymSparse::new(2);
+        a.add(0, 0, 1.0);
+        a.add(0, 1, 2.0);
+        a.normalize();
+        let x = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 4.0]]);
+        assert_eq!(a.dot_dense(&x), a.to_dense().dot(&x));
+    }
+
+    #[test]
+    fn mul_dense_matches() {
+        let mut a = SymSparse::new(2);
+        a.add(0, 1, 1.0);
+        a.add(1, 1, 2.0);
+        a.normalize();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let got = a.mul_dense(&x);
+        let want = a.to_dense().matmul(&x);
+        assert!(got.sub(&want).norm() < 1e-14);
+    }
+
+    #[test]
+    fn norm_counts_mirror() {
+        let mut a = SymSparse::new(2);
+        a.add(0, 1, 3.0);
+        a.normalize();
+        assert!((a.norm() - (18.0f64).sqrt()).abs() < 1e-14);
+    }
+}

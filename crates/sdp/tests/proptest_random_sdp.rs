@@ -1,0 +1,141 @@
+//! Property-based tests: randomly generated *feasible* SDPs must be solved
+//! with small residuals, weak duality must hold, and the returned PSD blocks
+//! must actually be PSD.
+
+use cppll_sdp::{SdpProblem, SolverOptions};
+use proptest::prelude::*;
+
+/// Builds a random feasible SDP:
+/// pick `X₀ = G Gᵀ + I ≻ 0`, random sparse `Aᵢ`, set `bᵢ = ⟨Aᵢ, X₀⟩`.
+fn random_feasible(
+    n: usize,
+    m: usize,
+    seed_g: Vec<f64>,
+    seed_a: Vec<f64>,
+) -> (SdpProblem, Vec<f64>) {
+    let mut p = SdpProblem::new();
+    let blk = p.add_psd_block(n);
+    p.set_block_cost_identity(blk, 1.0);
+    // X0 = G Gᵀ + I
+    let mut x0 = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = if i == j { 1.0 } else { 0.0 };
+            for k in 0..n {
+                acc += seed_g[i * n + k] * seed_g[j * n + k];
+            }
+            x0[i][j] = acc;
+        }
+    }
+    let mut b = Vec::with_capacity(m);
+    for i in 0..m {
+        let c = p.add_constraint(0.0);
+        let mut rhs = 0.0;
+        for r in 0..n {
+            for s in r..n {
+                let v = seed_a[(i * n * n + r * n + s) % seed_a.len()];
+                // Sparsify: keep ~half of the entries.
+                if v.abs() < 0.5 {
+                    continue;
+                }
+                p.set_entry(c, blk, r, s, v);
+                rhs += if r == s {
+                    v * x0[r][s]
+                } else {
+                    2.0 * v * x0[r][s]
+                };
+            }
+        }
+        // Overwrite the rhs by re-adding the constraint value.
+        b.push(rhs);
+    }
+    // Fix up rhs values (add_constraint took 0.0 placeholders).
+    let mut p2 = SdpProblem::new();
+    let blk2 = p2.add_psd_block(n);
+    p2.set_block_cost_identity(blk2, 1.0);
+    for i in 0..m {
+        let c = p2.add_constraint(b[i]);
+        for r in 0..n {
+            for s in r..n {
+                let v = seed_a[(i * n * n + r * n + s) % seed_a.len()];
+                if v.abs() < 0.5 {
+                    continue;
+                }
+                p2.set_entry(c, blk2, r, s, v);
+            }
+        }
+    }
+    (p2, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_feasible_sdps_solve(
+        seed_g in prop::collection::vec(-1.0f64..1.0, 16),
+        seed_a in prop::collection::vec(-1.0f64..1.0, 64),
+    ) {
+        let n = 4;
+        let m = 3;
+        let (p, _b) = random_feasible(n, m, seed_g, seed_a);
+        let sol = p.solve(&SolverOptions::default());
+        prop_assert!(sol.is_ok(), "solver failed: {sol}");
+        // Residual feasibility of returned point.
+        prop_assert!(sol.primal_infeasibility < 1e-5, "{sol}");
+        // Weak duality (within tolerance).
+        prop_assert!(sol.primal_objective >= sol.dual_objective - 1e-4 * (1.0 + sol.primal_objective.abs()),
+            "weak duality violated: {sol}");
+        // Returned block is PSD (up to numerical floor).
+        let eig = sol.x[0].symmetric_eigen();
+        prop_assert!(eig.min_eigenvalue() > -1e-7, "X not PSD: {}", eig.min_eigenvalue());
+        let eigs = sol.s[0].symmetric_eigen();
+        prop_assert!(eigs.min_eigenvalue() > -1e-7, "S not PSD: {}", eigs.min_eigenvalue());
+    }
+}
+
+#[test]
+fn larger_block_and_many_constraints() {
+    // Deterministic medium-size instance: n = 12, m = 30.
+    let n = 12;
+    let m = 30;
+    let mut seed_g = Vec::with_capacity(n * n);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut rng = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    for _ in 0..n * n {
+        seed_g.push(rng());
+    }
+    let mut seed_a = Vec::with_capacity(1024);
+    for _ in 0..1024 {
+        seed_a.push(rng());
+    }
+    let (p, _) = random_feasible(n, m, seed_g, seed_a);
+    let sol = p.solve(&SolverOptions::default());
+    assert!(sol.is_ok(), "{sol}");
+    assert!(sol.primal_infeasibility < 1e-5, "{sol}");
+}
+
+// Re-exercise the generator through the public API only.
+fn random_feasible_public(n: usize, m: usize, seed_g: Vec<f64>, seed_a: Vec<f64>) -> SdpProblem {
+    random_feasible(n, m, seed_g, seed_a).0
+}
+
+#[test]
+fn free_vars_combined_with_random_block() {
+    let n = 3;
+    let seed_g = vec![0.3; n * n];
+    let seed_a = vec![0.7; 64];
+    let mut p = random_feasible_public(n, 2, seed_g, seed_a);
+    // Add a free variable tying two fresh constraints together.
+    let u = p.add_free_var(0.0);
+    let c = p.add_constraint(1.0);
+    p.set_free_coeff(c, u, 1.0);
+    let sol = p.solve(&SolverOptions::default());
+    assert!(sol.is_ok(), "{sol}");
+    assert!((sol.free[0] - 1.0).abs() < 1e-5, "u = {}", sol.free[0]);
+}

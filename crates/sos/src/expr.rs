@@ -1,0 +1,217 @@
+//! Affine polynomial expressions over SOS decision variables.
+
+use cppll_poly::Polynomial;
+
+/// Identifier of a scalar decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScalarVarId(pub(crate) usize);
+
+/// Identifier of a coefficient decision polynomial (free coefficients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PolyVarId(pub(crate) usize);
+
+/// Identifier of a Gram-backed SOS decision polynomial (an S-procedure
+/// multiplier σ that is SOS by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GramVarId(pub(crate) usize);
+
+/// Linear operation applied to a coefficient decision polynomial inside an
+/// expression term. Each operation maps every basis monomial to a *known*
+/// polynomial, so the term stays affine in the decision coefficients.
+#[derive(Debug, Clone)]
+pub(crate) enum PolyOp {
+    /// `V(x) · q(x)`.
+    Mul(Polynomial),
+    /// `(∂V/∂xᵢ)(x) · q(x)` — Lie-derivative building block.
+    DerivMul(usize, Polynomial),
+    /// `V(R(x)) · q(x)` — composition with a known (jump) map.
+    ComposeMul(Vec<Polynomial>, Polynomial),
+}
+
+impl PolyOp {
+    /// Applies the operation to a single known basis monomial.
+    pub(crate) fn apply(&self, m: &cppll_poly::Monomial) -> Polynomial {
+        let p = Polynomial::from_monomial(m.clone(), 1.0);
+        match self {
+            PolyOp::Mul(q) => &p * q,
+            PolyOp::DerivMul(i, q) => &p.partial_derivative(*i) * q,
+            PolyOp::ComposeMul(subs, q) => &p.compose(subs) * q,
+        }
+    }
+
+    fn scale(&self, s: f64) -> PolyOp {
+        match self {
+            PolyOp::Mul(q) => PolyOp::Mul(q.scale(s)),
+            PolyOp::DerivMul(i, q) => PolyOp::DerivMul(*i, q.scale(s)),
+            PolyOp::ComposeMul(subs, q) => PolyOp::ComposeMul(subs.clone(), q.scale(s)),
+        }
+    }
+
+    fn mul_poly(&self, r: &Polynomial) -> PolyOp {
+        match self {
+            PolyOp::Mul(q) => PolyOp::Mul(q * r),
+            PolyOp::DerivMul(i, q) => PolyOp::DerivMul(*i, q * r),
+            PolyOp::ComposeMul(subs, q) => PolyOp::ComposeMul(subs.clone(), q * r),
+        }
+    }
+}
+
+/// A polynomial expression **affine** in the program's decision variables:
+///
+/// ```text
+/// expr(x) = p₀(x) + Σₖ sₖ · qₖ(x) + Σᵥ op(Vᵥ)(x) + Σ_σ σ(x) · h_σ(x)
+/// ```
+///
+/// where `p₀, qₖ, h` are *known* polynomials, `sₖ` scalar decision
+/// variables, `Vᵥ` coefficient decision polynomials under a linear operation
+/// (product with a known polynomial, partial derivative, or composition with
+/// a known map), and `σ` Gram-backed SOS multipliers. Products of two
+/// decision objects are rejected by construction, keeping every SOS program
+/// a genuine (convex) SDP.
+///
+/// Expressions are built with [`PolyExpr::add`], [`PolyExpr::sub`],
+/// [`PolyExpr::mul_poly`], and the `From<Polynomial>` conversion; the
+/// program hands out expressions for its decision objects via
+/// `SosProgram::{poly, sos_poly, scalar}` accessors.
+#[derive(Debug, Clone)]
+pub struct PolyExpr {
+    pub(crate) nvars: usize,
+    /// Known constant part.
+    pub(crate) constant: Polynomial,
+    /// `(scalar var, known multiplier polynomial)` terms.
+    pub(crate) scalar_terms: Vec<(ScalarVarId, Polynomial)>,
+    /// `(poly var, linear operation)` terms.
+    pub(crate) poly_terms: Vec<(PolyVarId, PolyOp)>,
+    /// `(gram var, known multiplier polynomial)` terms.
+    pub(crate) gram_terms: Vec<(GramVarId, Polynomial)>,
+}
+
+impl PolyExpr {
+    /// The zero expression over `nvars` indeterminates.
+    pub fn zero(nvars: usize) -> Self {
+        PolyExpr {
+            nvars,
+            constant: Polynomial::zero(nvars),
+            scalar_terms: Vec::new(),
+            poly_terms: Vec::new(),
+            gram_terms: Vec::new(),
+        }
+    }
+
+    /// Number of indeterminates.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// `true` when the expression has no decision-variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.scalar_terms.is_empty() && self.poly_terms.is_empty() && self.gram_terms.is_empty()
+    }
+
+    /// Sum of two expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expressions live over different numbers of variables.
+    pub fn add(&self, rhs: &PolyExpr) -> PolyExpr {
+        assert_eq!(self.nvars, rhs.nvars, "variable counts must match");
+        let mut out = self.clone();
+        out.constant = &out.constant + &rhs.constant;
+        out.scalar_terms.extend(rhs.scalar_terms.iter().cloned());
+        out.poly_terms.extend(rhs.poly_terms.iter().cloned());
+        out.gram_terms.extend(rhs.gram_terms.iter().cloned());
+        out
+    }
+
+    /// Difference of two expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expressions live over different numbers of variables.
+    pub fn sub(&self, rhs: &PolyExpr) -> PolyExpr {
+        self.add(&rhs.neg())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> PolyExpr {
+        self.scale(-1.0)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f64) -> PolyExpr {
+        PolyExpr {
+            nvars: self.nvars,
+            constant: self.constant.scale(s),
+            scalar_terms: self
+                .scalar_terms
+                .iter()
+                .map(|(v, p)| (*v, p.scale(s)))
+                .collect(),
+            poly_terms: self
+                .poly_terms
+                .iter()
+                .map(|(v, op)| (*v, op.scale(s)))
+                .collect(),
+            gram_terms: self
+                .gram_terms
+                .iter()
+                .map(|(v, p)| (*v, p.scale(s)))
+                .collect(),
+        }
+    }
+
+    /// Product with a **known** polynomial (keeps the expression affine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` lives over a different number of variables.
+    pub fn mul_poly(&self, q: &Polynomial) -> PolyExpr {
+        assert_eq!(self.nvars, q.nvars(), "variable counts must match");
+        PolyExpr {
+            nvars: self.nvars,
+            constant: &self.constant * q,
+            scalar_terms: self.scalar_terms.iter().map(|(v, p)| (*v, p * q)).collect(),
+            poly_terms: self
+                .poly_terms
+                .iter()
+                .map(|(v, op)| (*v, op.mul_poly(q)))
+                .collect(),
+            gram_terms: self.gram_terms.iter().map(|(v, p)| (*v, p * q)).collect(),
+        }
+    }
+}
+
+impl From<Polynomial> for PolyExpr {
+    fn from(p: Polynomial) -> Self {
+        let nvars = p.nvars();
+        PolyExpr {
+            nvars,
+            constant: p,
+            scalar_terms: Vec::new(),
+            poly_terms: Vec::new(),
+            gram_terms: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_keeps_structure() {
+        let p = Polynomial::var(2, 0);
+        let e: PolyExpr = p.clone().into();
+        let f = e.add(&e).scale(0.5).mul_poly(&p);
+        assert!(f.is_constant());
+        assert_eq!(f.constant, &p * &p);
+    }
+
+    #[test]
+    fn zero_is_neutral() {
+        let z = PolyExpr::zero(3);
+        let p: PolyExpr = Polynomial::norm_squared(3).into();
+        let s = p.add(&z);
+        assert_eq!(s.constant, Polynomial::norm_squared(3));
+    }
+}

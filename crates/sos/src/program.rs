@@ -1,0 +1,870 @@
+//! The SOS program builder and its compilation to an SDP.
+
+use std::collections::BTreeMap;
+
+use cppll_linalg::Matrix;
+use cppll_poly::{monomials_up_to, Monomial, Polynomial};
+use cppll_sdp::{BlockId, FreeVarId, SdpProblem, SdpSolution, SdpStatus, SolverOptions};
+
+use crate::decomposition::SosDecomposition;
+use crate::expr::{GramVarId, PolyExpr, PolyOp, PolyVarId, ScalarVarId};
+
+/// Identifier of an SOS constraint (used to read back Gram matrices and
+/// decompositions from a solution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SosConstraintId(usize);
+
+/// Options controlling compilation and the underlying SDP solve.
+#[derive(Debug, Clone)]
+pub struct SosOptions {
+    /// Weight of `Σ tr(Gram)` added to the objective. For pure feasibility
+    /// problems this regularises the solution towards small Gram matrices
+    /// and guarantees dual strict feasibility; when a linear objective is
+    /// present it should be small.
+    pub trace_weight: f64,
+    /// Options forwarded to the SDP solver.
+    pub sdp: SolverOptions,
+}
+
+impl Default for SosOptions {
+    fn default() -> Self {
+        SosOptions {
+            trace_weight: 1.0,
+            sdp: SolverOptions::default(),
+        }
+    }
+}
+
+impl SosOptions {
+    /// Options suited to problems with a meaningful linear objective: the
+    /// Gram trace regularisation is made negligible.
+    pub fn with_objective() -> Self {
+        SosOptions {
+            trace_weight: 1e-6,
+            sdp: SolverOptions::default(),
+        }
+    }
+}
+
+/// Error returned when an SOS program cannot be solved.
+#[derive(Debug, Clone)]
+pub enum SosError {
+    /// The SDP solver flagged (likely) infeasibility — no certificate of the
+    /// requested form exists (or the relaxation degree is too low).
+    Infeasible {
+        /// Underlying solver status.
+        status: SdpStatus,
+    },
+    /// The solver failed numerically before reaching an answer.
+    Numerical {
+        /// Underlying solver status.
+        status: SdpStatus,
+    },
+}
+
+impl std::fmt::Display for SosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SosError::Infeasible { status } => {
+                write!(f, "sos program is infeasible ({status})")
+            }
+            SosError::Numerical { status } => {
+                write!(f, "sdp solver failed numerically ({status})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SosError {}
+
+struct PolyVarInfo {
+    basis: Vec<Monomial>,
+}
+
+struct GramVarInfo {
+    basis: Vec<Monomial>,
+    /// Per-variable override of the objective trace weight.
+    trace_weight: Option<f64>,
+}
+
+enum ConstraintKind {
+    /// Expression must equal `z(x)ᵀ P z(x)` for some `P ⪰ 0`.
+    Sos {
+        basis_override: Option<Vec<Monomial>>,
+    },
+    /// Expression must be identically zero.
+    Zero,
+}
+
+struct Constraint {
+    expr: PolyExpr,
+    kind: ConstraintKind,
+}
+
+/// A sum-of-squares program: decision scalars/polynomials plus SOS and
+/// zero-equality constraints over them, compiled to one block SDP.
+///
+/// See the crate-level documentation for the programming model and an
+/// example.
+pub struct SosProgram {
+    nvars: usize,
+    num_scalars: usize,
+    polys: Vec<PolyVarInfo>,
+    grams: Vec<GramVarInfo>,
+    constraints: Vec<Constraint>,
+    /// `minimise Σ w·s` objective terms on scalar variables.
+    objective: Vec<(ScalarVarId, f64)>,
+}
+
+impl SosProgram {
+    /// Creates an empty program over `nvars` indeterminates.
+    pub fn new(nvars: usize) -> Self {
+        SosProgram {
+            nvars,
+            num_scalars: 0,
+            polys: Vec::new(),
+            grams: Vec::new(),
+            constraints: Vec::new(),
+            objective: Vec::new(),
+        }
+    }
+
+    /// Number of indeterminates.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Adds a scalar decision variable.
+    pub fn new_scalar(&mut self) -> ScalarVarId {
+        self.num_scalars += 1;
+        ScalarVarId(self.num_scalars - 1)
+    }
+
+    /// Adds a coefficient decision polynomial spanning `basis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a basis monomial lives over the wrong number of variables.
+    pub fn new_poly(&mut self, basis: Vec<Monomial>) -> PolyVarId {
+        for m in &basis {
+            assert_eq!(m.nvars(), self.nvars, "basis monomial ring mismatch");
+        }
+        self.polys.push(PolyVarInfo { basis });
+        PolyVarId(self.polys.len() - 1)
+    }
+
+    /// Adds a coefficient decision polynomial spanning all monomials with
+    /// total degree in `[min_degree, max_degree]`.
+    pub fn new_poly_of_degree(&mut self, min_degree: u32, max_degree: u32) -> PolyVarId {
+        let basis = monomials_up_to(self.nvars, max_degree)
+            .into_iter()
+            .filter(|m| m.degree() >= min_degree)
+            .collect();
+        self.new_poly(basis)
+    }
+
+    /// Adds a Gram-backed SOS decision polynomial of degree `2·half_degree`
+    /// (an S-procedure multiplier). The polynomial is SOS by construction.
+    pub fn new_sos_poly(&mut self, half_degree: u32) -> GramVarId {
+        let basis = monomials_up_to(self.nvars, half_degree);
+        self.grams.push(GramVarInfo {
+            basis,
+            trace_weight: None,
+        });
+        GramVarId(self.grams.len() - 1)
+    }
+
+    /// Overrides the objective trace weight of one SOS multiplier. Heavier
+    /// weights push the solver towards *small* multipliers — useful when a
+    /// downstream consumer (e.g. exact rounding) needs the main Gram to
+    /// keep interior slack instead of being traded against the multipliers.
+    pub fn set_sos_poly_trace_weight(&mut self, g: GramVarId, weight: f64) {
+        self.grams[g.0].trace_weight = Some(weight);
+    }
+
+    /// Adds a Gram-backed SOS decision polynomial over an explicit basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a basis monomial lives over the wrong number of variables.
+    pub fn new_sos_poly_with_basis(&mut self, basis: Vec<Monomial>) -> GramVarId {
+        for m in &basis {
+            assert_eq!(m.nvars(), self.nvars, "basis monomial ring mismatch");
+        }
+        self.grams.push(GramVarInfo {
+            basis,
+            trace_weight: None,
+        });
+        GramVarId(self.grams.len() - 1)
+    }
+
+    /// Expression consisting of the single scalar variable `s`.
+    pub fn scalar(&self, s: ScalarVarId) -> PolyExpr {
+        let mut e = PolyExpr::zero(self.nvars);
+        e.scalar_terms
+            .push((s, Polynomial::constant(self.nvars, 1.0)));
+        e
+    }
+
+    /// Expression consisting of the decision polynomial `v`.
+    pub fn poly(&self, v: PolyVarId) -> PolyExpr {
+        let mut e = PolyExpr::zero(self.nvars);
+        e.poly_terms
+            .push((v, PolyOp::Mul(Polynomial::constant(self.nvars, 1.0))));
+        e
+    }
+
+    /// Expression for the composition `v(R(x))` of decision polynomial `v`
+    /// with a known polynomial map `R` — affine in `v`'s coefficients. Used
+    /// for jump conditions `V(R(x)) − V(x) ≤ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs.len() != self.nvars()` or the components live in a
+    /// different ring.
+    pub fn poly_composed(&self, v: PolyVarId, subs: &[Polynomial]) -> PolyExpr {
+        assert_eq!(subs.len(), self.nvars, "substitution arity mismatch");
+        for s in subs {
+            assert_eq!(s.nvars(), self.nvars, "substitution ring mismatch");
+        }
+        let mut e = PolyExpr::zero(self.nvars);
+        e.poly_terms.push((
+            v,
+            PolyOp::ComposeMul(subs.to_vec(), Polynomial::constant(self.nvars, 1.0)),
+        ));
+        e
+    }
+
+    /// Expression consisting of the SOS multiplier `g`.
+    pub fn sos_poly(&self, g: GramVarId) -> PolyExpr {
+        let mut e = PolyExpr::zero(self.nvars);
+        e.gram_terms
+            .push((g, Polynomial::constant(self.nvars, 1.0)));
+        e
+    }
+
+    /// Expression for the Lie derivative `∇v · f` of decision polynomial `v`
+    /// along the known vector field `f`.
+    ///
+    /// The Lie derivative is linear in `v`'s coefficients, so the result is
+    /// still an affine expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f.len() != self.nvars()`.
+    pub fn poly_lie_derivative(&self, v: PolyVarId, f: &[Polynomial]) -> PolyExpr {
+        assert_eq!(f.len(), self.nvars, "vector field dimension mismatch");
+        // ∇(Σλm)·f = Σᵢ (∂V/∂xᵢ) · fᵢ — each summand is a linear operation
+        // on V's coefficients.
+        let mut e = PolyExpr::zero(self.nvars);
+        for (i, fi) in f.iter().enumerate() {
+            e = e.add(&self.poly_partial_derivative(v, i).mul_poly(fi));
+        }
+        e
+    }
+
+    /// Expression for `∂v/∂xᵢ` of decision polynomial `v` — affine in the
+    /// coefficients of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.nvars()`.
+    pub fn poly_partial_derivative(&self, v: PolyVarId, i: usize) -> PolyExpr {
+        assert!(i < self.nvars, "variable index out of range");
+        let mut e = PolyExpr::zero(self.nvars);
+        e.poly_terms.push((
+            v,
+            PolyOp::DerivMul(i, Polynomial::constant(self.nvars, 1.0)),
+        ));
+        e
+    }
+
+    /// Adds the constraint `expr(x)` is SOS; returns an id for reading the
+    /// Gram matrix back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expr` lives over a different number of variables.
+    pub fn require_sos(&mut self, expr: PolyExpr) -> SosConstraintId {
+        assert_eq!(expr.nvars(), self.nvars, "expression ring mismatch");
+        self.constraints.push(Constraint {
+            expr,
+            kind: ConstraintKind::Sos {
+                basis_override: None,
+            },
+        });
+        SosConstraintId(self.constraints.len() - 1)
+    }
+
+    /// Adds the constraint `expr(x)` is SOS with an explicit Gram basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ring mismatches.
+    pub fn require_sos_with_basis(
+        &mut self,
+        expr: PolyExpr,
+        basis: Vec<Monomial>,
+    ) -> SosConstraintId {
+        assert_eq!(expr.nvars(), self.nvars, "expression ring mismatch");
+        for m in &basis {
+            assert_eq!(m.nvars(), self.nvars, "basis monomial ring mismatch");
+        }
+        self.constraints.push(Constraint {
+            expr,
+            kind: ConstraintKind::Sos {
+                basis_override: Some(basis),
+            },
+        });
+        SosConstraintId(self.constraints.len() - 1)
+    }
+
+    /// Adds the constraint `expr(x) ≡ 0` (coefficient-wise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expr` lives over a different number of variables.
+    pub fn require_zero(&mut self, expr: PolyExpr) {
+        assert_eq!(expr.nvars(), self.nvars, "expression ring mismatch");
+        self.constraints.push(Constraint {
+            expr,
+            kind: ConstraintKind::Zero,
+        });
+    }
+
+    /// S-procedure helper: requires `expr ≥ 0` on the semialgebraic set
+    /// `{x : gⱼ(x) ≥ 0}` by adding `expr − Σ σⱼ gⱼ` SOS with fresh SOS
+    /// multipliers `σⱼ` of degree `2·mult_half_degree`.
+    ///
+    /// Returns the multiplier ids (useful for diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics on ring mismatches.
+    pub fn require_nonneg_on(
+        &mut self,
+        expr: PolyExpr,
+        domain: &[Polynomial],
+        mult_half_degree: u32,
+    ) -> (SosConstraintId, Vec<GramVarId>) {
+        let mut e = expr;
+        let mut mults = Vec::with_capacity(domain.len());
+        for g in domain {
+            assert_eq!(g.nvars(), self.nvars, "domain polynomial ring mismatch");
+            let sigma = self.new_sos_poly(mult_half_degree);
+            mults.push(sigma);
+            e = e.sub(&self.sos_poly(sigma).mul_poly(g));
+        }
+        let id = self.require_sos(e);
+        (id, mults)
+    }
+
+    /// Sets the objective to `minimise Σ wᵢ sᵢ` over scalar variables.
+    pub fn minimize(&mut self, terms: &[(ScalarVarId, f64)]) {
+        self.objective = terms.to_vec();
+    }
+
+    /// Sets the objective to `maximise s` (i.e. minimise `−s`).
+    pub fn maximize_scalar(&mut self, s: ScalarVarId) {
+        self.objective = vec![(s, -1.0)];
+    }
+
+    /// Compiles and solves the program.
+    ///
+    /// # Errors
+    ///
+    /// [`SosError::Infeasible`] when the solver reports (likely)
+    /// infeasibility; [`SosError::Numerical`] on numerical failure.
+    pub fn solve(&self, options: &SosOptions) -> Result<SosSolution, SosError> {
+        let compiled = self.compile(options);
+        let sol = compiled.sdp.solve(&options.sdp);
+        match sol.status {
+            SdpStatus::Optimal | SdpStatus::NearOptimal => Ok(SosSolution {
+                sdp: sol,
+                layout: compiled.layout,
+                poly_bases: self.polys.iter().map(|p| p.basis.clone()).collect(),
+                gram_bases: self.grams.iter().map(|g| g.basis.clone()).collect(),
+                exprs: self.constraints.iter().map(|c| c.expr.clone()).collect(),
+            }),
+            SdpStatus::PrimalInfeasibleLikely | SdpStatus::DualInfeasibleLikely => {
+                Err(SosError::Infeasible { status: sol.status })
+            }
+            s => Err(SosError::Numerical { status: s }),
+        }
+    }
+
+    // ---- compilation ----------------------------------------------------
+
+    fn compile(&self, options: &SosOptions) -> Compiled {
+        let mut sdp = SdpProblem::new();
+        // Free variables: scalars then poly coefficients.
+        let scalar_free: Vec<FreeVarId> = (0..self.num_scalars)
+            .map(|_| sdp.add_free_var(0.0))
+            .collect();
+        let mut poly_free: Vec<Vec<FreeVarId>> = Vec::with_capacity(self.polys.len());
+        for p in &self.polys {
+            poly_free.push(p.basis.iter().map(|_| sdp.add_free_var(0.0)).collect());
+        }
+        for &(s, w) in &self.objective {
+            sdp.set_free_cost(scalar_free[s.0], w);
+        }
+        // PSD blocks: one per Gram multiplier + one per SOS constraint.
+        let gram_blocks: Vec<BlockId> = self
+            .grams
+            .iter()
+            .map(|g| {
+                let b = sdp.add_psd_block(g.basis.len());
+                sdp.set_block_cost_identity(b, g.trace_weight.unwrap_or(options.trace_weight));
+                b
+            })
+            .collect();
+        let mut constraint_blocks: Vec<Option<(BlockId, Vec<Monomial>)>> = Vec::new();
+        for c in &self.constraints {
+            match &c.kind {
+                ConstraintKind::Zero => constraint_blocks.push(None),
+                ConstraintKind::Sos { basis_override } => {
+                    let basis = basis_override
+                        .clone()
+                        .unwrap_or_else(|| self.auto_gram_basis(&c.expr));
+                    let b = sdp.add_psd_block(basis.len());
+                    sdp.set_block_cost_identity(b, options.trace_weight);
+                    constraint_blocks.push(Some((b, basis)));
+                }
+            }
+        }
+
+        // Emit coefficient-matching equalities per constraint.
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let support = self.support_of(&c.expr, constraint_blocks[ci].as_ref());
+            for alpha in support.keys() {
+                let rhs = c.expr.constant.coefficient(alpha);
+                let row = sdp.add_constraint(rhs);
+                // Constraint's own Gram: +⟨E_α, P⟩.
+                if let Some((blk, basis)) = &constraint_blocks[ci] {
+                    for (bi, mb) in basis.iter().enumerate() {
+                        for (gi, mg) in basis.iter().enumerate().skip(bi) {
+                            if &mb.mul(mg) == alpha {
+                                sdp.set_entry(row, *blk, bi, gi, 1.0);
+                            }
+                        }
+                    }
+                }
+                // Scalar terms: move to LHS with flipped sign.
+                for (s, q) in &c.expr.scalar_terms {
+                    let coef = q.coefficient(alpha);
+                    if coef != 0.0 {
+                        sdp.set_free_coeff(row, scalar_free[s.0], -coef);
+                    }
+                }
+                // Poly-var terms (linear operations on decision coefficients).
+                for (v, op) in &c.expr.poly_terms {
+                    for (k, m) in self.polys[v.0].basis.iter().enumerate() {
+                        let coef = op.apply(m).coefficient(alpha);
+                        if coef != 0.0 {
+                            sdp.set_free_coeff(row, poly_free[v.0][k], -coef);
+                        }
+                    }
+                }
+                // Gram multiplier terms.
+                for (g, h) in &c.expr.gram_terms {
+                    let basis = &self.grams[g.0].basis;
+                    let blk = gram_blocks[g.0];
+                    for (bi, mb) in basis.iter().enumerate() {
+                        for (gi, mg) in basis.iter().enumerate().skip(bi) {
+                            let prod = mb.mul(mg);
+                            // coefficient of alpha in (z_b z_g) * h
+                            for (mh, ch) in h.terms() {
+                                if &prod.mul(mh) == alpha {
+                                    sdp.set_entry(row, blk, bi, gi, -ch);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Compiled {
+            sdp,
+            layout: Layout {
+                scalar_free,
+                poly_free,
+                gram_blocks,
+                constraint_blocks,
+            },
+        }
+    }
+
+    /// Union of all monomials that can appear in `expr` (and in the
+    /// constraint's own Gram products, if any).
+    fn support_of(
+        &self,
+        expr: &PolyExpr,
+        block: Option<&(BlockId, Vec<Monomial>)>,
+    ) -> BTreeMap<Monomial, ()> {
+        let mut set = BTreeMap::new();
+        for (m, _) in expr.constant.terms() {
+            set.insert(m.clone(), ());
+        }
+        for (_, q) in &expr.scalar_terms {
+            for (m, _) in q.terms() {
+                set.insert(m.clone(), ());
+            }
+        }
+        for (v, op) in &expr.poly_terms {
+            for m in &self.polys[v.0].basis {
+                for (am, _) in op.apply(m).terms() {
+                    set.insert(am.clone(), ());
+                }
+            }
+        }
+        for (g, h) in &expr.gram_terms {
+            let basis = &self.grams[g.0].basis;
+            for (bi, mb) in basis.iter().enumerate() {
+                for mg in basis.iter().skip(bi) {
+                    let prod = mb.mul(mg);
+                    for (mh, _) in h.terms() {
+                        set.insert(prod.mul(mh), ());
+                    }
+                }
+            }
+        }
+        if let Some((_, basis)) = block {
+            for (bi, mb) in basis.iter().enumerate() {
+                for mg in basis.iter().skip(bi) {
+                    set.insert(mb.mul(mg), ());
+                }
+            }
+        }
+        set
+    }
+
+    /// Automatic Gram basis for an SOS constraint: all monomials whose
+    /// doubled degree fits within the (per-variable and total) degree
+    /// envelope of the expression's possible support.
+    fn auto_gram_basis(&self, expr: &PolyExpr) -> Vec<Monomial> {
+        let support = self.support_of(expr, None);
+        if support.is_empty() {
+            return vec![Monomial::one(self.nvars)];
+        }
+        let mut max_total = 0u32;
+        let mut min_total = u32::MAX;
+        let mut max_per_var = vec![0u32; self.nvars];
+        for m in support.keys() {
+            max_total = max_total.max(m.degree());
+            min_total = min_total.min(m.degree());
+            for i in 0..self.nvars {
+                max_per_var[i] = max_per_var[i].max(m.exp(i));
+            }
+        }
+        let hi = max_total / 2;
+        let lo = min_total.div_ceil(2).min(hi);
+        monomials_up_to(self.nvars, hi)
+            .into_iter()
+            .filter(|m| {
+                let d = m.degree();
+                d >= lo && d <= hi && (0..self.nvars).all(|i| 2 * m.exp(i) <= max_per_var[i] + 1)
+            })
+            .collect()
+    }
+}
+
+struct Layout {
+    scalar_free: Vec<FreeVarId>,
+    poly_free: Vec<Vec<FreeVarId>>,
+    gram_blocks: Vec<BlockId>,
+    constraint_blocks: Vec<Option<(BlockId, Vec<Monomial>)>>,
+}
+
+struct Compiled {
+    sdp: SdpProblem,
+    layout: Layout,
+}
+
+/// A solved SOS program: read back scalar values, polynomial certificates,
+/// Gram matrices and SOS decompositions.
+pub struct SosSolution {
+    sdp: SdpSolution,
+    layout: Layout,
+    poly_bases: Vec<Vec<Monomial>>,
+    gram_bases: Vec<Vec<Monomial>>,
+    /// Copies of the constraint expressions, for a-posteriori residuals.
+    exprs: Vec<PolyExpr>,
+}
+
+impl SosSolution {
+    /// Value of a scalar decision variable.
+    pub fn scalar_value(&self, s: ScalarVarId) -> f64 {
+        self.sdp.free[free_index(&self.layout.scalar_free[s.0])]
+    }
+
+    /// Numeric polynomial value of a coefficient decision polynomial.
+    pub fn poly_value(&self, v: PolyVarId) -> Polynomial {
+        let basis = &self.poly_bases[v.0];
+        let nvars = basis.first().map_or(0, Monomial::nvars);
+        let mut p = Polynomial::zero(nvars);
+        for (k, m) in basis.iter().enumerate() {
+            let val = self.sdp.free[free_index(&self.layout.poly_free[v.0][k])];
+            p.add_term(m.clone(), val);
+        }
+        p
+    }
+
+    /// Numeric polynomial value of a Gram-backed SOS multiplier.
+    pub fn sos_poly_value(&self, g: GramVarId) -> Polynomial {
+        let basis = &self.gram_bases[g.0];
+        let q = &self.sdp.x[block_index(&self.layout.gram_blocks[g.0])];
+        gram_to_poly(basis, q)
+    }
+
+    /// Gram matrix and basis of a Gram-backed SOS multiplier — the raw
+    /// certificate data (used, e.g., by exact-arithmetic post-verification).
+    pub fn sos_poly_gram(&self, g: GramVarId) -> (&[Monomial], &Matrix) {
+        (
+            self.gram_bases[g.0].as_slice(),
+            &self.sdp.x[block_index(&self.layout.gram_blocks[g.0])],
+        )
+    }
+
+    /// Gram matrix and basis of an SOS constraint (if the constraint was an
+    /// SOS — `None` for zero-equality constraints).
+    pub fn constraint_gram(&self, c: SosConstraintId) -> Option<(&[Monomial], &Matrix)> {
+        self.layout.constraint_blocks[c.0]
+            .as_ref()
+            .map(|(blk, basis)| (basis.as_slice(), &self.sdp.x[block_index(blk)]))
+    }
+
+    /// SOS decomposition `Σ qᵢ²` of the polynomial certified by constraint
+    /// `c`, or `None` for zero-equality constraints.
+    pub fn sos_decomposition(&self, c: SosConstraintId) -> Option<SosDecomposition> {
+        let (basis, q) = self.constraint_gram(c)?;
+        Some(SosDecomposition::from_gram(basis, q))
+    }
+
+    /// Underlying SDP solution (diagnostics).
+    pub fn sdp_solution(&self) -> &SdpSolution {
+        &self.sdp
+    }
+
+    /// Evaluates an expression at the solved decision values, returning the
+    /// resulting numeric polynomial.
+    fn eval_expr(&self, expr: &PolyExpr) -> Polynomial {
+        let mut acc = expr.constant.clone();
+        for (sv, q) in &expr.scalar_terms {
+            acc = &acc + &q.scale(self.scalar_value(*sv));
+        }
+        for (pv, op) in &expr.poly_terms {
+            let basis = &self.poly_bases[pv.0];
+            for (k, m) in basis.iter().enumerate() {
+                let coef = self.sdp.free[free_index(&self.layout.poly_free[pv.0][k])];
+                if coef != 0.0 {
+                    acc = &acc + &op.apply(m).scale(coef);
+                }
+            }
+        }
+        for (gv, h) in &expr.gram_terms {
+            let sigma = self.sos_poly_value(*gv);
+            acc = &acc + &(&sigma * h);
+        }
+        acc
+    }
+
+    /// A-posteriori certificate check: the maximum absolute coefficient of
+    /// `expr(solution) − z(x)ᵀ P z(x)` for an SOS constraint (or of
+    /// `expr(solution)` for a zero constraint). Small residuals mean the
+    /// numeric solution genuinely satisfies the polynomial identity the
+    /// constraint encodes — the defence against interior-point
+    /// false-positives on marginally infeasible programs.
+    pub fn residual_of(&self, c: SosConstraintId) -> f64 {
+        let value = self.eval_expr(&self.exprs[c.0]);
+        match &self.layout.constraint_blocks[c.0] {
+            Some((blk, basis)) => {
+                let gram = gram_to_poly(basis, &self.sdp.x[block_index(blk)]);
+                (&value - &gram).max_abs_coefficient()
+            }
+            None => value.max_abs_coefficient(),
+        }
+    }
+
+    /// Largest [`SosSolution::residual_of`] across all constraints.
+    pub fn max_residual(&self) -> f64 {
+        (0..self.exprs.len())
+            .map(|i| self.residual_of(SosConstraintId(i)))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Converts a Gram matrix over a monomial basis into the polynomial
+/// `z(x)ᵀ Q z(x)`.
+pub(crate) fn gram_to_poly(basis: &[Monomial], q: &Matrix) -> Polynomial {
+    let nvars = basis.first().map_or(0, Monomial::nvars);
+    let mut p = Polynomial::zero(nvars);
+    for (i, mi) in basis.iter().enumerate() {
+        for (j, mj) in basis.iter().enumerate() {
+            let v = q[(i, j)];
+            if v != 0.0 {
+                p.add_term(mi.mul(mj), v);
+            }
+        }
+    }
+    p
+}
+
+// Small helpers to strip the newtype ids (fields are crate-private in
+// cppll-sdp; we rely on creation order instead).
+fn free_index(id: &FreeVarId) -> usize {
+    // FreeVarId is ordered by creation; cppll-sdp exposes the raw index via
+    // Debug formatting is fragile — instead we rely on the public contract
+    // that ids index into `SdpSolution::free` in creation order.
+    id.index()
+}
+
+fn block_index(id: &BlockId) -> usize {
+    id.index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn motzkin() -> Polynomial {
+        // x⁴y² + x²y⁴ − 3x²y² + 1 : nonnegative but NOT a sum of squares.
+        Polynomial::from_terms(
+            2,
+            &[
+                (&[4, 2], 1.0),
+                (&[2, 4], 1.0),
+                (&[2, 2], -3.0),
+                (&[0, 0], 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn simple_square_is_sos() {
+        // (x - y)² + 0.1
+        let p = Polynomial::from_terms(
+            2,
+            &[
+                (&[2, 0], 1.0),
+                (&[1, 1], -2.0),
+                (&[0, 2], 1.0),
+                (&[0, 0], 0.1),
+            ],
+        );
+        let mut prog = SosProgram::new(2);
+        let c = prog.require_sos(p.clone().into());
+        let sol = prog.solve(&SosOptions::default()).expect("feasible");
+        let dec = sol.sos_decomposition(c).expect("sos constraint");
+        assert!(dec.residual(&p) < 1e-6, "residual {}", dec.residual(&p));
+    }
+
+    #[test]
+    fn motzkin_is_not_sos() {
+        let mut prog = SosProgram::new(2);
+        prog.require_sos(motzkin().into());
+        let r = prog.solve(&SosOptions::default());
+        assert!(r.is_err(), "motzkin must not be SOS");
+    }
+
+    #[test]
+    fn motzkin_times_norm_is_sos() {
+        // (x² + y² + 1) · motzkin is SOS — the classic certificate.
+        let mult = Polynomial::from_terms(2, &[(&[2, 0], 1.0), (&[0, 2], 1.0), (&[0, 0], 1.0)]);
+        let p = &mult * &motzkin();
+        let mut prog = SosProgram::new(2);
+        let c = prog.require_sos(p.clone().into());
+        let sol = prog.solve(&SosOptions::default()).expect("feasible");
+        let dec = sol.sos_decomposition(c).expect("sos constraint");
+        assert!(dec.residual(&p) < 1e-4, "residual {}", dec.residual(&p));
+    }
+
+    #[test]
+    fn lyapunov_for_stable_linear_system() {
+        // ẋ = -x + y, ẏ = -y. Find quadratic V ≻ 0 with -V̇ SOS.
+        let f = vec![
+            Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], 1.0)]),
+            Polynomial::from_terms(2, &[(&[0, 1], -1.0)]),
+        ];
+        let mut prog = SosProgram::new(2);
+        let v = prog.new_poly_of_degree(2, 2);
+        let eps = Polynomial::norm_squared(2).scale(1e-2);
+        // V - ε‖x‖² SOS  and  -V̇ - ε‖x‖² SOS.
+        prog.require_sos(prog.poly(v).sub(&eps.clone().into()));
+        let vdot = prog.poly_lie_derivative(v, &f);
+        prog.require_sos(vdot.neg().sub(&eps.into()));
+        let sol = prog.solve(&SosOptions::default()).expect("feasible");
+        let vp = sol.poly_value(v);
+        // Check V > 0 and V̇ < 0 at sample points.
+        for &(x, y) in &[(1.0, 0.5), (-2.0, 1.0), (0.1, -0.3)] {
+            assert!(vp.eval(&[x, y]) > 0.0, "V not positive at ({x},{y})");
+            let vdot_val = vp.lie_derivative(&f).eval(&[x, y]);
+            assert!(vdot_val < 0.0, "V̇ not negative at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn s_procedure_nonneg_on_interval() {
+        // p(x) = x is nonnegative on {x : x ≥ 0} (trivially, via σ = 1·x).
+        let x = Polynomial::var(1, 0);
+        let mut prog = SosProgram::new(1);
+        let (c, _m) = prog.require_nonneg_on(x.clone().into(), &[x.clone()], 0);
+        let sol = prog.solve(&SosOptions::default()).expect("feasible");
+        let _ = sol.constraint_gram(c);
+    }
+
+    #[test]
+    fn s_procedure_detects_violation() {
+        // p(x) = -1 - x² is NOT nonnegative on {x ≥ 0}.
+        let x = Polynomial::var(1, 0);
+        let p = Polynomial::from_terms(1, &[(&[0], -1.0), (&[2], -1.0)]);
+        let mut prog = SosProgram::new(1);
+        prog.require_nonneg_on(p.into(), &[x], 1);
+        assert!(prog.solve(&SosOptions::default()).is_err());
+    }
+
+    #[test]
+    fn scalar_objective_maximizes() {
+        // max c s.t. x² - c is SOS ⇒ c* = 0.
+        let x2 = Polynomial::from_terms(1, &[(&[2], 1.0)]);
+        let mut prog = SosProgram::new(1);
+        let c = prog.new_scalar();
+        let expr = PolyExpr::from(x2).sub(&prog.scalar(c));
+        prog.require_sos(expr);
+        prog.maximize_scalar(c);
+        let sol = prog.solve(&SosOptions::with_objective()).expect("feasible");
+        assert!(
+            sol.scalar_value(c).abs() < 1e-4,
+            "c = {}",
+            sol.scalar_value(c)
+        );
+    }
+
+    #[test]
+    fn lower_bound_of_quartic() {
+        // max c s.t. (x²−1)² + 0.5 − c SOS ⇒ c* = 0.5.
+        let p = Polynomial::from_terms(1, &[(&[4], 1.0), (&[2], -2.0), (&[0], 1.5)]);
+        let mut prog = SosProgram::new(1);
+        let c = prog.new_scalar();
+        prog.require_sos(PolyExpr::from(p).sub(&prog.scalar(c)));
+        prog.maximize_scalar(c);
+        let sol = prog.solve(&SosOptions::with_objective()).expect("feasible");
+        assert!(
+            (sol.scalar_value(c) - 0.5).abs() < 1e-3,
+            "c = {}",
+            sol.scalar_value(c)
+        );
+    }
+
+    #[test]
+    fn zero_equality_constraint_binds() {
+        // Find p of degree ≤ 2 with p ≡ x²  (i.e. p − x² = 0).
+        let x2 = Polynomial::from_terms(1, &[(&[2], 1.0)]);
+        let mut prog = SosProgram::new(1);
+        let p = prog.new_poly_of_degree(0, 2);
+        prog.require_zero(prog.poly(p).sub(&x2.clone().into()));
+        let sol = prog.solve(&SosOptions::default()).expect("feasible");
+        let got = sol.poly_value(p);
+        assert!((&got - &x2).max_abs_coefficient() < 1e-5);
+    }
+}
