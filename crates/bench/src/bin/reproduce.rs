@@ -19,17 +19,13 @@ fn out_dir() -> PathBuf {
     dir
 }
 
-fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+fn save_json<T: cppll_json::ToJson + ?Sized>(name: &str, value: &T) {
     let path = out_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("  [saved {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    let s = value.to_json().to_pretty_string();
+    if let Err(e) = fs::write(&path, s) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("  [saved {}]", path.display());
     }
 }
 
@@ -150,6 +146,13 @@ fn main() {
         println!(
             "  degrees: third = {}, fourth = {}; verified: {:?}",
             t2.degrees.0, t2.degrees.1, t2.verified
+        );
+        println!(
+            "  supervised solves (solves/attempts): third = {}/{}, fourth = {}/{}",
+            t2.solve_attempts.0 .0,
+            t2.solve_attempts.0 .1,
+            t2.solve_attempts.1 .0,
+            t2.solve_attempts.1 .1
         );
         println!(
             "  {:<26} {:>12} {:>12} {:>14} {:>14}",

@@ -6,11 +6,11 @@
 //! zero — the sets are neighbourhoods of the origin, so the zero-slice is
 //! the natural 2-D view) and the boundary is traced radially.
 
+use cppll_json::{ObjectBuilder, ToJson, Value};
 use cppll_poly::Polynomial;
-use serde::Serialize;
 
 /// A traced planar curve: one point per scan angle.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Curve {
     /// Label, e.g. `"AI (v1, v2)"`.
     pub label: String,
@@ -20,6 +20,17 @@ pub struct Curve {
     pub y_axis: usize,
     /// Boundary points `(x, y)`.
     pub points: Vec<(f64, f64)>,
+}
+
+impl ToJson for Curve {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("label", &self.label)
+            .field("x_axis", self.x_axis)
+            .field("y_axis", self.y_axis)
+            .field("points", &self.points)
+            .build()
+    }
 }
 
 impl Curve {

@@ -3,17 +3,19 @@
 use cppll_pll::{
     PllModelBuilder, PllOrder, TableOneParams, UncertaintySelection, VerificationModel,
 };
+use cppll_json::{ObjectBuilder, ToJson, Value};
 use cppll_verify::{
     CertificateScheme, InevitabilityVerifier, LyapunovOptions, LyapunovSynthesizer,
-    PipelineOptions, RobustEncoding, VerificationReport,
+    PipelineOptions, ResilienceConfig, RobustEncoding, VerificationReport,
 };
-use serde::Serialize;
 
 use crate::contour::{trace_sublevel_boundary, Curve};
 
 /// Certificate degrees used by the paper: 6 for the third order, 4 for the
-/// fourth. `quick` mode uses 4/4, which still verifies both benchmarks and
-/// keeps the harness under a couple of minutes.
+/// fourth. `quick` mode uses 4/4 to keep the harness fast; the third order
+/// still verifies, while the fourth typically degrades during inclusion
+/// checking at that degree — Table 2 records both outcomes in its
+/// `verified` flags instead of aborting.
 pub fn paper_degree(order: PllOrder, quick: bool) -> u32 {
     match (order, quick) {
         (PllOrder::Third, false) => 6,
@@ -41,7 +43,11 @@ pub fn run_pipeline(order: PllOrder, quick: bool) -> (VerificationModel, Verific
     }
     let m = model(order);
     let verifier = InevitabilityVerifier::for_pll(&m);
-    let opt = PipelineOptions::degree(paper_degree(order, quick));
+    let mut opt = PipelineOptions::degree(paper_degree(order, quick));
+    // The harness runs supervised: transient stalls near the feasibility
+    // boundary are retried rather than absorbed, and the attempt counts
+    // surface in the reproduction output.
+    opt.resilience = ResilienceConfig::with_retries(2);
     let report = verifier
         .verify(&opt)
         .expect("lyapunov synthesis feasible for the PLL benchmarks");
@@ -55,7 +61,7 @@ pub fn run_pipeline(order: PllOrder, quick: bool) -> (VerificationModel, Verific
 // ---------------------------------------------------------------------------
 
 /// One row of the Table-1 reproduction.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Parameter name.
     pub parameter: String,
@@ -131,7 +137,7 @@ pub fn table1() -> Vec<Table1Row> {
 // ---------------------------------------------------------------------------
 
 /// Data behind one attractive-invariant figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResult {
     /// Artefact id, e.g. `"fig2"`.
     pub id: String,
@@ -160,6 +166,7 @@ fn ai_figure(
     }
     let notes = vec![
         format!("verdict: {:?}", report.verdict),
+        format!("solves: {}", report.solve_stats),
         format!("level c* = {:.4}", report.levels.level),
         format!(
             "projection extents: {}",
@@ -174,7 +181,7 @@ fn ai_figure(
         id: id.into(),
         curves,
         level: report.levels.level,
-        degree: report.certificates.degree(),
+        degree: report.certificates.as_ref().expect("verified run has certificates").degree(),
         notes,
     }
 }
@@ -206,7 +213,7 @@ pub fn fig3(quick: bool) -> FigureResult {
 // ---------------------------------------------------------------------------
 
 /// Data behind one advection figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AdvectionFigure {
     /// Artefact id, e.g. `"fig4"`.
     pub id: String,
@@ -263,6 +270,7 @@ fn advection_figure(
     let verified = report.verdict.is_verified();
     let notes = vec![
         format!("verdict: {:?}", report.verdict),
+        format!("solves: {}", report.solve_stats),
         format!(
             "advection iterations: {} (paper: {})",
             report.advection_iterations(),
@@ -320,7 +328,7 @@ pub fn fig5_escape_variant(quick: bool) -> AdvectionFigure {
 // ---------------------------------------------------------------------------
 
 /// One row of the Table-2 reproduction.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Verification step name.
     pub step: String,
@@ -335,7 +343,7 @@ pub struct Table2Row {
 }
 
 /// The Table-2 reproduction plus summary facts.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2 {
     /// Rows in the paper's order.
     pub rows: Vec<Table2Row>,
@@ -343,6 +351,9 @@ pub struct Table2 {
     pub degrees: (u32, u32),
     /// Both verdicts verified?
     pub verified: (bool, bool),
+    /// Supervised-solve totals `(solves, attempts)` per benchmark, third
+    /// then fourth — the reproduction's retry footprint.
+    pub solve_attempts: ((usize, usize), (usize, usize)),
 }
 
 /// Reproduces Table 2 by running both pipelines and tabulating per-step
@@ -375,8 +386,17 @@ pub fn table2(quick: bool) -> Table2 {
         .collect();
     Table2 {
         rows,
-        degrees: (r3.certificates.degree(), r4.certificates.degree()),
+        // A degraded run has no certificates; the `verified` flags below
+        // record that, so the table keeps printing instead of panicking.
+        degrees: (
+            r3.certificates.as_ref().map_or(0, |c| c.degree()),
+            r4.certificates.as_ref().map_or(0, |c| c.degree()),
+        ),
         verified: (r3.verdict.is_verified(), r4.verdict.is_verified()),
+        solve_attempts: (
+            (r3.solve_stats.solves, r3.solve_stats.attempts),
+            (r4.solve_stats.solves, r4.solve_stats.attempts),
+        ),
     }
 }
 
@@ -385,7 +405,7 @@ pub fn table2(quick: bool) -> Table2 {
 // ---------------------------------------------------------------------------
 
 /// One ablation measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Configuration label.
     pub config: String,
@@ -532,4 +552,80 @@ pub fn ablation_advection() -> Vec<AblationRow> {
         metric: step.map(|s| s.gamma),
     });
     rows
+}
+
+// ---------------------------------------------------------------------------
+// JSON artefact serialisation (hand-rolled: serde is unavailable offline).
+// ---------------------------------------------------------------------------
+
+impl ToJson for Table1Row {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("parameter", &self.parameter)
+            .field("third", &self.third)
+            .field("fourth", &self.fourth)
+            .build()
+    }
+}
+
+impl ToJson for FigureResult {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("id", &self.id)
+            .field("curves", &self.curves)
+            .field("level", self.level)
+            .field("degree", self.degree)
+            .field("notes", &self.notes)
+            .build()
+    }
+}
+
+impl ToJson for AdvectionFigure {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("id", &self.id)
+            .field("initial_curves", &self.initial_curves)
+            .field("ai_curves", &self.ai_curves)
+            .field("front_curves", &self.front_curves)
+            .field("iterations", self.iterations)
+            .field("included_after", self.included_after)
+            .field("escape_count", self.escape_count)
+            .field("verified", self.verified)
+            .field("notes", &self.notes)
+            .build()
+    }
+}
+
+impl ToJson for Table2Row {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("step", &self.step)
+            .field("third_seconds", self.third_seconds)
+            .field("fourth_seconds", self.fourth_seconds)
+            .field("paper_third", self.paper_third)
+            .field("paper_fourth", self.paper_fourth)
+            .build()
+    }
+}
+
+impl ToJson for Table2 {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("rows", &self.rows)
+            .field("degrees", self.degrees)
+            .field("verified", self.verified)
+            .field("solve_attempts", self.solve_attempts)
+            .build()
+    }
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("config", &self.config)
+            .field("feasible", self.feasible)
+            .field("seconds", self.seconds)
+            .field("metric", self.metric)
+            .build()
+    }
 }

@@ -5,12 +5,23 @@
 //! cppll pll <3|4> [degree]       run the built-in CP PLL benchmarks
 //! cppll schema                   print an annotated example spec
 //! ```
+//!
+//! Resilience flags (both `verify` and `pll`):
+//!
+//! ```text
+//! --retries <n>            retries per solve on transient failures (default 2)
+//! --solve-timeout <secs>   wall-clock budget per solve attempt
+//! --deadline <secs>        wall-clock budget for the whole pipeline
+//! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use cppll_cli::{run_inevitability, SystemSpec};
+use cppll_cli::{run_inevitability_with, SystemSpec};
 use cppll_pll::{PllModelBuilder, PllOrder};
-use cppll_verify::{InevitabilityVerifier, PipelineOptions, VerificationReport};
+use cppll_verify::{
+    InevitabilityVerifier, PipelineOptions, ResilienceConfig, VerificationReport,
+};
 
 const EXAMPLE_SPEC: &str = r#"{
   "states": 2,
@@ -37,14 +48,72 @@ fn print_report(report: &VerificationReport) {
         report.included_after()
     );
     println!("escape certificates: {}", report.escape_certificates.len());
+    println!("solves: {}", report.solve_stats);
+    for f in &report.failures {
+        println!("failure: {f}");
+        for a in &f.attempts {
+            println!("  {}", a.log_line());
+        }
+    }
     println!("timings:");
     for t in &report.timings {
         println!("  {:<26} {:>9.2}s", t.name, t.seconds);
     }
 }
 
+/// Extracts `--retries`, `--solve-timeout` and `--deadline` (with their
+/// values) from `args`, returning the remaining positional arguments and
+/// the resulting config.
+fn parse_resilience(args: &[String]) -> Result<(Vec<String>, ResilienceConfig), String> {
+    fn seconds(flag: &str, v: &str) -> Result<Duration, String> {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| format!("{flag}: not a number of seconds: {v}"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("{flag}: must be a non-negative number of seconds: {v}"));
+        }
+        Ok(Duration::from_secs_f64(secs))
+    }
+    let mut config = ResilienceConfig::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--retries" => {
+                let v = value_of("--retries")?;
+                config.retries = v
+                    .parse()
+                    .map_err(|_| format!("--retries: not a count: {v}"))?;
+            }
+            "--solve-timeout" => {
+                config.solve_timeout = Some(seconds("--solve-timeout", value_of("--solve-timeout")?)?);
+            }
+            "--deadline" => {
+                config.deadline = Some(seconds("--deadline", value_of("--deadline")?)?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    Ok((positional, config))
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, resilience) = match parse_resilience(&raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match args.first().map(String::as_str) {
         Some("schema") => {
             println!("{EXAMPLE_SPEC}");
@@ -62,14 +131,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let spec: SystemSpec = match serde_json::from_str(&text) {
+            let spec: SystemSpec = match SystemSpec::from_json_str(&text) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("cannot parse {path}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            match run_inevitability(&spec) {
+            match run_inevitability_with(&spec, resilience) {
                 Ok(report) => {
                     print_report(&report);
                     if report.verdict.is_verified() {
@@ -98,10 +167,16 @@ fn main() -> ExitCode {
             println!("CP PLL order {order:?}, certificate degree {degree}");
             println!("scaled coefficients: {}", model.coeffs());
             let verifier = InevitabilityVerifier::for_pll(&model);
-            match verifier.verify(&PipelineOptions::degree(degree)) {
+            let mut opt = PipelineOptions::degree(degree);
+            opt.resilience = resilience;
+            match verifier.verify(&opt) {
                 Ok(report) => {
                     print_report(&report);
-                    ExitCode::SUCCESS
+                    if report.verdict.is_verified() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(2)
+                    }
                 }
                 Err(e) => {
                     eprintln!("{e}");
@@ -116,7 +191,12 @@ fn main() -> ExitCode {
                  usage:\n\
                  \x20 cppll verify <system.json>   verify a JSON system spec\n\
                  \x20 cppll pll <3|4> [degree]     run the CP PLL benchmarks\n\
-                 \x20 cppll schema                 print an example spec"
+                 \x20 cppll schema                 print an example spec\n\
+                 \n\
+                 resilience flags (verify, pll):\n\
+                 \x20 --retries <n>            retries per solve on transient failures (default 2)\n\
+                 \x20 --solve-timeout <secs>   wall-clock budget per solve attempt\n\
+                 \x20 --deadline <secs>        wall-clock budget for the whole pipeline"
             );
             ExitCode::FAILURE
         }

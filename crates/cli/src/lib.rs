@@ -32,4 +32,6 @@ mod parse;
 mod spec;
 
 pub use parse::{parse_polynomial, ParsePolynomialError};
-pub use spec::{run_inevitability, JumpSpec, ModeSpec, ParamSpec, SpecError, SystemSpec};
+pub use spec::{
+    run_inevitability, run_inevitability_with, JumpSpec, ModeSpec, ParamSpec, SpecError, SystemSpec,
+};

@@ -53,11 +53,11 @@ pub fn parse_polynomial(input: &str, nvars: usize) -> Result<Polynomial, ParsePo
     let mut terms: Vec<(f64, String)> = Vec::new();
     let mut current = String::new();
     let mut sign = 1.0;
-    let mut chars = cleaned.chars().peekable();
+    let chars = cleaned.chars();
     // Split on top-level + and - (a '-' directly after 'e'/'E' inside a
     // number would be scientific notation; keep the parser simple and
     // require explicit spacing for exponents instead).
-    while let Some(c) = chars.next() {
+    for c in chars {
         match c {
             '+' => {
                 if !current.trim().is_empty() {

@@ -1,77 +1,262 @@
 //! JSON system specification and pipeline execution.
 
 use cppll_hybrid::{HybridSystem, Jump, Mode, ParamBox};
+use cppll_json::{ObjectBuilder, ToJson, Value};
 use cppll_poly::Polynomial;
 use cppll_verify::{InevitabilityVerifier, PipelineOptions, Region, VerificationReport};
-use serde::{Deserialize, Serialize};
 
 use crate::parse::{parse_polynomial, ParsePolynomialError};
 
 /// One mode of the system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModeSpec {
     /// Mode name.
     pub name: String,
     /// Flow components `ẋᵢ` as polynomial strings over states (+ params).
     pub flow: Vec<String>,
-    /// Flow-set inequalities `g(x) ≥ 0` over the states.
-    #[serde(default)]
+    /// Flow-set inequalities `g(x) ≥ 0` over the states (default empty).
     pub flow_set: Vec<String>,
 }
 
 /// One jump of the system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JumpSpec {
     /// Source mode index.
     pub from: usize,
     /// Target mode index.
     pub to: usize,
-    /// Guard inequalities `g(x) ≥ 0`.
-    #[serde(default)]
+    /// Guard inequalities `g(x) ≥ 0` (default empty).
     pub guard: Vec<String>,
-    /// Guard equalities `h(x) = 0`.
-    #[serde(default)]
+    /// Guard equalities `h(x) = 0` (default empty).
     pub guard_eq: Vec<String>,
     /// Reset map components (identity when omitted).
-    #[serde(default)]
     pub reset: Vec<String>,
 }
 
 /// Uncertain-parameter box.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ParamSpec {
     /// Lower bounds.
-    #[serde(default)]
     pub lo: Vec<f64>,
     /// Upper bounds.
-    #[serde(default)]
     pub hi: Vec<f64>,
 }
 
 /// A polynomial hybrid system plus the inevitability query.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemSpec {
     /// Number of state variables (`x0 … x{n−1}`).
     pub states: usize,
     /// Modes.
     pub modes: Vec<ModeSpec>,
-    /// Jumps.
-    #[serde(default)]
+    /// Jumps (default empty).
     pub jumps: Vec<JumpSpec>,
     /// Uncertain parameters (appended as `x{n} …` in flow strings).
-    #[serde(default)]
     pub params: ParamSpec,
     /// Verified-region boundary inequalities `g(x) ≥ 0`.
     pub boundary: Vec<String>,
     /// Semi-axes of the ellipsoidal initial set.
     pub initial_radii: Vec<f64>,
-    /// Lyapunov certificate degree (even).
-    #[serde(default = "default_degree")]
+    /// Lyapunov certificate degree (even, default 2).
     pub degree: u32,
 }
 
 fn default_degree() -> u32 {
     2
+}
+
+// ---------------------------------------------------------------------------
+// JSON decoding (hand-rolled: the build has no registry access, so serde is
+// unavailable; cppll-json supplies the Value tree).
+// ---------------------------------------------------------------------------
+
+fn invalid(message: impl Into<String>) -> SpecError {
+    SpecError::Invalid {
+        message: message.into(),
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a Value, SpecError> {
+    v.get(key)
+        .ok_or_else(|| invalid(format!("{ctx}: missing field '{key}'")))
+}
+
+fn decode_usize(v: &Value, ctx: &str) -> Result<usize, SpecError> {
+    v.as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| invalid(format!("{ctx}: expected a nonnegative integer")))
+}
+
+fn decode_strings(v: &Value, ctx: &str) -> Result<Vec<String>, SpecError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| invalid(format!("{ctx}: expected an array of strings")))?;
+    items
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| invalid(format!("{ctx}: expected a string")))
+        })
+        .collect()
+}
+
+fn decode_numbers(v: &Value, ctx: &str) -> Result<Vec<f64>, SpecError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| invalid(format!("{ctx}: expected an array of numbers")))?;
+    items
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| invalid(format!("{ctx}: expected a number")))
+        })
+        .collect()
+}
+
+/// Decodes an optional array-of-strings field (absent → empty).
+fn opt_strings(v: &Value, key: &str, ctx: &str) -> Result<Vec<String>, SpecError> {
+    match v.get(key) {
+        Some(inner) => decode_strings(inner, &format!("{ctx}.{key}")),
+        None => Ok(Vec::new()),
+    }
+}
+
+impl ModeSpec {
+    fn from_json(v: &Value, ctx: &str) -> Result<Self, SpecError> {
+        Ok(ModeSpec {
+            name: field(v, "name", ctx)?
+                .as_str()
+                .ok_or_else(|| invalid(format!("{ctx}.name: expected a string")))?
+                .to_string(),
+            flow: decode_strings(field(v, "flow", ctx)?, &format!("{ctx}.flow"))?,
+            flow_set: opt_strings(v, "flow_set", ctx)?,
+        })
+    }
+}
+
+impl ToJson for ModeSpec {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("name", &self.name)
+            .field("flow", &self.flow)
+            .field("flow_set", &self.flow_set)
+            .build()
+    }
+}
+
+impl JumpSpec {
+    fn from_json(v: &Value, ctx: &str) -> Result<Self, SpecError> {
+        Ok(JumpSpec {
+            from: decode_usize(field(v, "from", ctx)?, &format!("{ctx}.from"))?,
+            to: decode_usize(field(v, "to", ctx)?, &format!("{ctx}.to"))?,
+            guard: opt_strings(v, "guard", ctx)?,
+            guard_eq: opt_strings(v, "guard_eq", ctx)?,
+            reset: opt_strings(v, "reset", ctx)?,
+        })
+    }
+}
+
+impl ToJson for JumpSpec {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("from", self.from)
+            .field("to", self.to)
+            .field("guard", &self.guard)
+            .field("guard_eq", &self.guard_eq)
+            .field("reset", &self.reset)
+            .build()
+    }
+}
+
+impl ToJson for ParamSpec {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("lo", &self.lo)
+            .field("hi", &self.hi)
+            .build()
+    }
+}
+
+impl SystemSpec {
+    /// Decodes a spec from already-parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Invalid`] when required fields are missing or mistyped.
+    pub fn from_json(v: &Value) -> Result<Self, SpecError> {
+        let modes = field(v, "modes", "spec")?
+            .as_array()
+            .ok_or_else(|| invalid("spec.modes: expected an array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ModeSpec::from_json(m, &format!("modes[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let jumps = match v.get("jumps") {
+            Some(js) => js
+                .as_array()
+                .ok_or_else(|| invalid("spec.jumps: expected an array"))?
+                .iter()
+                .enumerate()
+                .map(|(i, j)| JumpSpec::from_json(j, &format!("jumps[{i}]")))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        let params = match v.get("params") {
+            Some(p) => ParamSpec {
+                lo: match p.get("lo") {
+                    Some(lo) => decode_numbers(lo, "params.lo")?,
+                    None => Vec::new(),
+                },
+                hi: match p.get("hi") {
+                    Some(hi) => decode_numbers(hi, "params.hi")?,
+                    None => Vec::new(),
+                },
+            },
+            None => ParamSpec::default(),
+        };
+        let degree = match v.get("degree") {
+            Some(d) => u32::try_from(decode_usize(d, "spec.degree")?)
+                .map_err(|_| invalid("spec.degree: out of range"))?,
+            None => default_degree(),
+        };
+        Ok(SystemSpec {
+            states: decode_usize(field(v, "states", "spec")?, "spec.states")?,
+            modes,
+            jumps,
+            params,
+            boundary: decode_strings(field(v, "boundary", "spec")?, "spec.boundary")?,
+            initial_radii: decode_numbers(
+                field(v, "initial_radii", "spec")?,
+                "spec.initial_radii",
+            )?,
+            degree,
+        })
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Invalid`] on malformed JSON or a mistyped document.
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        let v = cppll_json::parse(text).map_err(|e| invalid(format!("json: {e}")))?;
+        Self::from_json(&v)
+    }
+}
+
+impl ToJson for SystemSpec {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("states", self.states)
+            .field("modes", &self.modes)
+            .field("jumps", &self.jumps)
+            .field("params", &self.params)
+            .field("boundary", &self.boundary)
+            .field("initial_radii", &self.initial_radii)
+            .field("degree", self.degree)
+            .build()
+    }
 }
 
 /// Errors surfaced while interpreting a [`SystemSpec`].
@@ -214,6 +399,19 @@ impl SystemSpec {
 ///
 /// [`SpecError`] on malformed input or pipeline failure.
 pub fn run_inevitability(spec: &SystemSpec) -> Result<VerificationReport, SpecError> {
+    run_inevitability_with(spec, cppll_verify::ResilienceConfig::default())
+}
+
+/// Like [`run_inevitability`], with an explicit resilience configuration
+/// (retries, per-solve timeout, pipeline deadline).
+///
+/// # Errors
+///
+/// [`SpecError`] on malformed input or pipeline failure.
+pub fn run_inevitability_with(
+    spec: &SystemSpec,
+    resilience: cppll_verify::ResilienceConfig,
+) -> Result<VerificationReport, SpecError> {
     if spec.initial_radii.len() != spec.states {
         return Err(SpecError::Invalid {
             message: "initial_radii must have one entry per state".into(),
@@ -223,9 +421,9 @@ pub fn run_inevitability(spec: &SystemSpec) -> Result<VerificationReport, SpecEr
     let boundary = spec.build_boundary()?;
     let initial = Region::ellipsoid(&spec.initial_radii);
     let verifier = InevitabilityVerifier::new(&system, boundary, initial);
-    verifier
-        .verify(&PipelineOptions::degree(spec.degree))
-        .map_err(SpecError::Verify)
+    let mut opt = PipelineOptions::degree(spec.degree);
+    opt.resilience = resilience;
+    verifier.verify(&opt).map_err(SpecError::Verify)
 }
 
 #[cfg(test)]
@@ -233,7 +431,7 @@ mod tests {
     use super::*;
 
     fn toy_spec() -> SystemSpec {
-        serde_json::from_str(
+        SystemSpec::from_json_str(
             r#"{
               "states": 2,
               "modes": [
@@ -255,11 +453,41 @@ mod tests {
     #[test]
     fn spec_round_trips_through_json() {
         let spec = toy_spec();
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: SystemSpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json().to_compact_string();
+        let back = SystemSpec::from_json_str(&json).unwrap();
         assert_eq!(back.states, 2);
         assert_eq!(back.modes.len(), 2);
         assert_eq!(back.jumps.len(), 2);
+        assert_eq!(back.degree, spec.degree);
+    }
+
+    #[test]
+    fn defaults_apply_for_omitted_fields() {
+        let spec = SystemSpec::from_json_str(
+            r#"{
+              "states": 1,
+              "modes": [{"name": "only", "flow": ["-1 x0"]}],
+              "boundary": ["2 - 1 x0", "2 + 1 x0"],
+              "initial_radii": [1.0]
+            }"#,
+        )
+        .expect("valid json");
+        assert_eq!(spec.degree, 2);
+        assert!(spec.jumps.is_empty());
+        assert!(spec.params.lo.is_empty());
+        assert!(spec.modes[0].flow_set.is_empty());
+    }
+
+    #[test]
+    fn decode_errors_name_the_field() {
+        let missing = SystemSpec::from_json_str(r#"{"states": 1}"#).unwrap_err();
+        assert!(missing.to_string().contains("modes"), "{missing}");
+        let mistyped = SystemSpec::from_json_str(
+            r#"{"states": 1, "modes": [{"name": 3, "flow": []}],
+                "boundary": [], "initial_radii": []}"#,
+        )
+        .unwrap_err();
+        assert!(mistyped.to_string().contains("modes[0].name"), "{mistyped}");
     }
 
     #[test]
@@ -284,7 +512,7 @@ mod tests {
         // ẋ = −u·x with u ∈ [1, 2]: parameters are extra ring variables in
         // flow strings (x1 here), and the pipeline must verify robustly
         // over the box vertices.
-        let spec: SystemSpec = serde_json::from_str(
+        let spec = SystemSpec::from_json_str(
             r#"{
               "states": 1,
               "modes": [{"name": "decay", "flow": ["-1 x0 x1"]}],

@@ -32,6 +32,7 @@ pub mod levelset;
 pub mod lyapunov;
 pub mod pipeline;
 pub mod region;
+pub mod resilience;
 pub mod validation;
 
 pub use advection::{Advection, AdvectionOptions, AdvectionStep};
@@ -46,6 +47,7 @@ pub use pipeline::{
     InevitabilityVerifier, PipelineOptions, StepTiming, Verdict, VerificationReport,
 };
 pub use region::Region;
+pub use resilience::{FailureReport, PipelineStage, ResilienceConfig};
 
 /// Errors surfaced by the verification pipeline.
 #[derive(Debug)]
@@ -68,6 +70,15 @@ pub enum VerifyError {
 }
 
 impl VerifyError {
+    /// The supervised attempt log of the underlying solve, when one exists.
+    pub fn attempts(&self) -> &[cppll_sos::AttemptRecord] {
+        match self {
+            VerifyError::Infeasible { source, .. } | VerifyError::Numerical { source, .. } => {
+                source.attempts()
+            }
+        }
+    }
+
     pub(crate) fn from_sos(step: &'static str, e: cppll_sos::SosError) -> Self {
         match e {
             cppll_sos::SosError::Infeasible { .. } => VerifyError::Infeasible { step, source: e },

@@ -202,8 +202,12 @@ impl<'s> LyapunovSynthesizer<'s> {
 
     /// Like [`LyapunovSynthesizer::synthesize`], but retries with a
     /// geometrically smaller margin `ε` (down to `ε/100`) when the first
-    /// attempt fails: robust programs over parameter vertices are often
-    /// feasible only under a slimmer margin than nominal ones.
+    /// attempt is infeasible: robust programs over parameter vertices are
+    /// often feasible only under a slimmer margin than nominal ones.
+    ///
+    /// Numerical failures are *not* retried here — shrinking `ε` does not
+    /// address them, and re-solves with adjusted numerical parameters are
+    /// the solve supervisor's job (`SosOptions::resilience`).
     pub fn synthesize_auto(
         &self,
         opt: &LyapunovOptions,
@@ -213,6 +217,7 @@ impl<'s> LyapunovSynthesizer<'s> {
         for _ in 0..3 {
             match self.synthesize(&attempt) {
                 Ok(c) => return Ok(c),
+                Err(e @ VerifyError::Numerical { .. }) => return Err(e),
                 Err(e) => last_err = Some(e),
             }
             attempt.epsilon /= 10.0;

@@ -4,13 +4,14 @@ use std::time::Instant;
 
 use cppll_hybrid::HybridSystem;
 use cppll_poly::Polynomial;
-use cppll_sos::{check_inclusion, InclusionOptions};
+use cppll_sos::{check_inclusion, InclusionOptions, LedgerStats, SolveLedger};
 
 use crate::advection::{Advection, AdvectionOptions};
 use crate::escape::{EscapeCertificate, EscapeOptions, EscapeSynthesizer};
 use crate::levelset::{LevelSetMaximizer, LevelSetOptions, LevelSetResult};
 use crate::lyapunov::{LyapunovCertificates, LyapunovOptions, LyapunovSynthesizer};
 use crate::region::Region;
+use crate::resilience::{FailureReport, PipelineStage, ResilienceConfig};
 use crate::VerifyError;
 
 /// Options for the full pipeline.
@@ -32,6 +33,9 @@ pub struct PipelineOptions {
     /// Multiplier half-degree for the inclusion checks (step "Checking Set
     /// Inclusion").
     pub inclusion_mult_half_degree: u32,
+    /// Resilience of the run: per-solve retries, budgets, deadline and the
+    /// fault-injection hook. Inert by default.
+    pub resilience: ResilienceConfig,
 }
 
 impl PipelineOptions {
@@ -47,6 +51,7 @@ impl PipelineOptions {
             // The Lemma-1 certificate needs σ·front to reach the degree of
             // the attractive-invariant polynomial: deg σ ≥ deg V − deg front.
             inclusion_mult_half_degree: (lyapunov_degree.saturating_sub(2) / 2).max(1),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -76,12 +81,27 @@ pub enum Verdict {
         /// What failed.
         reason: String,
     },
+    /// A stage's solves failed numerically even after the configured
+    /// retries (or ran out of budget); the report is partial — everything
+    /// proven before the failure is still in it, and the
+    /// [`VerificationReport::failures`] carry the attempt logs.
+    Degraded {
+        /// The stage whose failure ended the run.
+        stage: PipelineStage,
+        /// What failed.
+        reason: String,
+    },
 }
 
 impl Verdict {
     /// `true` for [`Verdict::Inevitable`].
     pub fn is_verified(&self) -> bool {
         matches!(self, Verdict::Inevitable { .. })
+    }
+
+    /// `true` for [`Verdict::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Verdict::Degraded { .. })
     }
 }
 
@@ -103,8 +123,9 @@ pub struct AdvectionTraceEntry {
 /// and the verdict.
 #[derive(Debug, Clone)]
 pub struct VerificationReport {
-    /// The multiple Lyapunov certificates (P1).
-    pub certificates: LyapunovCertificates,
+    /// The multiple Lyapunov certificates (P1). `None` only on a
+    /// [`Verdict::Degraded`] run whose Lyapunov stage failed.
+    pub certificates: Option<LyapunovCertificates>,
     /// Maximised level sets / attractive invariant (P1).
     pub levels: LevelSetResult,
     /// Advection trace (P2).
@@ -115,6 +136,10 @@ pub struct VerificationReport {
     pub timings: Vec<StepTiming>,
     /// Final verdict.
     pub verdict: Verdict,
+    /// Stage failures the pipeline degraded through (empty on a clean run).
+    pub failures: Vec<FailureReport>,
+    /// Aggregate supervised-solve statistics of the whole run.
+    pub solve_stats: LedgerStats,
 }
 
 impl VerificationReport {
@@ -205,22 +230,83 @@ impl<'s> InevitabilityVerifier<'s> {
 
     /// Runs the full pipeline.
     ///
+    /// Every SOS/SDP solve is supervised per [`PipelineOptions::resilience`]
+    /// (retries with escalated regularisation, per-solve timeouts, a
+    /// pipeline deadline). When a stage still fails numerically after its
+    /// retries, the run *degrades*: `verify` returns `Ok` with a partial
+    /// report whose [`Verdict::Degraded`] names the stage and whose
+    /// [`VerificationReport::failures`] carry the attempt logs — it never
+    /// panics and never loses what earlier stages proved.
+    ///
     /// # Errors
     ///
-    /// Propagates Lyapunov-synthesis failures ([`VerifyError`]); all later
-    /// steps degrade into an [`Verdict::Inconclusive`] report instead of
-    /// erroring, matching Algorithm 1's "No Answer" path.
+    /// Propagates Lyapunov-synthesis *infeasibility* ([`VerifyError`]) —
+    /// that is an answer about the relaxation degree, not a transient
+    /// fault. All other failures degrade into an [`Verdict::Inconclusive`]
+    /// or [`Verdict::Degraded`] report, matching Algorithm 1's "No Answer"
+    /// path.
     pub fn verify(&self, opt: &PipelineOptions) -> Result<VerificationReport, VerifyError> {
+        let ledger = SolveLedger::new();
+        let run_deadline = opt.resilience.deadline.map(|d| Instant::now() + d);
+        let sos_res = opt.resilience.to_sos(run_deadline, &ledger);
+
+        // Supervised copy of the stage options: every stage's solves run
+        // under the same supervisor configuration and shared ledger.
+        let mut opt = opt.clone();
+        opt.lyapunov.sos.resilience = sos_res.clone();
+        opt.level.sos.resilience = sos_res.clone();
+        opt.advection.sos.resilience = sos_res.clone();
+        opt.escape.sos.resilience = sos_res;
+        let opt = &opt;
+
         let mut timings = Vec::new();
+        let mut failures: Vec<FailureReport> = Vec::new();
+        let empty_levels = || LevelSetResult {
+            level: 0.0,
+            ai_polys: Vec::new(),
+            probes: 0,
+        };
 
         // ---- P1: attractive invariant --------------------------------
+        opt.resilience.announce_stage(PipelineStage::Lyapunov);
         let t0 = Instant::now();
-        let certs = LyapunovSynthesizer::new(self.system).synthesize_auto(&opt.lyapunov)?;
+        let certs = match LyapunovSynthesizer::new(self.system).synthesize_auto(&opt.lyapunov) {
+            Ok(c) => c,
+            Err(e @ VerifyError::Infeasible { .. }) => return Err(e),
+            Err(VerifyError::Numerical { step, source }) => {
+                timings.push(StepTiming {
+                    name: "attractive invariant",
+                    seconds: t0.elapsed().as_secs_f64(),
+                });
+                failures.push(FailureReport {
+                    stage: PipelineStage::Lyapunov,
+                    detail: format!("{step}: {source}"),
+                    attempts: source.attempts().to_vec(),
+                });
+                return Ok(VerificationReport {
+                    certificates: None,
+                    levels: empty_levels(),
+                    advection_trace: Vec::new(),
+                    escape_certificates: Vec::new(),
+                    timings,
+                    verdict: Verdict::Degraded {
+                        stage: PipelineStage::Lyapunov,
+                        reason: "lyapunov synthesis failed numerically \
+                                 after exhausting retries"
+                            .into(),
+                    },
+                    failures,
+                    solve_stats: ledger.stats(),
+                });
+            }
+        };
         timings.push(StepTiming {
             name: "attractive invariant",
             seconds: t0.elapsed().as_secs_f64(),
         });
 
+        opt.resilience.announce_stage(PipelineStage::LevelSet);
+        let failures_before_levels = ledger.stats().failures;
         let t0 = Instant::now();
         let levels =
             LevelSetMaximizer::new(self.system, self.boundary.clone()).maximize(&certs, &opt.level);
@@ -229,23 +315,42 @@ impl<'s> InevitabilityVerifier<'s> {
             seconds: t0.elapsed().as_secs_f64(),
         });
         let Some(levels) = levels else {
+            let failed = ledger.stats().failures - failures_before_levels;
+            let verdict = if failed > 0 {
+                failures.push(FailureReport {
+                    stage: PipelineStage::LevelSet,
+                    detail: format!(
+                        "{failed} supervised solve(s) failed during \
+                         level-set maximisation"
+                    ),
+                    attempts: Vec::new(),
+                });
+                Verdict::Degraded {
+                    stage: PipelineStage::LevelSet,
+                    reason: "level-set maximisation aborted on solver \
+                             failures after exhausting retries"
+                        .into(),
+                }
+            } else {
+                Verdict::Inconclusive {
+                    reason: "no level value could be certified".into(),
+                }
+            };
             return Ok(VerificationReport {
-                certificates: certs,
-                levels: LevelSetResult {
-                    level: 0.0,
-                    ai_polys: Vec::new(),
-                    probes: 0,
-                },
+                certificates: Some(certs),
+                levels: empty_levels(),
                 advection_trace: Vec::new(),
                 escape_certificates: Vec::new(),
                 timings,
-                verdict: Verdict::Inconclusive {
-                    reason: "no level value could be certified".into(),
-                },
+                verdict,
+                failures,
+                solve_stats: ledger.stats(),
             });
         };
 
         // ---- P2: bounded advection (Algorithm 1, piecewise fronts) ----
+        opt.resilience.announce_stage(PipelineStage::Advection);
+        let failures_before_advection = ledger.stats().failures;
         let t0 = Instant::now();
         let advector = Advection::new(self.system);
         let mut adv_opt = opt.advection.clone();
@@ -290,10 +395,24 @@ impl<'s> InevitabilityVerifier<'s> {
             seconds: inclusion_seconds,
         });
         let final_included = advection_ok;
+        let advection_failures = ledger.stats().failures - failures_before_advection;
+        if !final_included && advection_failures > 0 {
+            // Inclusion checks absorb solver errors into `false`; the
+            // ledger delta tells us failures happened. Record them — escape
+            // certificates may still rescue the run below.
+            failures.push(FailureReport {
+                stage: PipelineStage::Advection,
+                detail: format!(
+                    "{advection_failures} supervised solve(s) failed during \
+                     advection/inclusion checking"
+                ),
+                attempts: Vec::new(),
+            });
+        }
 
         if final_included {
             return Ok(VerificationReport {
-                certificates: certs,
+                certificates: Some(certs),
                 levels,
                 advection_trace: trace,
                 escape_certificates: Vec::new(),
@@ -301,6 +420,8 @@ impl<'s> InevitabilityVerifier<'s> {
                 verdict: Verdict::Inevitable {
                     advection_sufficed: true,
                 },
+                failures,
+                solve_stats: ledger.stats(),
             });
         }
 
@@ -309,24 +430,34 @@ impl<'s> InevitabilityVerifier<'s> {
         // (Lemma-1 inclusion) or admit an escape certificate on the leftover
         // {frontᵢ ≤ 0} ∖ int(AI) ∩ Cᵢ. A grid emptiness test would not be a
         // certificate, so modes are never skipped without one of the two.
+        opt.resilience.announce_stage(PipelineStage::Escape);
         let t0 = Instant::now();
         let n = self.system.nstates();
         let mut escapes = Vec::new();
         let mut failed_mode: Option<usize> = None;
-        for mi in 0..self.system.modes().len() {
+        let mut escape_numerical = false;
+        for (mi, piece) in pieces.iter().enumerate() {
             let ai = &levels.ai_polys[mi] + &Polynomial::constant(n, opt.inclusion_margin);
             let mut domain = self.boundary.clone();
             domain.extend(self.system.modes()[mi].flow_set().iter().cloned());
-            if check_inclusion(&pieces[mi], &ai, &domain, &inc_opt) {
+            if check_inclusion(piece, &ai, &domain, &inc_opt) {
                 continue; // this mode's piece is already inside the AI
             }
             let set = vec![
-                pieces[mi].scale(-1.0),
+                piece.scale(-1.0),
                 levels.ai_polys[mi].clone(), // Vᵢ − c ≥ 0 (outside the AI)
             ];
             match EscapeSynthesizer::new(self.system).synthesize(mi, &set, &opt.escape) {
                 Ok(c) => escapes.push(c),
-                Err(_) => {
+                Err(e) => {
+                    if let VerifyError::Numerical { step, source } = &e {
+                        escape_numerical = true;
+                        failures.push(FailureReport {
+                            stage: PipelineStage::Escape,
+                            detail: format!("mode {mi}: {step}: {source}"),
+                            attempts: source.attempts().to_vec(),
+                        });
+                    }
                     failed_mode = Some(mi);
                     break;
                 }
@@ -338,12 +469,32 @@ impl<'s> InevitabilityVerifier<'s> {
         });
 
         let verdict = if let Some(mi) = failed_mode {
-            Verdict::Inconclusive {
-                reason: format!(
-                    "advection did not immerse the front and no escape certificate \
-                     of degree {} exists for mode {mi}",
-                    opt.escape.degree
-                ),
+            if escape_numerical {
+                Verdict::Degraded {
+                    stage: PipelineStage::Escape,
+                    reason: format!(
+                        "escape-certificate synthesis for mode {mi} failed \
+                         numerically after exhausting retries"
+                    ),
+                }
+            } else if advection_failures > 0 {
+                Verdict::Degraded {
+                    stage: PipelineStage::Advection,
+                    reason: format!(
+                        "inclusion checking was degraded by solver failures \
+                         and no escape certificate of degree {} exists for \
+                         mode {mi}",
+                        opt.escape.degree
+                    ),
+                }
+            } else {
+                Verdict::Inconclusive {
+                    reason: format!(
+                        "advection did not immerse the front and no escape certificate \
+                         of degree {} exists for mode {mi}",
+                        opt.escape.degree
+                    ),
+                }
             }
         } else {
             Verdict::Inevitable {
@@ -351,12 +502,14 @@ impl<'s> InevitabilityVerifier<'s> {
             }
         };
         Ok(VerificationReport {
-            certificates: certs,
+            certificates: Some(certs),
             levels,
             advection_trace: trace,
             escape_certificates: escapes,
             timings,
             verdict,
+            failures,
+            solve_stats: ledger.stats(),
         })
     }
 

@@ -47,6 +47,9 @@ impl Interval {
     }
 
     /// Interval product (both operands may straddle zero).
+    // Not the `std::ops::Mul` trait: interval arithmetic here is by-value
+    // with explicit call sites, and an operator impl would hide that.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Interval) -> Interval {
         let cands = [
             self.lo * rhs.lo,
@@ -87,6 +90,7 @@ impl Interval {
     /// # Panics
     ///
     /// Panics if `rhs` contains zero.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Interval) -> Interval {
         self.mul(rhs.recip())
     }

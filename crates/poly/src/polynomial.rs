@@ -256,8 +256,8 @@ impl Polynomial {
         // Cache powers of each qᵢ up to the maximum exponent used.
         let mut max_exp = vec![0u32; self.nvars];
         for m in self.terms.keys() {
-            for i in 0..self.nvars {
-                max_exp[i] = max_exp[i].max(m.exp(i));
+            for (i, e) in max_exp.iter_mut().enumerate() {
+                *e = (*e).max(m.exp(i));
             }
         }
         let mut powers: Vec<Vec<Polynomial>> = Vec::with_capacity(self.nvars);
@@ -273,10 +273,10 @@ impl Polynomial {
         let mut out = Polynomial::zero(target_vars);
         for (m, &c) in &self.terms {
             let mut term = Polynomial::constant(target_vars, c);
-            for i in 0..self.nvars {
+            for (i, pows) in powers.iter().enumerate() {
                 let e = m.exp(i);
                 if e > 0 {
-                    term = &term * &powers[i][e as usize];
+                    term = &term * &pows[e as usize];
                 }
             }
             out = &out + &term;

@@ -1,0 +1,282 @@
+//! Deterministic fault injection for the interior-point solver.
+//!
+//! Robustness machinery (retry policies, graceful pipeline degradation) is
+//! only trustworthy if its failure paths are exercised. Real numerical
+//! failures are hard to provoke on demand, so this module lets tests force
+//! them: a [`FaultInjector`] attached to
+//! [`SolverOptions::fault`](crate::SolverOptions) makes chosen solves
+//! terminate with [`SdpStatus::Stalled`] or [`SdpStatus::MaxIterations`]
+//! after their first iteration (the iterate and residuals at that point are
+//! real, so downstream diagnostics see plausible data).
+//!
+//! Faults are selected by a [`FaultPlan`] from the injector's view of the
+//! run: a global solve-call counter, the retry attempt number (set by the
+//! solve supervisor in `cppll-sos`), and the pipeline stage name (set by the
+//! verification pipeline in `cppll-verify`). All state lives behind a mutex,
+//! so one injector can be shared across the whole pipeline.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+use crate::solution::SdpStatus;
+
+/// Which failure a fault simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Collapsed step lengths: the solve reports [`SdpStatus::Stalled`].
+    Stall,
+    /// Iteration-budget exhaustion: [`SdpStatus::MaxIterations`].
+    MaxIterations,
+    /// A failed Cholesky factorisation of an iterate block; surfaces as
+    /// [`SdpStatus::Stalled`], exactly like the real failure path.
+    Cholesky,
+}
+
+impl FaultKind {
+    /// The status the faulted solve reports.
+    pub fn status(self) -> SdpStatus {
+        match self {
+            FaultKind::Stall | FaultKind::Cholesky => SdpStatus::Stalled,
+            FaultKind::MaxIterations => SdpStatus::MaxIterations,
+        }
+    }
+}
+
+/// Declarative schedule of which solves fail and how.
+///
+/// Triggers are checked in the order: exact call index, first-attempt,
+/// stage match, first-solve-per-stage. The `budget` caps the total number
+/// of injected faults regardless of trigger.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Fault the solve with this global call index (0-based, counted across
+    /// every SDP solve that sees the injector).
+    at_call: BTreeMap<usize, FaultKind>,
+    /// Fault every solve whose supervisor attempt number is 0.
+    on_first_attempt: Option<FaultKind>,
+    /// Fault every solve (every attempt) while the pipeline stage matches
+    /// one of these names.
+    at_stage: Vec<(String, FaultKind)>,
+    /// Fault the first attempt of the first solve in each distinct stage.
+    first_solve_per_stage: Option<FaultKind>,
+    /// Maximum number of faults to inject in total.
+    budget: Option<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Faults the solve with global call index `index`.
+    #[must_use]
+    pub fn fault_at_call(mut self, index: usize, kind: FaultKind) -> Self {
+        self.at_call.insert(index, kind);
+        self
+    }
+
+    /// Faults the first attempt of every supervised solve.
+    #[must_use]
+    pub fn fault_on_first_attempt(mut self, kind: FaultKind) -> Self {
+        self.on_first_attempt = Some(kind);
+        self
+    }
+
+    /// Faults every solve that runs while the pipeline stage is `stage`,
+    /// including retries — the stage stays broken no matter how often the
+    /// supervisor retries.
+    #[must_use]
+    pub fn fault_at_stage(mut self, stage: impl Into<String>, kind: FaultKind) -> Self {
+        self.at_stage.push((stage.into(), kind));
+        self
+    }
+
+    /// Faults the first attempt of the first solve in each distinct stage;
+    /// retries (and later solves in the same stage) succeed.
+    #[must_use]
+    pub fn fault_first_solve_per_stage(mut self, kind: FaultKind) -> Self {
+        self.first_solve_per_stage = Some(kind);
+        self
+    }
+
+    /// Caps the total number of injected faults.
+    #[must_use]
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct InjectorState {
+    /// Solves observed so far (equals the next solve's call index).
+    calls: usize,
+    /// Faults injected so far.
+    fired: usize,
+    /// Current supervisor attempt number (0 = first attempt).
+    attempt: usize,
+    /// Current pipeline stage name.
+    stage: String,
+    /// Stages seen at least once (first-solve-per-stage bookkeeping: a
+    /// stage whose first solve has been observed is not faulted again).
+    seen_stages: BTreeSet<String>,
+}
+
+/// Shared, thread-safe fault source polled once per SDP solve.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            state: Mutex::new(InjectorState::default()),
+        }
+    }
+
+    /// Records the supervisor attempt number for subsequent solves.
+    pub fn set_attempt(&self, attempt: usize) {
+        self.state.lock().expect("injector lock").attempt = attempt;
+    }
+
+    /// Records the pipeline stage for subsequent solves.
+    pub fn set_stage(&self, stage: &str) {
+        self.state.lock().expect("injector lock").stage = stage.to_string();
+    }
+
+    /// Called by the solver at the start of each solve: decides whether this
+    /// solve is faulted, and with which failure.
+    pub fn poll(&self) -> Option<FaultKind> {
+        let mut st = self.state.lock().expect("injector lock");
+        let index = st.calls;
+        st.calls += 1;
+        let stage = st.stage.clone();
+        let first_in_stage = st.seen_stages.insert(stage);
+
+        if let Some(budget) = self.plan.budget {
+            if st.fired >= budget {
+                return None;
+            }
+        }
+        let kind = if let Some(&k) = self.plan.at_call.get(&index) {
+            Some(k)
+        } else if st.attempt == 0 && self.plan.on_first_attempt.is_some() {
+            self.plan.on_first_attempt
+        } else if let Some(&(_, k)) = self
+            .plan
+            .at_stage
+            .iter()
+            .find(|(name, _)| *name == st.stage)
+        {
+            Some(k)
+        } else if st.attempt == 0 && first_in_stage && self.plan.first_solve_per_stage.is_some() {
+            self.plan.first_solve_per_stage
+        } else {
+            None
+        };
+        if kind.is_some() {
+            st.fired += 1;
+        }
+        kind
+    }
+
+    /// Total solves observed.
+    pub fn calls(&self) -> usize {
+        self.state.lock().expect("injector lock").calls
+    }
+
+    /// Total faults injected.
+    pub fn fired(&self) -> usize {
+        self.state.lock().expect("injector lock").fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_call_faults_exactly_the_indexed_solves() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .fault_at_call(0, FaultKind::Stall)
+                .fault_at_call(2, FaultKind::MaxIterations),
+        );
+        assert_eq!(inj.poll(), Some(FaultKind::Stall));
+        assert_eq!(inj.poll(), None);
+        assert_eq!(inj.poll(), Some(FaultKind::MaxIterations));
+        assert_eq!(inj.poll(), None);
+        assert_eq!(inj.calls(), 4);
+        assert_eq!(inj.fired(), 2);
+    }
+
+    #[test]
+    fn first_attempt_faults_clear_on_retry() {
+        let inj = FaultInjector::new(FaultPlan::new().fault_on_first_attempt(FaultKind::Stall));
+        inj.set_attempt(0);
+        assert_eq!(inj.poll(), Some(FaultKind::Stall));
+        inj.set_attempt(1);
+        assert_eq!(inj.poll(), None);
+        inj.set_attempt(0);
+        assert_eq!(inj.poll(), Some(FaultKind::Stall));
+    }
+
+    #[test]
+    fn stage_faults_persist_across_attempts() {
+        let inj =
+            FaultInjector::new(FaultPlan::new().fault_at_stage("advection", FaultKind::Stall));
+        inj.set_stage("lyapunov");
+        assert_eq!(inj.poll(), None);
+        inj.set_stage("advection");
+        inj.set_attempt(0);
+        assert_eq!(inj.poll(), Some(FaultKind::Stall));
+        inj.set_attempt(3);
+        assert_eq!(inj.poll(), Some(FaultKind::Stall));
+        inj.set_stage("escape");
+        assert_eq!(inj.poll(), None);
+    }
+
+    #[test]
+    fn first_solve_per_stage_fires_once_per_stage() {
+        let inj = FaultInjector::new(
+            FaultPlan::new().fault_first_solve_per_stage(FaultKind::Stall),
+        );
+        inj.set_stage("lyapunov");
+        inj.set_attempt(0);
+        assert_eq!(inj.poll(), Some(FaultKind::Stall));
+        inj.set_attempt(1); // retry of the same solve succeeds
+        assert_eq!(inj.poll(), None);
+        inj.set_attempt(0); // later solve in the same stage succeeds
+        assert_eq!(inj.poll(), None);
+        inj.set_stage("levelset"); // next stage faults again
+        assert_eq!(inj.poll(), Some(FaultKind::Stall));
+        assert_eq!(inj.fired(), 2);
+    }
+
+    #[test]
+    fn budget_caps_total_faults() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .fault_on_first_attempt(FaultKind::Stall)
+                .with_budget(2),
+        );
+        assert_eq!(inj.poll(), Some(FaultKind::Stall));
+        assert_eq!(inj.poll(), Some(FaultKind::Stall));
+        assert_eq!(inj.poll(), None);
+        assert_eq!(inj.fired(), 2);
+    }
+
+    #[test]
+    fn kinds_map_to_the_right_statuses() {
+        assert_eq!(FaultKind::Stall.status(), SdpStatus::Stalled);
+        assert_eq!(FaultKind::Cholesky.status(), SdpStatus::Stalled);
+        assert_eq!(FaultKind::MaxIterations.status(), SdpStatus::MaxIterations);
+        assert!(FaultKind::Stall.status().is_retryable());
+        assert!(FaultKind::MaxIterations.status().is_retryable());
+    }
+}

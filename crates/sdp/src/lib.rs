@@ -49,11 +49,13 @@
 //! assert!((sol.primal_objective - 2.0).abs() < 1e-5);
 //! ```
 
+mod fault;
 mod problem;
 mod solution;
 mod solver;
 mod sparse;
 
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use problem::{BlockId, ConstraintId, FreeVarId, SdpProblem};
 pub use solution::{SdpSolution, SdpStatus};
 pub use solver::SolverOptions;

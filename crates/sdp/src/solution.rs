@@ -21,12 +21,25 @@ pub enum SdpStatus {
     PrimalInfeasibleLikely,
     /// Heuristic dual-infeasibility certificate (primal unbounded).
     DualInfeasibleLikely,
+    /// The cooperative wall-clock deadline expired before convergence.
+    DeadlineExceeded,
 }
 
 impl SdpStatus {
     /// `true` when the returned primal point can be trusted as (near-)optimal.
     pub fn is_ok(self) -> bool {
         matches!(self, SdpStatus::Optimal | SdpStatus::NearOptimal)
+    }
+
+    /// `true` when a re-solve with different numerical parameters (more
+    /// regularisation, rescaled data, a different step fraction) has a
+    /// realistic chance of succeeding.
+    ///
+    /// Infeasibility verdicts are properties of the problem, not the solve,
+    /// and an expired deadline will only expire again — neither is
+    /// retryable.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, SdpStatus::Stalled | SdpStatus::MaxIterations)
     }
 }
 
@@ -39,6 +52,7 @@ impl std::fmt::Display for SdpStatus {
             SdpStatus::Stalled => "stalled",
             SdpStatus::PrimalInfeasibleLikely => "primal infeasible (heuristic)",
             SdpStatus::DualInfeasibleLikely => "dual infeasible (heuristic)",
+            SdpStatus::DeadlineExceeded => "deadline exceeded",
         };
         f.write_str(s)
     }
@@ -91,5 +105,41 @@ impl std::fmt::Display for SdpSolution {
             self.gap,
             self.iterations
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SdpStatus;
+
+    #[test]
+    fn retryable_statuses_are_exactly_the_transient_ones() {
+        assert!(SdpStatus::Stalled.is_retryable());
+        assert!(SdpStatus::MaxIterations.is_retryable());
+        assert!(!SdpStatus::Optimal.is_retryable());
+        assert!(!SdpStatus::NearOptimal.is_retryable());
+        assert!(!SdpStatus::PrimalInfeasibleLikely.is_retryable());
+        assert!(!SdpStatus::DualInfeasibleLikely.is_retryable());
+        assert!(!SdpStatus::DeadlineExceeded.is_retryable());
+    }
+
+    #[test]
+    fn retryable_and_ok_are_disjoint() {
+        for s in [
+            SdpStatus::Optimal,
+            SdpStatus::NearOptimal,
+            SdpStatus::MaxIterations,
+            SdpStatus::Stalled,
+            SdpStatus::PrimalInfeasibleLikely,
+            SdpStatus::DualInfeasibleLikely,
+            SdpStatus::DeadlineExceeded,
+        ] {
+            assert!(!(s.is_ok() && s.is_retryable()), "{s}");
+        }
+    }
+
+    #[test]
+    fn display_covers_new_statuses() {
+        assert_eq!(SdpStatus::DeadlineExceeded.to_string(), "deadline exceeded");
     }
 }

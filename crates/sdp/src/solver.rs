@@ -1,8 +1,12 @@
 //! Infeasible-start primal–dual interior-point method (HKM direction,
 //! Mehrotra predictor–corrector) for block SDPs with free variables.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use cppll_linalg::{Cholesky, Matrix};
 
+use crate::fault::{FaultInjector, FaultKind};
 use crate::problem::SdpProblem;
 use crate::solution::{SdpSolution, SdpStatus};
 use crate::sparse::SymSparse;
@@ -22,6 +26,12 @@ pub struct SolverOptions {
     pub free_regularization: f64,
     /// Print per-iteration diagnostics to stderr.
     pub verbose: bool,
+    /// Cooperative wall-clock deadline: the iteration loop checks it once
+    /// per iteration and returns [`SdpStatus::DeadlineExceeded`] when it has
+    /// passed. `None` (the default) disables the check.
+    pub deadline: Option<Instant>,
+    /// Optional fault injector (testing hook); polled once per solve.
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl Default for SolverOptions {
@@ -33,6 +43,8 @@ impl Default for SolverOptions {
             schur_regularization: 1e-11,
             free_regularization: 1e-9,
             verbose: false,
+            deadline: None,
+            fault: None,
         }
     }
 }
@@ -147,6 +159,11 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
     let mut last = Metrics::default();
     let mut iterations = 0usize;
 
+    // Fault injection (testing hook): decided once per solve, applied after
+    // the first iteration's residuals are computed so the returned iterate
+    // and metrics are real.
+    let injected: Option<FaultKind> = opt.fault.as_deref().and_then(FaultInjector::poll);
+
     for iter in 0..opt.max_iterations {
         iterations = iter;
         // ---- Residuals -------------------------------------------------
@@ -212,6 +229,18 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             eprintln!(
                 "iter {iter:3}: pobj={pobj:+.6e} dobj={dobj:+.6e} pinf={pinf:.2e} dinf={dinf:.2e} gap={gap:.2e} mu={mu:.2e}"
             );
+        }
+
+        // ---- Injected faults and deadline -------------------------------
+        if iter == 0 {
+            if let Some(kind) = injected {
+                return finish(p, it, kind.status(), last, iter);
+            }
+        }
+        if let Some(deadline) = opt.deadline {
+            if Instant::now() >= deadline {
+                return finish(p, it, SdpStatus::DeadlineExceeded, last, iter);
+            }
         }
 
         // ---- Termination ----------------------------------------------

@@ -177,8 +177,10 @@ mod tests {
         // y = 1/2 ⇒ 5/4); inf = −1 (x = 0, y = −1).
         let p = Polynomial::from_terms(2, &[(&[2, 0], 1.0), (&[0, 1], 1.0)]);
         let disc = &Polynomial::constant(2, 1.0) - &Polynomial::norm_squared(2);
-        let mut opt = BoundOptions::default();
-        opt.mult_half_degree = 2; // tighter S-procedure for the curvy disc
+        let opt = BoundOptions {
+            mult_half_degree: 2, // tighter S-procedure for the curvy disc
+            ..Default::default()
+        };
         let (l, u) = certified_range(&p, &[disc], &opt).expect("bounded");
         assert!((1.25 - 1e-6..1.35).contains(&u), "u = {u}");
         assert!(l <= -1.0 + 1e-6 && l > -1.15, "l = {l}");
@@ -189,8 +191,10 @@ mod tests {
         // p = x on {x ≥ 0} has no upper bound.
         let p = Polynomial::var(1, 0);
         let dom = vec![Polynomial::var(1, 0)];
-        let mut opt = BoundOptions::default();
-        opt.window = 50.0;
+        let opt = BoundOptions {
+            window: 50.0,
+            ..Default::default()
+        };
         assert!(certified_upper_bound(&p, &dom, &opt).is_none());
         // …but a certified lower bound 0 exists.
         let l = certified_lower_bound(&p, &dom, &opt).expect("bounded below");

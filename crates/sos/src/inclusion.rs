@@ -99,8 +99,10 @@ mod tests {
         let big = disc(4.0);
         let tiny = disc(0.01);
         let g = Polynomial::from_terms(2, &[(&[1, 0], 1.0), (&[0, 0], -3.0)]);
-        let mut opt = InclusionOptions::default();
-        opt.mult_half_degree = 1;
+        let opt = InclusionOptions {
+            mult_half_degree: 1,
+            ..Default::default()
+        };
         assert!(check_inclusion(&big, &tiny, &[g], &opt));
     }
 

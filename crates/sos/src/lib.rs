@@ -48,6 +48,7 @@ mod decomposition;
 mod expr;
 mod inclusion;
 mod program;
+mod supervisor;
 
 pub use bisect::{maximize_bisect, BisectResult};
 pub use bounds::{certified_lower_bound, certified_range, certified_upper_bound, BoundOptions};
@@ -55,3 +56,4 @@ pub use decomposition::SosDecomposition;
 pub use expr::{GramVarId, PolyExpr, PolyVarId, ScalarVarId};
 pub use inclusion::{check_inclusion, InclusionOptions};
 pub use program::{SosConstraintId, SosError, SosOptions, SosProgram, SosSolution};
+pub use supervisor::{AttemptRecord, LedgerStats, ResilienceOptions, RetryPolicy, SolveLedger};

@@ -8,6 +8,7 @@ use cppll_sdp::{BlockId, FreeVarId, SdpProblem, SdpSolution, SdpStatus, SolverOp
 
 use crate::decomposition::SosDecomposition;
 use crate::expr::{GramVarId, PolyExpr, PolyOp, PolyVarId, ScalarVarId};
+use crate::supervisor::{AttemptRecord, ResilienceOptions};
 
 /// Identifier of an SOS constraint (used to read back Gram matrices and
 /// decompositions from a solution).
@@ -24,6 +25,9 @@ pub struct SosOptions {
     pub trace_weight: f64,
     /// Options forwarded to the SDP solver.
     pub sdp: SolverOptions,
+    /// Supervision of the solve: retry policy, budgets, fault hooks. The
+    /// default is inert (single attempt, no timeouts).
+    pub resilience: ResilienceOptions,
 }
 
 impl Default for SosOptions {
@@ -31,6 +35,7 @@ impl Default for SosOptions {
         SosOptions {
             trace_weight: 1.0,
             sdp: SolverOptions::default(),
+            resilience: ResilienceOptions::default(),
         }
     }
 }
@@ -41,7 +46,7 @@ impl SosOptions {
     pub fn with_objective() -> Self {
         SosOptions {
             trace_weight: 1e-6,
-            sdp: SolverOptions::default(),
+            ..Default::default()
         }
     }
 }
@@ -55,11 +60,35 @@ pub enum SosError {
         /// Underlying solver status.
         status: SdpStatus,
     },
-    /// The solver failed numerically before reaching an answer.
+    /// The solver failed numerically before reaching an answer, after
+    /// exhausting any configured retries. Carries the final iterate's
+    /// residuals and the full attempt log for diagnosis.
     Numerical {
-        /// Underlying solver status.
+        /// Underlying solver status of the final attempt.
         status: SdpStatus,
+        /// Final relative primal infeasibility.
+        primal_infeasibility: f64,
+        /// Final relative dual infeasibility.
+        dual_infeasibility: f64,
+        /// Final relative duality gap.
+        gap: f64,
+        /// Interior-point iterations of the final attempt.
+        iterations: usize,
+        /// Every attempt made, in order.
+        attempts: Vec<AttemptRecord>,
     },
+}
+
+impl SosError {
+    /// The supervised attempt log, when one exists. Infeasibility carries
+    /// no attempts — it is an answer reached on the first try that counts,
+    /// not a failure history.
+    pub fn attempts(&self) -> &[AttemptRecord] {
+        match self {
+            SosError::Infeasible { .. } => &[],
+            SosError::Numerical { attempts, .. } => attempts,
+        }
+    }
 }
 
 impl std::fmt::Display for SosError {
@@ -68,8 +97,21 @@ impl std::fmt::Display for SosError {
             SosError::Infeasible { status } => {
                 write!(f, "sos program is infeasible ({status})")
             }
-            SosError::Numerical { status } => {
-                write!(f, "sdp solver failed numerically ({status})")
+            SosError::Numerical {
+                status,
+                primal_infeasibility,
+                dual_infeasibility,
+                gap,
+                iterations,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "sdp solver failed numerically ({status}) after {} attempt(s): \
+                     pinf={primal_infeasibility:.2e} dinf={dual_infeasibility:.2e} \
+                     gap={gap:.2e} iters={iterations}",
+                    attempts.len().max(1)
+                )
             }
         }
     }
@@ -369,28 +411,118 @@ impl SosProgram {
         self.objective = vec![(s, -1.0)];
     }
 
-    /// Compiles and solves the program.
+    /// Compiles and solves the program under the supervision configured in
+    /// [`SosOptions::resilience`]: retryable failures (stalls, iteration
+    /// limits) are re-solved with escalated regularisation, a rescaled
+    /// trace weight, and a jittered step fraction, up to the retry budget;
+    /// each attempt respects the solve timeout and pipeline deadline. The
+    /// default options perform exactly one attempt.
     ///
     /// # Errors
     ///
     /// [`SosError::Infeasible`] when the solver reports (likely)
-    /// infeasibility; [`SosError::Numerical`] on numerical failure.
+    /// infeasibility (never retried — it is an answer about the problem);
+    /// [`SosError::Numerical`] once retries are exhausted, carrying the
+    /// final residuals and the full attempt log.
     pub fn solve(&self, options: &SosOptions) -> Result<SosSolution, SosError> {
-        let compiled = self.compile(options);
-        let sol = compiled.sdp.solve(&options.sdp);
-        match sol.status {
-            SdpStatus::Optimal | SdpStatus::NearOptimal => Ok(SosSolution {
-                sdp: sol,
-                layout: compiled.layout,
-                poly_bases: self.polys.iter().map(|p| p.basis.clone()).collect(),
-                gram_bases: self.grams.iter().map(|g| g.basis.clone()).collect(),
-                exprs: self.constraints.iter().map(|c| c.expr.clone()).collect(),
-            }),
-            SdpStatus::PrimalInfeasibleLikely | SdpStatus::DualInfeasibleLikely => {
-                Err(SosError::Infeasible { status: sol.status })
+        let res = &options.resilience;
+        let policy = &res.retry;
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+        let max_attempts = policy.max_retries + 1;
+
+        for attempt in 0..max_attempts {
+            let attempt_options = self.options_for_attempt(options, attempt);
+            if let Some(fault) = &res.fault {
+                fault.set_attempt(attempt);
             }
-            s => Err(SosError::Numerical { status: s }),
+            let compiled = self.compile(&attempt_options);
+            let sol = compiled.sdp.solve(&attempt_options.sdp);
+            let mut record = AttemptRecord {
+                attempt,
+                status: sol.status,
+                iterations: sol.iterations,
+                primal_infeasibility: sol.primal_infeasibility,
+                dual_infeasibility: sol.dual_infeasibility,
+                gap: sol.gap,
+                trace_weight: attempt_options.trace_weight,
+                schur_regularization: attempt_options.sdp.schur_regularization,
+                step_fraction: attempt_options.sdp.step_fraction,
+                planned_backoff_ms: 0,
+            };
+
+            match sol.status {
+                SdpStatus::Optimal | SdpStatus::NearOptimal => {
+                    attempts.push(record);
+                    if let Some(ledger) = &res.ledger {
+                        ledger.record(&attempts, true);
+                    }
+                    return Ok(SosSolution {
+                        sdp: sol,
+                        layout: compiled.layout,
+                        poly_bases: self.polys.iter().map(|p| p.basis.clone()).collect(),
+                        gram_bases: self.grams.iter().map(|g| g.basis.clone()).collect(),
+                        exprs: self.constraints.iter().map(|c| c.expr.clone()).collect(),
+                    });
+                }
+                SdpStatus::PrimalInfeasibleLikely | SdpStatus::DualInfeasibleLikely => {
+                    attempts.push(record);
+                    if let Some(ledger) = &res.ledger {
+                        // An infeasibility verdict is an *answer*, not a
+                        // failure: bisection probes hit it in normal
+                        // operation, and the pipeline's degradation logic
+                        // keys off the ledger's failure count.
+                        ledger.record(&attempts, true);
+                    }
+                    return Err(SosError::Infeasible { status: sol.status });
+                }
+                s if s.is_retryable() && attempt + 1 < max_attempts => {
+                    let backoff = policy.planned_backoff_ms(attempt + 1);
+                    record.planned_backoff_ms = backoff;
+                    attempts.push(record);
+                    if policy.sleep && backoff > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(backoff));
+                    }
+                }
+                s => {
+                    attempts.push(record);
+                    if let Some(ledger) = &res.ledger {
+                        ledger.record(&attempts, false);
+                    }
+                    return Err(SosError::Numerical {
+                        status: s,
+                        primal_infeasibility: sol.primal_infeasibility,
+                        dual_infeasibility: sol.dual_infeasibility,
+                        gap: sol.gap,
+                        iterations: sol.iterations,
+                        attempts,
+                    });
+                }
+            }
         }
+        unreachable!("the attempt loop always returns on its final attempt")
+    }
+
+    /// Derives the effective options for one supervised attempt:
+    /// escalated regularisation, rescaled trace weight, jittered step
+    /// fraction, and per-attempt deadline/iteration budget.
+    fn options_for_attempt(&self, base: &SosOptions, attempt: usize) -> SosOptions {
+        let res = &base.resilience;
+        let policy = &res.retry;
+        let mut opt = base.clone();
+        if attempt > 0 {
+            let escalation = policy.regularization_escalation.powi(attempt as i32);
+            opt.sdp.schur_regularization *= escalation;
+            opt.sdp.free_regularization *= escalation;
+            opt.trace_weight =
+                (base.trace_weight * policy.trace_rescale.powi(attempt as i32)).max(1e-9);
+        }
+        opt.sdp.step_fraction = policy.jittered_step_fraction(base.sdp.step_fraction, attempt);
+        if let Some(budget) = res.iteration_budget {
+            opt.sdp.max_iterations = budget;
+        }
+        opt.sdp.deadline = res.attempt_deadline();
+        opt.sdp.fault = res.fault.clone();
+        opt
     }
 
     // ---- compilation ----------------------------------------------------
@@ -553,8 +685,8 @@ impl SosProgram {
         for m in support.keys() {
             max_total = max_total.max(m.degree());
             min_total = min_total.min(m.degree());
-            for i in 0..self.nvars {
-                max_per_var[i] = max_per_var[i].max(m.exp(i));
+            for (i, e) in max_per_var.iter_mut().enumerate() {
+                *e = (*e).max(m.exp(i));
             }
         }
         let hi = max_total / 2;
@@ -808,7 +940,7 @@ mod tests {
         // p(x) = x is nonnegative on {x : x ≥ 0} (trivially, via σ = 1·x).
         let x = Polynomial::var(1, 0);
         let mut prog = SosProgram::new(1);
-        let (c, _m) = prog.require_nonneg_on(x.clone().into(), &[x.clone()], 0);
+        let (c, _m) = prog.require_nonneg_on(x.clone().into(), std::slice::from_ref(&x), 0);
         let sol = prog.solve(&SosOptions::default()).expect("feasible");
         let _ = sol.constraint_gram(c);
     }

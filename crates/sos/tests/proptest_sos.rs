@@ -49,8 +49,10 @@ proptest! {
         // property under test is that *answers* are correct (residual),
         // never that every instance solves.
         let sol = prog.solve(&SosOptions::default()).or_else(|_| {
-            let mut opts = SosOptions::default();
-            opts.trace_weight = 1e-3;
+            let opts = SosOptions {
+                trace_weight: 1e-3,
+                ..Default::default()
+            };
             prog.solve(&opts)
         });
         prop_assume!(sol.is_ok());
@@ -81,8 +83,10 @@ proptest! {
         let expr = PolyExpr::from(&p - &Polynomial::constant(NVARS, c));
         prog.require_nonneg_on(expr, &[disc], 1);
         let ok = prog.solve(&SosOptions::default()).is_ok() || {
-            let mut opts = SosOptions::default();
-            opts.trace_weight = 1e-3;
+            let opts = SosOptions {
+                trace_weight: 1e-3,
+                ..Default::default()
+            };
             prog.solve(&opts).is_ok()
         };
         prop_assert!(ok, "p - (min - slack) must be certifiable on the disc");

@@ -1,0 +1,98 @@
+//! Property: the solve supervisor is deterministic. Two supervised runs of
+//! the same program with the same retry policy (same jitter seed) and the
+//! same fault schedule must produce byte-identical attempt logs and the
+//! same final outcome — backoff is planned, never measured, and the jitter
+//! is a pure function of `(seed, attempt)`.
+
+use std::sync::Arc;
+
+use cppll_poly::Polynomial;
+use cppll_sdp::{FaultInjector, FaultKind, FaultPlan};
+use cppll_sos::{ResilienceOptions, RetryPolicy, SolveLedger, SosOptions, SosProgram};
+use proptest::prelude::*;
+
+fn kind_for(index: u8) -> FaultKind {
+    match index % 3 {
+        0 => FaultKind::Stall,
+        1 => FaultKind::MaxIterations,
+        _ => FaultKind::Cholesky,
+    }
+}
+
+/// One supervised solve of a small feasible SOS program under a fresh
+/// injector with `faulted_attempts` leading faulted attempts; returns the
+/// success flag and the canonical attempt log.
+fn supervised_run(
+    seed: u64,
+    retries: usize,
+    kind: FaultKind,
+    faulted_attempts: usize,
+) -> (bool, Vec<String>) {
+    let p = Polynomial::from_terms(
+        2,
+        &[(&[2, 0], 1.0), (&[1, 1], -2.0), (&[0, 2], 1.0), (&[0, 0], 1.0)],
+    );
+    let mut prog = SosProgram::new(2);
+    prog.require_sos(p.into());
+
+    // Fault the first `faulted_attempts` attempts via per-call indices; the
+    // supervisor recompiles per attempt, so attempt i is solve call i.
+    let mut plan = FaultPlan::new();
+    for call in 0..faulted_attempts {
+        plan = plan.fault_at_call(call, kind);
+    }
+    let ledger = SolveLedger::new();
+    let options = SosOptions {
+        resilience: ResilienceOptions {
+            retry: RetryPolicy {
+                max_retries: retries,
+                jitter_seed: seed,
+                ..RetryPolicy::default()
+            },
+            fault: Some(Arc::new(FaultInjector::new(plan))),
+            ledger: Some(ledger.clone()),
+            ..ResilienceOptions::default()
+        },
+        ..SosOptions::default()
+    };
+    let ok = prog.solve(&options).is_ok();
+    (ok, ledger.log_lines())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn same_seed_and_schedule_give_identical_logs(
+        seed in 0u64..u64::MAX,
+        retries in 0usize..3,
+        kind_index in 0u8..3,
+        faulted_attempts in 0usize..3,
+    ) {
+        let kind = kind_for(kind_index);
+        let (ok_a, log_a) = supervised_run(seed, retries, kind, faulted_attempts);
+        let (ok_b, log_b) = supervised_run(seed, retries, kind, faulted_attempts);
+        prop_assert_eq!(ok_a, ok_b);
+        prop_assert_eq!(&log_a, &log_b);
+        // The outcome is exactly "were there more attempts than faults":
+        // the program itself is feasible, so the first unfaulted attempt
+        // succeeds.
+        prop_assert_eq!(ok_a, faulted_attempts <= retries);
+        let expected_attempts = (faulted_attempts + 1).min(retries + 1);
+        prop_assert_eq!(log_a.len(), expected_attempts);
+    }
+
+    #[test]
+    fn different_jitter_seeds_diverge_only_in_retried_attempts(
+        seed in 0u64..u64::MAX,
+    ) {
+        // With one faulted attempt and one retry, the retry's step fraction
+        // is jittered: two different seeds agree on attempt 0 and (almost
+        // surely) differ on attempt 1's step field.
+        let (ok_a, log_a) = supervised_run(seed, 1, FaultKind::Stall, 1);
+        let (ok_b, log_b) = supervised_run(seed ^ 0xdead_beef, 1, FaultKind::Stall, 1);
+        prop_assert!(ok_a && ok_b);
+        prop_assert_eq!(log_a.len(), 2);
+        prop_assert_eq!(&log_a[0], &log_b[0]);
+    }
+}

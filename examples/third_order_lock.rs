@@ -60,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:<26} {:>8.2}s", t.name, t.seconds);
     }
     println!("\nV (tracking mode, first terms):");
-    let v = report.certificates.for_mode(model.tracking_mode());
+    let v = report
+        .certificates
+        .as_ref()
+        .expect("verified run has certificates")
+        .for_mode(model.tracking_mode());
     println!("  {v}");
     Ok(())
 }

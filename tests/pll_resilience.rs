@@ -1,0 +1,71 @@
+//! Acceptance scenario from the robustness work: the third-order CP PLL
+//! verification survives a fault schedule that stalls the first solve of
+//! every pipeline stage when one retry is allowed, and degrades into a
+//! structured partial report (not a bare error) when retries are disabled.
+
+use std::sync::Arc;
+
+use cppll::pll::{PllModelBuilder, PllOrder, UncertaintySelection};
+use cppll::sdp::{FaultInjector, FaultKind, FaultPlan};
+use cppll::verify::{
+    InevitabilityVerifier, PipelineOptions, PipelineStage, ResilienceConfig, Verdict,
+};
+
+fn nominal_model() -> cppll::pll::VerificationModel {
+    PllModelBuilder::new(PllOrder::Third)
+        .with_uncertainty(UncertaintySelection::Nominal)
+        .build()
+}
+
+#[test]
+fn third_order_pll_survives_stage_faults_with_one_retry() {
+    let model = nominal_model();
+    let verifier = InevitabilityVerifier::for_pll(&model);
+    let injector = Arc::new(FaultInjector::new(
+        FaultPlan::new().fault_first_solve_per_stage(FaultKind::Stall),
+    ));
+    let mut opt = PipelineOptions::degree(4);
+    opt.resilience = ResilienceConfig::with_retries(1);
+    opt.resilience.fault = Some(injector.clone());
+    let report = verifier.verify(&opt).expect("retries absorb the faults");
+    assert!(
+        report.verdict.is_verified(),
+        "verdict: {:?}",
+        report.verdict
+    );
+    assert!(report.levels.level > 0.1, "c* = {}", report.levels.level);
+    assert!(injector.fired() >= 1, "no fault was injected");
+    assert!(
+        report.solve_stats.retries >= injector.fired(),
+        "faults {} vs stats {}",
+        injector.fired(),
+        report.solve_stats
+    );
+    // Note: `solve_stats.failures` may legitimately be nonzero even on a
+    // verified run — bisection probes near the feasibility boundary can
+    // fail numerically and are absorbed as unsuccessful probes. What must
+    // hold is that no stage *degraded*.
+    assert!(!report.verdict.is_degraded());
+}
+
+#[test]
+fn third_order_pll_degrades_without_retries() {
+    // The very same schedule with retries disabled: the first Lyapunov
+    // solve fails terminally and `verify` returns a partial report with a
+    // populated failure log instead of an error.
+    let model = nominal_model();
+    let verifier = InevitabilityVerifier::for_pll(&model);
+    let injector = Arc::new(FaultInjector::new(
+        FaultPlan::new().fault_first_solve_per_stage(FaultKind::Stall),
+    ));
+    let mut opt = PipelineOptions::degree(4);
+    opt.resilience.retries = 0;
+    opt.resilience.fault = Some(injector);
+    let report = verifier.verify(&opt).expect("degrades, does not error");
+    match &report.verdict {
+        Verdict::Degraded { stage, .. } => assert_eq!(*stage, PipelineStage::Lyapunov),
+        other => panic!("expected a degraded verdict, got {other:?}"),
+    }
+    assert!(!report.failures.is_empty());
+    assert!(!report.failures[0].attempts.is_empty());
+}

@@ -34,9 +34,13 @@ fn third_order_pll_inevitability_nominal_degree4() {
     assert!(by_advection || by_escape);
 
     // Monte-Carlo cross-validation on the actual hybrid dynamics.
+    let certs = report
+        .certificates
+        .as_ref()
+        .expect("verified run has certificates");
     let validator = Validator::new(model.system());
     let v = validator.validate(
-        &report.certificates,
+        certs,
         &report.levels,
         &[0.7, 0.7, 0.9],
         12,

@@ -71,6 +71,10 @@ fn certificates_hold_along_simulated_arcs() {
     let report = verifier
         .verify(&PipelineOptions::degree(2))
         .expect("verifies");
+    let certs = report
+        .certificates
+        .as_ref()
+        .expect("verified run has certificates");
     // Trajectories respect the certificate and land near the origin.
     let sim = Simulator::new(&sys).with_step(1e-3).with_thinning(20);
     for &start in &[[1.5f64, 0.5], [-1.0, 1.2], [0.5, -1.8]] {
@@ -78,7 +82,7 @@ fn certificates_hold_along_simulated_arcs() {
         let arc = sim.simulate(&start, mode0, 12.0);
         let mut prev = f64::INFINITY;
         for s in arc.samples() {
-            let v = report.certificates.for_mode(s.mode).eval(&s.state);
+            let v = certs.for_mode(s.mode).eval(&s.state);
             assert!(
                 v <= prev * (1.0 + 1e-6) + 1e-9,
                 "V increased along the arc at {:?}",

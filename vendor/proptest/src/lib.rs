@@ -1,0 +1,226 @@
+//! A deterministic, dependency-free subset of the `proptest` API.
+//!
+//! The build environment has no registry access, so the real `proptest`
+//! crate cannot be downloaded; this vendored stand-in implements exactly the
+//! surface the test-suite uses:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ...) { ... } }`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//! * range strategies over the primitive numeric types
+//! * `Strategy::prop_map`, `prop::collection::vec`, `prop::option::of`
+//! * `ProptestConfig::with_cases`
+//!
+//! Generation is driven by a splitmix64 PRNG seeded from the test's module
+//! path and name, so runs are reproducible without a regression-file
+//! mechanism. Shrinking is intentionally not implemented — a failing case
+//! panics with the generated inputs' case number so it can be replayed.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec` / `prop::option::of` resolve
+/// the way they do with the real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// expands to a plain `fn name()` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let seed = $crate::test_runner::fnv1a(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while accepted < config.cases {
+                    assert!(
+                        rejected < 16 * config.cases + 1024,
+                        "proptest {}: too many rejected cases ({} rejects, {} accepts)",
+                        stringify!($name), rejected, accepted
+                    );
+                    let mut rng = $crate::test_runner::TestRng::for_case(seed, case);
+                    case += 1;
+                    $(
+                        #[allow(unused_mut)]
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => rejected += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            case - 1,
+                            msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    concat!("assertion failed: ", stringify!($left), " == ",
+                            stringify!($right), "\n  left: {:?}\n right: {:?}"),
+                    l, r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    concat!("assertion failed: ", stringify!($left), " != ",
+                            stringify!($right), "\n  both: {:?}"),
+                    l
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -4.0f64..4.0, n in 1usize..9) {
+            prop_assert!((-4.0..4.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_has_requested_length(v in prop::collection::vec(0.0f64..1.0, 7)) {
+            prop_assert_eq!(v.len(), 7);
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn map_applies(y in (0i64..10).prop_map(|k| k * 2)) {
+            prop_assert!(y % 2 == 0 && (0..20).contains(&y));
+        }
+
+        #[test]
+        fn option_of_mixes(o in prop::option::of(0u32..5)) {
+            if let Some(v) = o {
+                prop_assert!(v < 5);
+            }
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = -1.0f64..1.0;
+        let a: Vec<f64> = (0..32)
+            .map(|c| s.generate(&mut TestRng::for_case(42, c)))
+            .collect();
+        let b: Vec<f64> = (0..32)
+            .map(|c| s.generate(&mut TestRng::for_case(42, c)))
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<f64> = (0..32)
+            .map(|c| s.generate(&mut TestRng::for_case(43, c)))
+            .collect();
+        assert_ne!(a, c);
+    }
+}
