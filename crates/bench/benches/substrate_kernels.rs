@@ -2,7 +2,7 @@
 //! factorisations, polynomial arithmetic, the SDP interior-point solver and
 //! the hybrid simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use cppll_hybrid::Simulator;
@@ -111,5 +111,66 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+/// Best-of-`reps` wall-clock seconds of `f`.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times the cache-blocked kernels against their naive references and
+/// merges the numbers into the `kernels` section of `BENCH_SDP.json`,
+/// alongside the pipeline section written by `reproduce --only bench`.
+fn write_kernel_report() {
+    use cppll_json::ObjectBuilder;
+
+    const N: usize = 96; // crosses both the matmul (32) and Cholesky (48) tiles
+    let a = spd(N);
+    let b = spd(N);
+    let mut out = Matrix::zeros(N, N);
+    let reps = 5;
+    let report = ObjectBuilder::new()
+        .field("n", N)
+        .field(
+            "matmul_blocked_seconds",
+            best_of(reps, || {
+                a.matmul_into(&b, &mut out);
+                black_box(&out);
+            }),
+        )
+        .field(
+            "matmul_naive_seconds",
+            best_of(reps, || {
+                black_box(black_box(&a).matmul_naive(&b));
+            }),
+        )
+        .field(
+            "cholesky_blocked_seconds",
+            best_of(reps, || {
+                black_box(black_box(&a).cholesky().unwrap());
+            }),
+        )
+        .field(
+            "cholesky_unblocked_seconds",
+            best_of(reps, || {
+                black_box(cppll_linalg::Cholesky::new_unblocked(black_box(&a)).unwrap());
+            }),
+        )
+        .build();
+    let path = cppll_bench::bench_sdp_json_path();
+    match cppll_bench::merge_bench_sdp(&path, "kernels", report) {
+        Ok(()) => println!("[saved kernel timings to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_kernel_report();
+}

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [--quick] [--only table1|fig2|fig3|fig4|fig5|table2|ablations]
+//! reproduce [--quick] [--only table1|fig2|fig3|fig4|fig5|table2|bench|ablations]
 //! ```
 //!
 //! Prints the artefacts to stdout (tables as text, figures as extents plus
@@ -12,6 +12,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use cppll_bench::experiments::{self, AdvectionFigure, FigureResult};
+use cppll_json::ToJson;
 
 fn out_dir() -> PathBuf {
     let dir = PathBuf::from("target/experiments");
@@ -170,6 +171,27 @@ fn main() {
             );
         }
         save_json("table2", &t2);
+    }
+
+    if want("bench") {
+        banner("SDP hot path: per-stage solver timings");
+        let b = experiments::bench_sdp(quick);
+        println!("  solver threads: {}", b.threads);
+        for row in &b.rows {
+            println!(
+                "  {} — verified={}, {} solves / {} attempts",
+                row.problem, row.verified, row.solves, row.attempts
+            );
+            for (name, secs) in row.timings.stages() {
+                println!("    {name:<26} {secs:>9.3}s");
+            }
+            println!("    {:<26} {:>9.3}s", "total", row.timings.total);
+        }
+        let path = cppll_bench::bench_sdp_json_path();
+        match cppll_bench::merge_bench_sdp(&path, "pipeline", b.to_json()) {
+            Ok(()) => println!("  [saved {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
     }
 
     if want("ablations") {

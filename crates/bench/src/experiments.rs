@@ -1,12 +1,15 @@
 //! One runner per table/figure of the paper, plus the ablations.
 
+use cppll_hybrid::{HybridSystem, Jump, Mode};
 use cppll_pll::{
     PllModelBuilder, PllOrder, TableOneParams, UncertaintySelection, VerificationModel,
 };
 use cppll_json::{ObjectBuilder, ToJson, Value};
+use cppll_poly::Polynomial;
+use cppll_sdp::SolveTimings;
 use cppll_verify::{
     CertificateScheme, InevitabilityVerifier, LyapunovOptions, LyapunovSynthesizer,
-    PipelineOptions, ResilienceConfig, RobustEncoding, VerificationReport,
+    PipelineOptions, Region, ResilienceConfig, RobustEncoding, VerificationReport,
 };
 
 use crate::contour::{trace_sublevel_boundary, Curve};
@@ -555,6 +558,93 @@ pub fn ablation_advection() -> Vec<AblationRow> {
 }
 
 // ---------------------------------------------------------------------------
+// SDP hot-path benchmark (BENCH_SDP.json)
+// ---------------------------------------------------------------------------
+
+/// Per-stage SDP solver wall-clock of one benchmark problem, aggregated by
+/// the supervised-solve ledger across a full pipeline run.
+#[derive(Debug, Clone)]
+pub struct BenchSdpRow {
+    /// Problem label.
+    pub problem: String,
+    /// Whether the run verified.
+    pub verified: bool,
+    /// Supervised solves of the run.
+    pub solves: usize,
+    /// Solve attempts including retries.
+    pub attempts: usize,
+    /// Aggregate per-stage solver timings.
+    pub timings: SolveTimings,
+}
+
+/// The SDP hot-path benchmark: where solver time goes on a toy hybrid
+/// system and on the third-order PLL.
+#[derive(Debug, Clone)]
+pub struct BenchSdp {
+    /// Worker threads the solver resolves to under the current settings.
+    pub threads: usize,
+    /// One row per benchmark problem.
+    pub rows: Vec<BenchSdpRow>,
+}
+
+/// The two-mode planar spiral from the toy inevitability test: both modes
+/// contract to the origin, identity jumps on the switching line `x = 0`.
+fn toy_two_mode_spiral() -> HybridSystem {
+    let right = vec![
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], 1.0)]),
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], -1.0)]),
+    ];
+    let left = vec![
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], 0.5)]),
+        Polynomial::from_terms(2, &[(&[1, 0], -0.5), (&[0, 1], -1.0)]),
+    ];
+    let x = Polynomial::var(2, 0);
+    let m0 = Mode::new("right", right).with_flow_set(vec![x.clone()]);
+    let m1 = Mode::new("left", left).with_flow_set(vec![x.scale(-1.0)]);
+    let guard = vec![Polynomial::var(2, 0)];
+    let jumps = vec![
+        Jump::identity(0, 1).with_guard_eq(guard.clone()),
+        Jump::identity(1, 0).with_guard_eq(guard),
+    ];
+    HybridSystem::new(2, vec![m0, m1], jumps)
+}
+
+fn bench_sdp_row(problem: &str, report: &VerificationReport) -> BenchSdpRow {
+    BenchSdpRow {
+        problem: problem.into(),
+        verified: report.verdict.is_verified(),
+        solves: report.solve_stats.solves,
+        attempts: report.solve_stats.attempts,
+        timings: report.solve_timings,
+    }
+}
+
+/// Runs the SDP hot-path benchmark: a toy two-mode system (degree 2) and
+/// the third-order PLL at the `quick`-selected degree, reporting per-stage
+/// solver timings of each.
+pub fn bench_sdp(quick: bool) -> BenchSdp {
+    let sys = toy_two_mode_spiral();
+    let mut boundary = Vec::new();
+    for i in 0..2 {
+        let xi = Polynomial::var(2, i);
+        boundary.push(&Polynomial::constant(2, 3.0) - &xi);
+        boundary.push(&Polynomial::constant(2, 3.0) + &xi);
+    }
+    let verifier = InevitabilityVerifier::new(&sys, boundary, Region::ball(2, 2.0));
+    let toy = verifier
+        .verify(&PipelineOptions::degree(2))
+        .expect("toy system verifies");
+    let (_, r3) = run_pipeline(PllOrder::Third, quick);
+    BenchSdp {
+        threads: cppll_par::current_threads(),
+        rows: vec![
+            bench_sdp_row("toy_two_mode_spiral", &toy),
+            bench_sdp_row("pll_third_order", &r3),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
 // JSON artefact serialisation (hand-rolled: serde is unavailable offline).
 // ---------------------------------------------------------------------------
 
@@ -615,6 +705,32 @@ impl ToJson for Table2 {
             .field("degrees", self.degrees)
             .field("verified", self.verified)
             .field("solve_attempts", self.solve_attempts)
+            .build()
+    }
+}
+
+impl ToJson for BenchSdpRow {
+    fn to_json(&self) -> Value {
+        let mut stages = ObjectBuilder::new();
+        for (name, secs) in self.timings.stages() {
+            stages = stages.field(name, secs);
+        }
+        ObjectBuilder::new()
+            .field("problem", &self.problem)
+            .field("verified", self.verified)
+            .field("solves", self.solves)
+            .field("attempts", self.attempts)
+            .field("stages", stages.build())
+            .field("total_seconds", self.timings.total)
+            .build()
+    }
+}
+
+impl ToJson for BenchSdp {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("threads", self.threads)
+            .field("rows", &self.rows)
             .build()
     }
 }

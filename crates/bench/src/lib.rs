@@ -22,3 +22,40 @@
 
 pub mod contour;
 pub mod experiments;
+
+use std::path::{Path, PathBuf};
+
+/// Canonical location of `BENCH_SDP.json`, resolved against the workspace
+/// `target/` directory so the `reproduce` runner and the
+/// `substrate_kernels` bench agree on it regardless of invocation cwd.
+pub fn bench_sdp_json_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments/BENCH_SDP.json")
+}
+
+/// Read-merge-write of one top-level section of `BENCH_SDP.json`: the
+/// pipeline timings (`reproduce --only bench`) and the kernel timings
+/// (`cargo bench --bench substrate_kernels`) each own a section and must
+/// not clobber the other's.
+pub fn merge_bench_sdp(
+    path: &Path,
+    section: &str,
+    value: cppll_json::Value,
+) -> std::io::Result<()> {
+    use cppll_json::Value;
+    let mut members = match std::fs::read_to_string(path) {
+        Ok(text) => match cppll_json::parse(&text) {
+            Ok(Value::Object(m)) => m,
+            // Unparseable or non-object contents: start the file over.
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    match members.iter_mut().find(|(k, _)| k == section) {
+        Some(slot) => slot.1 = value,
+        None => members.push((section.to_string(), value)),
+    }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, Value::Object(members).to_pretty_string())
+}

@@ -12,6 +12,7 @@
 //! --retries <n>            retries per solve on transient failures (default 2)
 //! --solve-timeout <secs>   wall-clock budget per solve attempt
 //! --deadline <secs>        wall-clock budget for the whole pipeline
+//! --threads <n>            SDP solver worker threads (0 = auto, default 0)
 //! ```
 
 use std::process::ExitCode;
@@ -59,6 +60,14 @@ fn print_report(report: &VerificationReport) {
     for t in &report.timings {
         println!("  {:<26} {:>9.2}s", t.name, t.seconds);
     }
+    let tm = &report.solve_timings;
+    if tm.total > 0.0 {
+        println!("solver stages ({} threads):", cppll_par::current_threads());
+        for (name, secs) in tm.stages() {
+            println!("  {name:<26} {secs:>9.3}s");
+        }
+        println!("  {:<26} {:>9.3}s", "total", tm.total);
+    }
 }
 
 /// Extracts `--retries`, `--solve-timeout` and `--deadline` (with their
@@ -95,6 +104,13 @@ fn parse_resilience(args: &[String]) -> Result<(Vec<String>, ResilienceConfig), 
             }
             "--deadline" => {
                 config.deadline = Some(seconds("--deadline", value_of("--deadline")?)?);
+            }
+            "--threads" => {
+                let v = value_of("--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads: not a count: {v}"))?;
+                cppll_par::set_threads(n);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}"));
@@ -196,7 +212,8 @@ fn main() -> ExitCode {
                  resilience flags (verify, pll):\n\
                  \x20 --retries <n>            retries per solve on transient failures (default 2)\n\
                  \x20 --solve-timeout <secs>   wall-clock budget per solve attempt\n\
-                 \x20 --deadline <secs>        wall-clock budget for the whole pipeline"
+                 \x20 --deadline <secs>        wall-clock budget for the whole pipeline\n\
+                 \x20 --threads <n>            SDP solver worker threads (0 = auto)"
             );
             ExitCode::FAILURE
         }

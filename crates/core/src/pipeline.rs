@@ -4,6 +4,7 @@ use std::time::Instant;
 
 use cppll_hybrid::HybridSystem;
 use cppll_poly::Polynomial;
+use cppll_sdp::SolveTimings;
 use cppll_sos::{check_inclusion, InclusionOptions, LedgerStats, SolveLedger};
 
 use crate::advection::{Advection, AdvectionOptions};
@@ -140,6 +141,9 @@ pub struct VerificationReport {
     pub failures: Vec<FailureReport>,
     /// Aggregate supervised-solve statistics of the whole run.
     pub solve_stats: LedgerStats,
+    /// Per-stage SDP solver wall-clock totals, aggregated across every
+    /// supervised solve of the run (Schur assembly, KKT factor/solve, …).
+    pub solve_timings: SolveTimings,
 }
 
 impl VerificationReport {
@@ -297,6 +301,7 @@ impl<'s> InevitabilityVerifier<'s> {
                     },
                     failures,
                     solve_stats: ledger.stats(),
+                    solve_timings: ledger.timings(),
                 });
             }
         };
@@ -345,6 +350,7 @@ impl<'s> InevitabilityVerifier<'s> {
                 verdict,
                 failures,
                 solve_stats: ledger.stats(),
+                    solve_timings: ledger.timings(),
             });
         };
 
@@ -422,6 +428,7 @@ impl<'s> InevitabilityVerifier<'s> {
                 },
                 failures,
                 solve_stats: ledger.stats(),
+                    solve_timings: ledger.timings(),
             });
         }
 
@@ -510,6 +517,7 @@ impl<'s> InevitabilityVerifier<'s> {
             verdict,
             failures,
             solve_stats: ledger.stats(),
+            solve_timings: ledger.timings(),
         })
     }
 

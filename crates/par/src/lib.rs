@@ -1,0 +1,200 @@
+//! Minimal deterministic fork/join parallelism for the `cppll` kernels.
+//!
+//! The workspace builds offline, so no rayon/crossbeam: this crate is a
+//! small hand-rolled layer over [`std::thread::scope`] that the SDP solver
+//! and the dense kernels use for their hot loops.
+//!
+//! # Determinism contract
+//!
+//! Every entry point here is *bit-deterministic in the thread count*: the
+//! result of a call with `threads = 1` and `threads = N` is identical down
+//! to the last floating-point bit. That holds because work items are pure
+//! functions of their index (no shared accumulator is ever updated from a
+//! worker), and all reductions happen on the calling thread in a fixed
+//! index order after the workers join. The SDP solver's attempt logs are
+//! required to be byte-identical across `--threads` settings; this contract
+//! is what makes that possible.
+//!
+//! # Thread-count resolution
+//!
+//! A process-wide default is kept in an atomic ([`set_threads`] /
+//! [`current_threads`]), initialised from the machine's available
+//! parallelism on first read. Call sites that need an explicit override
+//! (tests comparing 1-thread and N-thread runs side by side) pass a
+//! resolved count instead of touching the global.
+//!
+//! # Examples
+//!
+//! ```
+//! // Square the numbers 0..8 on however many workers are configured.
+//! let squares = cppll_par::parallel_map(8, 0, |i| (i * i) as u64);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count; 0 means "not yet resolved".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count (the CLI's `--threads` flag).
+///
+/// A value of 0 resets to "auto" (the machine's available parallelism).
+pub fn set_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide default worker count: the last [`set_threads`] value,
+/// or the machine's available parallelism when none has been set.
+pub fn current_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Resolves a call-site thread request: 0 means "use the process default".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        current_threads()
+    } else {
+        requested
+    }
+}
+
+/// Below this many items a fork/join is pure overhead; run serially.
+const MIN_ITEMS_PER_FORK: usize = 2;
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// `threads = 0` uses the process default ([`current_threads`]); `1` (or a
+/// small `n`) runs serially on the calling thread. The items are split into
+/// at most `threads` contiguous chunks, each computed by one scoped worker,
+/// and concatenated in chunk order — so the output is bit-identical for
+/// every thread count.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n < MIN_ITEMS_PER_FORK {
+        return (0..n).map(f).collect();
+    }
+    // Contiguous chunk bounds: ceil-split so every worker gets work.
+    let chunk = n.div_ceil(threads);
+    let bounds: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    let f = &f;
+    let mut chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cppll-par worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks.iter_mut() {
+        out.append(c);
+    }
+    out
+}
+
+/// Applies `f` to disjoint contiguous chunks of `items` in parallel, giving
+/// each invocation the chunk's starting index. Mutations stay within each
+/// worker's chunk, so this is race-free by construction and deterministic
+/// whenever `f` is (no cross-chunk reduction exists to reorder).
+pub fn parallel_chunks_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n < MIN_ITEMS_PER_FORK {
+        f(0, items);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut offset = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let lo = offset;
+            scope.spawn(move || f(lo, head));
+            offset += take;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 3, 7] {
+            let got = parallel_map(23, threads, |i| 3 * i + 1);
+            let want: Vec<_> = (0..23).map(|i| 3 * i + 1).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_degenerate_sizes() {
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 4, |i| i), vec![0]);
+        // More threads than items.
+        assert_eq!(parallel_map(2, 16, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn map_is_bit_deterministic_across_thread_counts() {
+        // A float reduction per item whose value depends on summation order
+        // *within* the item only — across items there is no shared state.
+        let work = |i: usize| {
+            let mut acc = 0.0f64;
+            for k in 1..100 {
+                acc += 1.0 / ((i * 100 + k) as f64);
+            }
+            acc
+        };
+        let serial = parallel_map(64, 1, work);
+        for threads in [2, 3, 5, 8] {
+            let par = parallel_map(64, threads, work);
+            assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_touches_every_item_once() {
+        for threads in [1, 2, 5] {
+            let mut items: Vec<usize> = vec![0; 17];
+            parallel_chunks_mut(&mut items, threads, |lo, chunk| {
+                for (k, it) in chunk.iter_mut().enumerate() {
+                    *it += lo + k + 1;
+                }
+            });
+            let want: Vec<usize> = (1..=17).collect();
+            assert_eq!(items, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_default_resolution() {
+        assert!(current_threads() >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -57,6 +57,9 @@ mod sparse;
 
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use problem::{BlockId, ConstraintId, FreeVarId, SdpProblem};
-pub use solution::{SdpSolution, SdpStatus};
+pub use solution::{SdpSolution, SdpStatus, SolveTimings};
 pub use solver::SolverOptions;
 pub use sparse::SymSparse;
+
+#[doc(hidden)]
+pub use solver::assemble_schur_for_tests;

@@ -58,6 +58,57 @@ impl std::fmt::Display for SdpStatus {
     }
 }
 
+/// Per-stage wall-clock totals, in seconds, accumulated across every
+/// iteration of one solve.
+///
+/// Purely diagnostic: timings never influence solver decisions and never
+/// enter the deterministic attempt logs — they answer "where does the time
+/// go" in benchmark output and CLI reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveTimings {
+    /// Residual and convergence-metric evaluation.
+    pub residuals: f64,
+    /// Per-block Cholesky factorisations of `Xⱼ`, `Sⱼ` and `Sⱼ⁻¹`.
+    pub factorizations: f64,
+    /// Schur-complement assembly (the `T = S⁻¹AX` solves and pair products).
+    pub schur_assembly: f64,
+    /// LDLᵀ factorisation of the KKT system.
+    pub kkt_factor: f64,
+    /// Newton direction computation (KKT solves plus block recovery).
+    pub kkt_solve: f64,
+    /// Fraction-to-boundary line searches (eigenvalue computations).
+    pub line_search: f64,
+    /// End-to-end wall clock of the solve call.
+    pub total: f64,
+}
+
+impl SolveTimings {
+    /// Accumulates another solve's stage totals into this one (used to
+    /// aggregate timings across supervised retry attempts and across
+    /// pipeline stages).
+    pub fn accumulate(&mut self, other: &SolveTimings) {
+        self.residuals += other.residuals;
+        self.factorizations += other.factorizations;
+        self.schur_assembly += other.schur_assembly;
+        self.kkt_factor += other.kkt_factor;
+        self.kkt_solve += other.kkt_solve;
+        self.line_search += other.line_search;
+        self.total += other.total;
+    }
+
+    /// Stage names and totals in reporting order, excluding `total`.
+    pub fn stages(&self) -> [(&'static str, f64); 6] {
+        [
+            ("residuals", self.residuals),
+            ("factorizations", self.factorizations),
+            ("schur_assembly", self.schur_assembly),
+            ("kkt_factor", self.kkt_factor),
+            ("kkt_solve", self.kkt_solve),
+            ("line_search", self.line_search),
+        ]
+    }
+}
+
 /// Result of an SDP solve.
 #[derive(Debug, Clone)]
 pub struct SdpSolution {
@@ -83,6 +134,8 @@ pub struct SdpSolution {
     pub gap: f64,
     /// Number of interior-point iterations performed.
     pub iterations: usize,
+    /// Per-stage wall-clock breakdown of this solve.
+    pub timings: SolveTimings,
 }
 
 impl SdpSolution {

@@ -8,7 +8,7 @@ use cppll_linalg::{Cholesky, Matrix};
 
 use crate::fault::{FaultInjector, FaultKind};
 use crate::problem::SdpProblem;
-use crate::solution::{SdpSolution, SdpStatus};
+use crate::solution::{SdpSolution, SdpStatus, SolveTimings};
 use crate::sparse::SymSparse;
 
 /// Tunable solver parameters.
@@ -32,6 +32,13 @@ pub struct SolverOptions {
     pub deadline: Option<Instant>,
     /// Optional fault injector (testing hook); polled once per solve.
     pub fault: Option<Arc<FaultInjector>>,
+    /// Worker threads for the parallel hot loops (block factorisations,
+    /// Schur assembly, direction recovery, line search). `0` uses the
+    /// process-wide default ([`cppll_par::current_threads`]). Results are
+    /// bit-identical for every thread count: parallel work items are pure
+    /// functions of their index and all reductions run on the calling
+    /// thread in fixed index order.
+    pub threads: usize,
 }
 
 impl Default for SolverOptions {
@@ -45,6 +52,7 @@ impl Default for SolverOptions {
             verbose: false,
             deadline: None,
             fault: None,
+            threads: 0,
         }
     }
 }
@@ -76,6 +84,9 @@ struct Direction {
 }
 
 pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
+    let solve_start = Instant::now();
+    let threads = cppll_par::resolve_threads(opt.threads);
+    let mut tm = SolveTimings::default();
     let m = p.num_constraints();
     let nblocks = p.num_blocks();
     let nfree = p.num_free_vars();
@@ -83,6 +94,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
 
     // Degenerate corner: nothing to optimise.
     if m == 0 && nblocks == 0 {
+        tm.total = solve_start.elapsed().as_secs_f64();
         return SdpSolution {
             status: SdpStatus::Optimal,
             x: Vec::new(),
@@ -95,6 +107,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             dual_infeasibility: 0.0,
             gap: 0.0,
             iterations: 0,
+            timings: tm,
         };
     }
 
@@ -159,6 +172,21 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
     let mut last = Metrics::default();
     let mut iterations = 0usize;
 
+    // Iteration-persistent workspaces: the KKT matrix and the corrector /
+    // H block buffers are allocated once and reused every iteration.
+    let kdim = m + nfree;
+    let mut kkt = Matrix::zeros(kdim, kdim);
+    let mut corr_ws: Vec<Matrix> = p
+        .block_dims
+        .iter()
+        .map(|&n| Matrix::zeros(n, n))
+        .collect();
+    let mut h_ws: Vec<Matrix> = p
+        .block_dims
+        .iter()
+        .map(|&n| Matrix::zeros(n, n))
+        .collect();
+
     // Fault injection (testing hook): decided once per solve, applied after
     // the first iteration's residuals are computed so the returned iterate
     // and metrics are real.
@@ -167,10 +195,10 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
     for iter in 0..opt.max_iterations {
         iterations = iter;
         // ---- Residuals -------------------------------------------------
+        let stage_start = Instant::now();
         let av = p.constraint_values(&it.x, &it.u);
         let rp: Vec<f64> = p.b.iter().zip(&av).map(|(b, a)| b - a).collect();
-        let mut rd: Vec<Matrix> = Vec::with_capacity(nblocks);
-        for j in 0..nblocks {
+        let rd: Vec<Matrix> = cppll_par::parallel_map(nblocks, threads, |j| {
             // Rdⱼ = Cⱼ − Sⱼ − Σᵢ yᵢ A_{ij}
             let mut r = it.s[j].scale(-1.0);
             p.costs[j].add_scaled_into(1.0, &mut r);
@@ -184,8 +212,8 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
                     }
                 }
             }
-            rd.push(r);
-        }
+            r
+        });
         // rf = f − Bᵀy
         let mut rf = p.free_costs.clone();
         for (i, row) in p.bfree.iter().enumerate() {
@@ -224,6 +252,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             gap,
             mu_rel,
         };
+        tm.residuals += stage_start.elapsed().as_secs_f64();
 
         if opt.verbose {
             eprintln!(
@@ -234,18 +263,18 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         // ---- Injected faults and deadline -------------------------------
         if iter == 0 {
             if let Some(kind) = injected {
-                return finish(p, it, kind.status(), last, iter);
+                return finish(p, it, kind.status(), last, iter, tm, solve_start);
             }
         }
         if let Some(deadline) = opt.deadline {
             if Instant::now() >= deadline {
-                return finish(p, it, SdpStatus::DeadlineExceeded, last, iter);
+                return finish(p, it, SdpStatus::DeadlineExceeded, last, iter, tm, solve_start);
             }
         }
 
         // ---- Termination ----------------------------------------------
         if pinf < opt.tolerance && dinf < opt.tolerance && gap.max(mu_rel) < opt.tolerance {
-            return finish(p, it, SdpStatus::Optimal, last, iter);
+            return finish(p, it, SdpStatus::Optimal, last, iter, tm, solve_start);
         }
         // Degenerate (no-strict-interior) instances: complementarity and
         // feasibility converge but the objective gap stagnates because the
@@ -258,74 +287,39 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         }
         prev_gap = gap;
         if stagnation >= 8 && pinf < 1e-5 && dinf < 1e-5 && mu_rel < 1e-6 {
-            return finish(p, it, SdpStatus::NearOptimal, last, iter);
+            return finish(p, it, SdpStatus::NearOptimal, last, iter, tm, solve_start);
         }
         // Infeasibility heuristics: unbounded dual ⇒ primal infeasible.
         let scale = 1.0 + b_norm + c_norm;
         if dobj > 1e9 * scale && dinf < 1e-4 {
-            return finish(p, it, SdpStatus::PrimalInfeasibleLikely, last, iter);
+            return finish(p, it, SdpStatus::PrimalInfeasibleLikely, last, iter, tm, solve_start);
         }
         if pobj < -1e9 * scale && pinf < 1e-4 {
-            return finish(p, it, SdpStatus::DualInfeasibleLikely, last, iter);
+            return finish(p, it, SdpStatus::DualInfeasibleLikely, last, iter, tm, solve_start);
         }
 
         // ---- Factorisations --------------------------------------------
-        let mut work: Vec<BlockWork> = Vec::with_capacity(nblocks);
-        let mut fact_ok = true;
-        for j in 0..nblocks {
-            let cx = match robust_cholesky(&it.x[j]) {
-                Some(c) => c,
-                None => {
-                    fact_ok = false;
-                    break;
-                }
-            };
-            let cs = match robust_cholesky(&it.s[j]) {
-                Some(c) => c,
-                None => {
-                    fact_ok = false;
-                    break;
-                }
-            };
+        let stage_start = Instant::now();
+        let factored: Vec<Option<BlockWork>> = cppll_par::parallel_map(nblocks, threads, |j| {
+            let cx = robust_cholesky(&it.x[j])?;
+            let cs = robust_cholesky(&it.s[j])?;
             let s_inv = cs.inverse();
-            work.push(BlockWork {
+            Some(BlockWork {
                 chol_x: cx,
                 chol_s: cs,
                 s_inv,
-            });
+            })
+        });
+        tm.factorizations += stage_start.elapsed().as_secs_f64();
+        if factored.iter().any(Option::is_none) {
+            return finish(p, it, SdpStatus::Stalled, last, iter, tm, solve_start);
         }
-        if !fact_ok {
-            return finish(p, it, SdpStatus::Stalled, last, iter);
-        }
+        let work: Vec<BlockWork> = factored.into_iter().map(Option::unwrap).collect();
 
         // ---- Schur complement -------------------------------------------
-        // T_{ij} = Sⱼ⁻¹ A_{ij} Xⱼ computed per touching constraint.
-        let kdim = m + nfree;
-        let mut kkt = Matrix::zeros(kdim, kdim);
-        for j in 0..nblocks {
-            let cons = &touching[j];
-            if cons.is_empty() {
-                continue;
-            }
-            // Precompute T for every touching constraint.
-            let mut ts: Vec<(usize, Matrix)> = Vec::with_capacity(cons.len());
-            for &i in cons {
-                let a_ij = constraint_block(p, i, j);
-                let ax = a_ij.mul_dense(&it.x[j]);
-                let t = work[j].chol_s.solve_matrix(&ax);
-                ts.push((i, t));
-            }
-            for (idx, &i) in cons.iter().enumerate() {
-                let a_ij = constraint_block(p, i, j);
-                for &(i2, ref t2) in ts.iter().take(idx + 1) {
-                    let v = dot_general(a_ij, t2);
-                    kkt[(i, i2)] += v;
-                    if i != i2 {
-                        kkt[(i2, i)] += v;
-                    }
-                }
-            }
-        }
+        let stage_start = Instant::now();
+        kkt.set_zero();
+        assemble_schur(p, &touching, &it.x, &work, threads, &mut kkt);
         for i in 0..m {
             kkt[(i, i)] += opt.schur_regularization * (1.0 + kkt[(i, i)].abs());
         }
@@ -339,16 +333,20 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         for k in 0..nfree {
             kkt[(m + k, m + k)] = -opt.free_regularization;
         }
+        tm.schur_assembly += stage_start.elapsed().as_secs_f64();
+        let stage_start = Instant::now();
         let kkt_fact = match kkt.ldlt(opt.free_regularization.max(1e-13)) {
             Ok(f) => f,
-            Err(_) => return finish(p, it, SdpStatus::Stalled, last, iter),
+            Err(_) => return finish(p, it, SdpStatus::Stalled, last, iter, tm, solve_start),
         };
+        tm.kkt_factor += stage_start.elapsed().as_secs_f64();
         let kkt_solver = KktSolver {
             matrix: &kkt,
             factor: &kkt_fact,
         };
 
         // ---- Predictor (affine) direction --------------------------------
+        let stage_start = Instant::now();
         let dir_aff = compute_direction(
             p,
             &it,
@@ -361,11 +359,14 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             0.0,
             mu,
             None,
+            threads,
+            &mut h_ws,
         );
-        let (ap_aff, ad_aff) = step_lengths(&it, &dir_aff, &work, 1.0);
-        // μ_aff
-        let mut xs_aff = 0.0;
-        for j in 0..nblocks {
+        tm.kkt_solve += stage_start.elapsed().as_secs_f64();
+        let stage_start = Instant::now();
+        let (ap_aff, ad_aff) = step_lengths(&it, &dir_aff, &work, 1.0, threads);
+        // μ_aff — summed in ascending block order on the calling thread.
+        let xs_terms: Vec<f64> = cppll_par::parallel_map(nblocks, threads, |j| {
             let xn = {
                 let mut t = it.x[j].clone();
                 t.axpy(ap_aff, &dir_aff.dx[j]);
@@ -376,15 +377,21 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
                 t.axpy(ad_aff, &dir_aff.ds[j]);
                 t
             };
-            xs_aff += xn.dot(&sn);
-        }
+            xn.dot(&sn)
+        });
+        let xs_aff: f64 = xs_terms.iter().sum();
         let mu_aff = xs_aff / n_tot as f64;
         let sigma = ((mu_aff / mu).max(0.0).powi(3)).clamp(1e-6, 1.0);
+        tm.line_search += stage_start.elapsed().as_secs_f64();
 
         // ---- Corrector direction -----------------------------------------
-        let corr: Vec<Matrix> = (0..nblocks)
-            .map(|j| dir_aff.dx[j].matmul(&dir_aff.ds[j]))
-            .collect();
+        let stage_start = Instant::now();
+        cppll_par::parallel_chunks_mut(&mut corr_ws, threads, |lo, chunk| {
+            for (k, cj) in chunk.iter_mut().enumerate() {
+                let j = lo + k;
+                dir_aff.dx[j].matmul_into(&dir_aff.ds[j], cj);
+            }
+        });
         let dir = compute_direction(
             p,
             &it,
@@ -396,10 +403,15 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             &rf,
             sigma,
             mu,
-            Some(&corr),
+            Some(&corr_ws),
+            threads,
+            &mut h_ws,
         );
+        tm.kkt_solve += stage_start.elapsed().as_secs_f64();
         let tau = if iter < 4 { opt.step_fraction } else { 0.98 };
-        let (ap, ad) = step_lengths(&it, &dir, &work, tau);
+        let stage_start = Instant::now();
+        let (ap, ad) = step_lengths(&it, &dir, &work, tau, threads);
+        tm.line_search += stage_start.elapsed().as_secs_f64();
         if opt.verbose {
             eprintln!("          sigma={sigma:.2e} ap={ap:.3e} ad={ad:.3e} (aff {ap_aff:.2e}/{ad_aff:.2e})");
         }
@@ -409,7 +421,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             if stall_count >= 4 {
                 // Weakly infeasible or numerically exhausted.
                 let status = near_status(&last, opt);
-                return finish(p, it, status, last, iter);
+                return finish(p, it, status, last, iter, tm, solve_start);
             }
         } else {
             stall_count = 0;
@@ -431,7 +443,90 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
     }
 
     let status = near_status(&last, opt);
-    finish(p, it, status, last, iterations)
+    finish(p, it, status, last, iterations, tm, solve_start)
+}
+
+/// Assembles the `m × m` Schur-complement part `M_{ik} = Σⱼ tr(A_{ij} Sⱼ⁻¹
+/// A_{kj} Xⱼ)` into the top-left corner of `kkt` (which the caller has
+/// zeroed).
+///
+/// Parallel and bit-deterministic: the per-constraint `T = S⁻¹AX` solves and
+/// the pair products are pure functions of their indices computed on worker
+/// threads, while the accumulation into `kkt` runs on the calling thread in
+/// fixed `(block, row, column)` order — so any thread count produces the
+/// same floating-point result as a serial run.
+fn assemble_schur(
+    p: &SdpProblem,
+    touching: &[Vec<usize>],
+    x: &[Matrix],
+    work: &[BlockWork],
+    threads: usize,
+    kkt: &mut Matrix,
+) {
+    for (j, cons) in touching.iter().enumerate() {
+        if cons.is_empty() {
+            continue;
+        }
+        // T_{ij} = Sⱼ⁻¹ A_{ij} Xⱼ for every touching constraint.
+        let ts: Vec<Matrix> = cppll_par::parallel_map(cons.len(), threads, |k| {
+            let a_ij = constraint_block(p, cons[k], j);
+            let ax = a_ij.mul_dense(&x[j]);
+            work[j].chol_s.solve_matrix(&ax)
+        });
+        // Lower-triangle pair products, one row of values per work item.
+        let rows: Vec<Vec<f64>> = cppll_par::parallel_map(cons.len(), threads, |idx| {
+            let a_ij = constraint_block(p, cons[idx], j);
+            ts[..=idx].iter().map(|t2| a_ij.dot_general(t2)).collect()
+        });
+        for (idx, row) in rows.iter().enumerate() {
+            let i = cons[idx];
+            for (k, &v) in row.iter().enumerate() {
+                let i2 = cons[k];
+                kkt[(i, i2)] += v;
+                if i != i2 {
+                    kkt[(i2, i)] += v;
+                }
+            }
+        }
+    }
+}
+
+/// Testing hook: the solver's parallel Schur-complement assembly, exposed so
+/// integration tests can pin it against a dense reference and across thread
+/// counts. `x` and `s` are per-block symmetric positive-definite iterate
+/// matrices. Not part of the public API.
+#[doc(hidden)]
+pub fn assemble_schur_for_tests(
+    p: &SdpProblem,
+    x: &[Matrix],
+    s: &[Matrix],
+    threads: usize,
+) -> Matrix {
+    let mut p = p.clone();
+    p.normalize();
+    let m = p.num_constraints();
+    let nblocks = p.num_blocks();
+    let mut touching: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (i, row) in p.a.iter().enumerate() {
+        for (bj, _) in row {
+            touching[*bj].push(i);
+        }
+    }
+    let work: Vec<BlockWork> = (0..nblocks)
+        .map(|j| {
+            let chol_x = x[j].cholesky().expect("X block must be SPD");
+            let chol_s = s[j].cholesky().expect("S block must be SPD");
+            let s_inv = chol_s.inverse();
+            BlockWork {
+                chol_x,
+                chol_s,
+                s_inv,
+            }
+        })
+        .collect();
+    let mut kkt = Matrix::zeros(m, m);
+    assemble_schur(&p, &touching, x, &work, threads, &mut kkt);
+    kkt
 }
 
 #[derive(Default, Clone, Copy)]
@@ -463,8 +558,11 @@ fn finish(
     status: SdpStatus,
     m: Metrics,
     iterations: usize,
+    mut tm: SolveTimings,
+    solve_start: Instant,
 ) -> SdpSolution {
     let _ = p;
+    tm.total = solve_start.elapsed().as_secs_f64();
     SdpSolution {
         status,
         x: it.x,
@@ -477,6 +575,7 @@ fn finish(
         dual_infeasibility: m.dinf,
         gap: m.gap,
         iterations: iterations + 1,
+        timings: tm,
     }
 }
 
@@ -506,18 +605,6 @@ fn constraint_block(p: &SdpProblem, i: usize, j: usize) -> &SymSparse {
         .find(|(bj, _)| *bj == j)
         .map(|(_, m)| m)
         .expect("incidence list out of sync")
-}
-
-/// `tr(A · T)` for symmetric sparse `A` and a general dense `T`.
-fn dot_general(a: &SymSparse, t: &Matrix) -> f64 {
-    let mut acc = 0.0;
-    for &(r, c, v) in a.raw_entries() {
-        acc += v * t[(c, r)];
-        if r != c {
-            acc += v * t[(r, c)];
-        }
-    }
-    acc
 }
 
 /// A factored KKT system with its dense matrix retained for iterative
@@ -564,25 +651,32 @@ fn compute_direction(
     sigma: f64,
     mu: f64,
     corr: Option<&[Matrix]>,
+    threads: usize,
+    h: &mut [Matrix],
 ) -> Direction {
     let m = p.num_constraints();
     let nblocks = p.num_blocks();
     let nfree = p.num_free_vars();
 
-    // Hⱼ = σμ Sⱼ⁻¹ − Xⱼ − (corrⱼ + Xⱼ Rdⱼ) Sⱼ⁻¹
-    let mut h: Vec<Matrix> = Vec::with_capacity(nblocks);
-    for j in 0..nblocks {
-        let mut num = it.x[j].matmul(&rd[j]);
-        if let Some(c) = corr {
-            num = num.add(&c[j]);
+    // Hⱼ = σμ Sⱼ⁻¹ − Xⱼ − (corrⱼ + Xⱼ Rdⱼ) Sⱼ⁻¹, written into the reusable
+    // workspace; each worker owns a disjoint chunk of blocks.
+    cppll_par::parallel_chunks_mut(h, threads, |lo, chunk| {
+        for (k, hj) in chunk.iter_mut().enumerate() {
+            let j = lo + k;
+            let mut num = it.x[j].matmul(&rd[j]);
+            if let Some(c) = corr {
+                num = num.add(&c[j]);
+            }
+            num.matmul_into(&work[j].s_inv, hj);
+            for v in hj.as_mut_slice() {
+                *v = -*v;
+            }
+            hj.axpy(-1.0, &it.x[j]);
+            if sigma != 0.0 {
+                hj.axpy(sigma * mu, &work[j].s_inv);
+            }
         }
-        let mut hj = num.matmul(&work[j].s_inv).scale(-1.0);
-        hj.axpy(-1.0, &it.x[j]);
-        if sigma != 0.0 {
-            hj.axpy(sigma * mu, &work[j].s_inv);
-        }
-        h.push(hj);
-    }
+    });
 
     // RHS: r1ᵢ = rpᵢ − Σⱼ ⟨A_{ij}, Hⱼ⟩  (⟨·,·⟩ against the non-symmetric H).
     let mut rhs = vec![0.0; m + nfree];
@@ -590,7 +684,7 @@ fn compute_direction(
     for (j, hj) in h.iter().enumerate() {
         for &i in &touching[j] {
             let a_ij = constraint_block(p, i, j);
-            rhs[i] -= dot_general(a_ij, hj);
+            rhs[i] -= a_ij.dot_general(hj);
         }
     }
     rhs[m..].copy_from_slice(rf);
@@ -600,21 +694,26 @@ fn compute_direction(
     let du = sol[m..].to_vec();
 
     // dSⱼ = Rdⱼ − Σᵢ dyᵢ A_{ij};  dXⱼ = Hⱼ + Xⱼ (Σᵢ dyᵢ A_{ij}) Sⱼ⁻¹.
-    let mut dx = Vec::with_capacity(nblocks);
-    let mut ds = Vec::with_capacity(nblocks);
-    for j in 0..nblocks {
+    let h = &*h;
+    let dy_ref = &dy;
+    let blocks: Vec<(Matrix, Matrix)> = cppll_par::parallel_map(nblocks, threads, |j| {
         let n = it.x[j].nrows();
         let mut pj = Matrix::zeros(n, n);
         for &i in &touching[j] {
-            if dy[i] == 0.0 {
+            if dy_ref[i] == 0.0 {
                 continue;
             }
-            constraint_block(p, i, j).add_scaled_into(dy[i], &mut pj);
+            constraint_block(p, i, j).add_scaled_into(dy_ref[i], &mut pj);
         }
         let dsj = rd[j].sub(&pj);
         let mut dxj = it.x[j].matmul(&pj).matmul(&work[j].s_inv);
         dxj.axpy(1.0, &h[j]);
         dxj.symmetrize();
+        (dxj, dsj)
+    });
+    let mut dx = Vec::with_capacity(nblocks);
+    let mut ds = Vec::with_capacity(nblocks);
+    for (dxj, dsj) in blocks {
         dx.push(dxj);
         ds.push(dsj);
     }
@@ -622,12 +721,27 @@ fn compute_direction(
 }
 
 /// Maximum primal/dual step lengths keeping `X, S ≻ 0`, scaled by `tau`.
-fn step_lengths(it: &Iterate, dir: &Direction, work: &[BlockWork], tau: f64) -> (f64, f64) {
+///
+/// The per-block eigenvalue computations run in parallel; the min-reduction
+/// happens serially in block order on the calling thread.
+fn step_lengths(
+    it: &Iterate,
+    dir: &Direction,
+    work: &[BlockWork],
+    tau: f64,
+    threads: usize,
+) -> (f64, f64) {
+    let steps: Vec<(f64, f64)> = cppll_par::parallel_map(it.x.len(), threads, |j| {
+        (
+            max_step(&work[j].chol_x, &dir.dx[j]),
+            max_step(&work[j].chol_s, &dir.ds[j]),
+        )
+    });
     let mut ap: f64 = 1.0;
     let mut ad: f64 = 1.0;
-    for j in 0..it.x.len() {
-        ap = ap.min(tau * max_step(&work[j].chol_x, &dir.dx[j]));
-        ad = ad.min(tau * max_step(&work[j].chol_s, &dir.ds[j]));
+    for &(sx, ss) in &steps {
+        ap = ap.min(tau * sx);
+        ad = ad.min(tau * ss);
     }
     (ap.min(1.0), ad.min(1.0))
 }

@@ -18,13 +18,33 @@ use cppll_linalg::Matrix;
 /// let d = a.to_dense();
 /// assert_eq!(d[(1, 0)], 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SymSparse {
     dim: usize,
     /// Upper-triangle entries `(r, c, v)` with `r ≤ c`, sorted, deduplicated.
     entries: Vec<(usize, usize, f64)>,
     /// Whether `entries` is currently sorted/deduplicated.
     normalized: bool,
+    /// Per-entry inner-product weights (`v` on the diagonal, `2v` off it),
+    /// parallel to `entries`. Rebuilt by [`SymSparse::normalize`]; keeping
+    /// the entry order makes the branch-free [`SymSparse::dot_dense`]
+    /// bit-identical to the branchy loop it replaces.
+    scaled: Vec<f64>,
+    /// Flattened `(column-major index, weight)` terms for
+    /// [`SymSparse::dot_general`]: one term per diagonal entry, two per
+    /// off-diagonal entry (both transpose positions), in entry order. The
+    /// term order and per-term accumulation match the branchy loop exactly,
+    /// so the fast path is bit-identical to it.
+    general: Vec<(usize, f64)>,
+}
+
+/// Caches are derived data: equality is defined on the logical matrix only.
+impl PartialEq for SymSparse {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim
+            && self.entries == other.entries
+            && self.normalized == other.normalized
+    }
 }
 
 impl SymSparse {
@@ -34,6 +54,8 @@ impl SymSparse {
             dim,
             entries: Vec::new(),
             normalized: true,
+            scaled: Vec::new(),
+            general: Vec::new(),
         }
     }
 
@@ -81,6 +103,26 @@ impl SymSparse {
         merged.retain(|&(_, _, v)| v != 0.0);
         self.entries = merged;
         self.normalized = true;
+        self.rebuild_caches();
+    }
+
+    /// Rebuilds the derived inner-product caches from `entries`.
+    fn rebuild_caches(&mut self) {
+        self.scaled.clear();
+        self.general.clear();
+        let n = self.dim;
+        for &(r, c, v) in &self.entries {
+            // `t[(c, r)]` at column-major index `r·n + c`, then — off the
+            // diagonal — `t[(r, c)]` at `c·n + r`, mirroring the branchy
+            // `dot_general` loop term for term.
+            self.general.push((r * n + c, v));
+            if r == c {
+                self.scaled.push(v);
+            } else {
+                self.scaled.push(2.0 * v);
+                self.general.push((c * n + r, v));
+            }
+        }
     }
 
     /// Upper-triangle entries (normalizing first).
@@ -116,12 +158,54 @@ impl SymSparse {
     /// normalize once during presolve.
     pub fn dot_dense(&self, x: &Matrix) -> f64 {
         debug_assert_eq!(x.nrows(), self.dim);
+        if self.normalized && self.scaled.len() == self.entries.len() {
+            // Branch-free fast path: the weight (v or 2v) is precomputed per
+            // entry, and the entry order is unchanged, so the accumulation
+            // is bit-identical to the branchy fallback below.
+            let mut acc = 0.0;
+            for (&(r, c, _), &w) in self.entries.iter().zip(&self.scaled) {
+                acc += w * x[(r, c)];
+            }
+            return acc;
+        }
         let mut acc = 0.0;
         for &(r, c, v) in &self.entries {
             if r == c {
                 acc += v * x[(r, c)];
             } else {
                 acc += 2.0 * v * x[(r, c)];
+            }
+        }
+        acc
+    }
+
+    /// Frobenius inner product `⟨self, T⟩` where `T` is a dense matrix that
+    /// is **not** assumed symmetric (the solver's `T = S⁻¹ A X` products):
+    /// `Σ_rc v·(T_cr + T_rc)` with each transpose position accumulated as
+    /// its own term. The fast path walks the pre-flattened `(index, weight)`
+    /// cache — no per-entry branch, bit-identical to the fallback loop.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if dimensions differ. Requires the matrix to be
+    /// normalized (solver data always is after presolve); falls back to a
+    /// branchy loop over raw entries otherwise.
+    pub fn dot_general(&self, t: &Matrix) -> f64 {
+        debug_assert_eq!(t.nrows(), self.dim);
+        debug_assert_eq!(t.ncols(), self.dim);
+        if self.normalized {
+            let data = t.as_slice();
+            let mut acc = 0.0;
+            for &(idx, w) in &self.general {
+                acc += w * data[idx];
+            }
+            return acc;
+        }
+        let mut acc = 0.0;
+        for &(r, c, v) in &self.entries {
+            acc += v * t[(c, r)];
+            if r != c {
+                acc += v * t[(r, c)];
             }
         }
         acc
@@ -208,6 +292,21 @@ mod tests {
         let got = a.mul_dense(&x);
         let want = a.to_dense().matmul(&x);
         assert!(got.sub(&want).norm() < 1e-14);
+    }
+
+    #[test]
+    fn dot_general_matches_dense_trace() {
+        let mut a = SymSparse::new(3);
+        a.add(0, 1, 1.5);
+        a.add(2, 2, -2.0);
+        a.add(0, 0, 0.5);
+        // Non-symmetric T, as produced by the solver's S⁻¹AX products.
+        let t = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let want = a.to_dense().matmul(&t).trace();
+        // Un-normalized fallback and normalized fast path agree with tr(A·T).
+        assert!((a.dot_general(&t) - want).abs() < 1e-12);
+        a.normalize();
+        assert!((a.dot_general(&t) - want).abs() < 1e-12);
     }
 
     #[test]

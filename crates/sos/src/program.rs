@@ -437,6 +437,11 @@ impl SosProgram {
             }
             let compiled = self.compile(&attempt_options);
             let sol = compiled.sdp.solve(&attempt_options.sdp);
+            if let Some(ledger) = &res.ledger {
+                // Stage timings are aggregated apart from the attempt log so
+                // the log stays byte-deterministic.
+                ledger.add_timings(&sol.timings);
+            }
             let mut record = AttemptRecord {
                 attempt,
                 status: sol.status,
@@ -480,7 +485,21 @@ impl SosProgram {
                     record.planned_backoff_ms = backoff;
                     attempts.push(record);
                     if policy.sleep && backoff > 0 {
-                        std::thread::sleep(std::time::Duration::from_millis(backoff));
+                        // The planned backoff counts against the pipeline
+                        // deadline: sleep only the time the deadline leaves,
+                        // and skip entirely once it has passed. The next
+                        // attempt then fails fast with DeadlineExceeded
+                        // instead of overshooting the budget in a sleep.
+                        let planned = std::time::Duration::from_millis(backoff);
+                        let capped = match res.deadline {
+                            Some(d) => d
+                                .saturating_duration_since(std::time::Instant::now())
+                                .min(planned),
+                            None => planned,
+                        };
+                        if !capped.is_zero() {
+                            std::thread::sleep(capped);
+                        }
                     }
                 }
                 s => {

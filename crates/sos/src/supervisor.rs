@@ -20,7 +20,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use cppll_sdp::{FaultInjector, SdpStatus};
+use cppll_sdp::{FaultInjector, SdpStatus, SolveTimings};
 
 /// How (and whether) failed solves are retried.
 #[derive(Debug, Clone)]
@@ -40,8 +40,11 @@ pub struct RetryPolicy {
     pub backoff_factor: f64,
     /// Seed for the deterministic step-fraction jitter.
     pub jitter_seed: u64,
-    /// Actually sleep the planned backoff between attempts. Off by default
-    /// so tests and pipelines stay fast and deterministic in wall-clock.
+    /// Actually sleep the planned backoff between attempts. Defaults to on
+    /// for production builds and off under `cfg(test)`, so unit tests stay
+    /// fast while deployed pipelines get real backpressure. The sleep is
+    /// always clamped to the remaining pipeline deadline — planned backoff
+    /// is counted against the budget, never allowed to overrun it.
     pub sleep: bool,
 }
 
@@ -54,7 +57,7 @@ impl Default for RetryPolicy {
             backoff_base_ms: 10,
             backoff_factor: 2.0,
             jitter_seed: 0x5eed_cafe,
-            sleep: false,
+            sleep: cfg!(not(test)),
         }
     }
 }
@@ -206,6 +209,10 @@ impl std::fmt::Display for LedgerStats {
 struct LedgerInner {
     stats: LedgerStats,
     lines: Vec<String>,
+    /// Per-stage wall-clock totals summed over every recorded attempt.
+    /// Kept apart from `lines`/`stats`: timings are diagnostic and must
+    /// never leak into the deterministic attempt log.
+    timings: SolveTimings,
 }
 
 /// Cheaply cloneable, thread-safe collector of attempt records. One ledger
@@ -236,6 +243,18 @@ impl SolveLedger {
         }
     }
 
+    /// Accumulates one solve attempt's per-stage wall-clock breakdown.
+    /// Deliberately separate from [`SolveLedger::record`]: attempt records
+    /// are deterministic, timings are not.
+    pub fn add_timings(&self, t: &SolveTimings) {
+        self.0.lock().expect("ledger lock").timings.accumulate(t);
+    }
+
+    /// Per-stage wall-clock totals across every attempt recorded so far.
+    pub fn timings(&self) -> SolveTimings {
+        self.0.lock().expect("ledger lock").timings
+    }
+
     /// Aggregate statistics so far.
     pub fn stats(&self) -> LedgerStats {
         self.0.lock().expect("ledger lock").stats
@@ -256,6 +275,28 @@ mod tests {
         let p = RetryPolicy::default();
         assert_eq!(p.max_retries, 0);
         assert_eq!(p.planned_backoff_ms(0), 0);
+        // Under cfg(test) the default policy never sleeps its backoff.
+        assert!(!p.sleep);
+    }
+
+    #[test]
+    fn ledger_accumulates_timings_separately_from_log() {
+        let ledger = SolveLedger::new();
+        let t = SolveTimings {
+            schur_assembly: 0.25,
+            kkt_factor: 0.5,
+            total: 1.0,
+            ..Default::default()
+        };
+        ledger.add_timings(&t);
+        ledger.add_timings(&t);
+        let got = ledger.timings();
+        assert_eq!(got.schur_assembly, 0.5);
+        assert_eq!(got.kkt_factor, 1.0);
+        assert_eq!(got.total, 2.0);
+        // Timings never touch the deterministic attempt log.
+        assert!(ledger.log_lines().is_empty());
+        assert_eq!(ledger.stats(), LedgerStats::default());
     }
 
     #[test]
