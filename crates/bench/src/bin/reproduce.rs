@@ -23,7 +23,7 @@ fn out_dir() -> PathBuf {
 fn save_json<T: cppll_json::ToJson + ?Sized>(name: &str, value: &T) {
     let path = out_dir().join(format!("{name}.json"));
     let s = value.to_json().to_pretty_string();
-    if let Err(e) = fs::write(&path, s) {
+    if let Err(e) = cppll_bench::write_atomic(&path, &s) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         println!("  [saved {}]", path.display());

@@ -32,10 +32,26 @@ pub fn bench_sdp_json_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments/BENCH_SDP.json")
 }
 
+/// Atomically replaces `path` with `contents`: writes a sibling temp file,
+/// then renames it over the target. A crash mid-write leaves either the old
+/// file or the new one, never a truncated hybrid (rename is atomic on POSIX
+/// within a filesystem, and the temp file lives next to its target).
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Read-merge-write of one top-level section of `BENCH_SDP.json`: the
 /// pipeline timings (`reproduce --only bench`) and the kernel timings
 /// (`cargo bench --bench substrate_kernels`) each own a section and must
-/// not clobber the other's.
+/// not clobber the other's. The write is atomic ([`write_atomic`]), so a
+/// crash during one runner cannot destroy the other's section.
 pub fn merge_bench_sdp(
     path: &Path,
     section: &str,
@@ -54,8 +70,5 @@ pub fn merge_bench_sdp(
         Some(slot) => slot.1 = value,
         None => members.push((section.to_string(), value)),
     }
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    std::fs::write(path, Value::Object(members).to_pretty_string())
+    write_atomic(path, &Value::Object(members).to_pretty_string())
 }

@@ -14,14 +14,25 @@
 //! --deadline <secs>        wall-clock budget for the whole pipeline
 //! --threads <n>            SDP solver worker threads (0 = auto, default 0)
 //! ```
+//!
+//! Durability flags (both `verify` and `pll`):
+//!
+//! ```text
+//! --run-id <id>            journal completed stages under target/runs/<id>
+//! --resume <id>            resume a journaled run, replaying finished stages
+//! --runs-dir <dir>         base directory for run journals (default target/runs)
+//! --inject-crash <stage>:<n>  exit(3) at the n-th solve of a stage (testing)
+//! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use cppll_cli::{run_inevitability_with, SystemSpec};
+use cppll_cli::{run_inevitability_checkpointed, SystemSpec};
 use cppll_pll::{PllModelBuilder, PllOrder};
 use cppll_verify::{
-    InevitabilityVerifier, PipelineOptions, ResilienceConfig, VerificationReport,
+    CheckpointConfig, CrashMode, FaultInjector, FaultPlan, InevitabilityVerifier, PipelineOptions,
+    ResilienceConfig, VerificationReport,
 };
 
 const EXAMPLE_SPEC: &str = r#"{
@@ -68,12 +79,60 @@ fn print_report(report: &VerificationReport) {
         }
         println!("  {:<26} {:>9.3}s", "total", tm.total);
     }
+    println!("result digest: {}", report.result_digest());
+    if let Some(run_id) = &report.resume.run_id {
+        println!(
+            "run {run_id}: {} stage(s) replayed from journal, {} computed fresh, \
+             {} warm-started solve(s)",
+            report.resume.stages_replayed,
+            report.resume.stages_fresh,
+            report.resume.warm_started_solves,
+        );
+    }
 }
 
-/// Extracts `--retries`, `--solve-timeout` and `--deadline` (with their
-/// values) from `args`, returning the remaining positional arguments and
-/// the resulting config.
-fn parse_resilience(args: &[String]) -> Result<(Vec<String>, ResilienceConfig), String> {
+/// Durability-related command-line options.
+#[derive(Default)]
+struct DurabilityFlags {
+    run_id: Option<String>,
+    resume: Option<String>,
+    runs_dir: Option<String>,
+    inject_crash: Option<(String, usize)>,
+}
+
+impl DurabilityFlags {
+    /// The checkpoint configuration these flags describe (if any).
+    fn checkpoint(&self) -> Result<Option<CheckpointConfig>, String> {
+        if self.run_id.is_some() && self.resume.is_some() {
+            return Err("--run-id and --resume are mutually exclusive".into());
+        }
+        let config = match (&self.run_id, &self.resume) {
+            (Some(id), None) => Some(CheckpointConfig::new(id.clone())),
+            (None, Some(id)) => Some(CheckpointConfig::new(id.clone()).resuming()),
+            (None, None) => None,
+            (Some(_), Some(_)) => unreachable!(),
+        };
+        Ok(config.map(|c| match &self.runs_dir {
+            Some(dir) => c.with_dir(dir.clone()),
+            None => c,
+        }))
+    }
+
+    /// Installs the crash injector on `config` when `--inject-crash` was
+    /// given. The process exits with code 3 at the requested solve, leaving
+    /// the journal behind for `--resume`.
+    fn arm(&self, config: &mut ResilienceConfig) {
+        if let Some((stage, nth)) = &self.inject_crash {
+            let plan =
+                FaultPlan::default().crash_at_stage_solve(stage.clone(), *nth, CrashMode::Exit(3));
+            config.fault = Some(Arc::new(FaultInjector::new(plan)));
+        }
+    }
+}
+
+/// Extracts every `--flag value` pair from `args`, returning the remaining
+/// positional arguments, the resilience config, and the durability flags.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, ResilienceConfig, DurabilityFlags), String> {
     fn seconds(flag: &str, v: &str) -> Result<Duration, String> {
         let secs: f64 = v
             .parse()
@@ -84,6 +143,7 @@ fn parse_resilience(args: &[String]) -> Result<(Vec<String>, ResilienceConfig), 
         Ok(Duration::from_secs_f64(secs))
     }
     let mut config = ResilienceConfig::default();
+    let mut durability = DurabilityFlags::default();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -112,24 +172,45 @@ fn parse_resilience(args: &[String]) -> Result<(Vec<String>, ResilienceConfig), 
                     .map_err(|_| format!("--threads: not a count: {v}"))?;
                 cppll_par::set_threads(n);
             }
+            "--run-id" => durability.run_id = Some(value_of("--run-id")?.to_string()),
+            "--resume" => durability.resume = Some(value_of("--resume")?.to_string()),
+            "--runs-dir" => durability.runs_dir = Some(value_of("--runs-dir")?.to_string()),
+            "--inject-crash" => {
+                let v = value_of("--inject-crash")?;
+                let (stage, nth) = v
+                    .rsplit_once(':')
+                    .ok_or_else(|| format!("--inject-crash: expected <stage>:<n>, got {v}"))?;
+                let nth: usize = nth
+                    .parse()
+                    .map_err(|_| format!("--inject-crash: not a solve index: {nth}"))?;
+                durability.inject_crash = Some((stage.to_string(), nth));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}"));
             }
             other => positional.push(other.to_string()),
         }
     }
-    Ok((positional, config))
+    Ok((positional, config, durability))
 }
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, resilience) = match parse_resilience(&raw) {
+    let (args, mut resilience, durability) = match parse_flags(&raw) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    let checkpoint = match durability.checkpoint() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    durability.arm(&mut resilience);
     match args.first().map(String::as_str) {
         Some("schema") => {
             println!("{EXAMPLE_SPEC}");
@@ -154,7 +235,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match run_inevitability_with(&spec, resilience) {
+            match run_inevitability_checkpointed(&spec, resilience, checkpoint) {
                 Ok(report) => {
                     print_report(&report);
                     if report.verdict.is_verified() {
@@ -185,6 +266,7 @@ fn main() -> ExitCode {
             let verifier = InevitabilityVerifier::for_pll(&model);
             let mut opt = PipelineOptions::degree(degree);
             opt.resilience = resilience;
+            opt.checkpoint = checkpoint;
             match verifier.verify(&opt) {
                 Ok(report) => {
                     print_report(&report);
@@ -213,7 +295,13 @@ fn main() -> ExitCode {
                  \x20 --retries <n>            retries per solve on transient failures (default 2)\n\
                  \x20 --solve-timeout <secs>   wall-clock budget per solve attempt\n\
                  \x20 --deadline <secs>        wall-clock budget for the whole pipeline\n\
-                 \x20 --threads <n>            SDP solver worker threads (0 = auto)"
+                 \x20 --threads <n>            SDP solver worker threads (0 = auto)\n\
+                 \n\
+                 durability flags (verify, pll):\n\
+                 \x20 --run-id <id>            journal completed stages under target/runs/<id>\n\
+                 \x20 --resume <id>            resume a journaled run, replaying finished stages\n\
+                 \x20 --runs-dir <dir>         base directory for run journals (default target/runs)\n\
+                 \x20 --inject-crash <stage>:<n>  exit(3) at the n-th solve of a stage (testing)"
             );
             ExitCode::FAILURE
         }

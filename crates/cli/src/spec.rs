@@ -412,6 +412,22 @@ pub fn run_inevitability_with(
     spec: &SystemSpec,
     resilience: cppll_verify::ResilienceConfig,
 ) -> Result<VerificationReport, SpecError> {
+    run_inevitability_checkpointed(spec, resilience, None)
+}
+
+/// Like [`run_inevitability_with`], optionally journaling every completed
+/// stage to a crash-safe run directory (and resuming from one when the
+/// config says so).
+///
+/// # Errors
+///
+/// [`SpecError`] on malformed input or pipeline failure, including journal
+/// I/O failures and stale/corrupt journals on resume.
+pub fn run_inevitability_checkpointed(
+    spec: &SystemSpec,
+    resilience: cppll_verify::ResilienceConfig,
+    checkpoint: Option<cppll_verify::CheckpointConfig>,
+) -> Result<VerificationReport, SpecError> {
     if spec.initial_radii.len() != spec.states {
         return Err(SpecError::Invalid {
             message: "initial_radii must have one entry per state".into(),
@@ -423,6 +439,7 @@ pub fn run_inevitability_with(
     let verifier = InevitabilityVerifier::new(&system, boundary, initial);
     let mut opt = PipelineOptions::degree(spec.degree);
     opt.resilience = resilience;
+    opt.checkpoint = checkpoint;
     verifier.verify(&opt).map_err(SpecError::Verify)
 }
 

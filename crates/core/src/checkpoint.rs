@@ -1,0 +1,874 @@
+//! Crash-safe run journal and resume for the verification pipeline.
+//!
+//! A checkpointed run writes each *completed* pipeline stage — the Lyapunov
+//! certificates, the maximised level set, every advection step's front, and
+//! each escape-stage mode outcome — to an append-only JSONL journal under
+//! `<runs-dir>/<run-id>/journal.jsonl`. Every append rewrites the whole
+//! file to a temp path and renames it into place, so a crash at any instant
+//! leaves either the previous or the new journal on disk, never a torn one.
+//!
+//! The journal's header carries a fingerprint of the verification problem
+//! (system, boundary, initial set, and the math-relevant pipeline options).
+//! On resume the fingerprint must match — a journal from a different
+//! problem or different options is rejected as [`CheckpointError::Stale`]
+//! rather than silently replayed into a wrong report.
+//!
+//! Every stage record also snapshots the cumulative solve-ledger statistics
+//! and timings at the instant it was written. Resume absorbs the last
+//! snapshot into the fresh run's ledger, so a resumed report counts the
+//! pre-crash work too and its totals equal an uninterrupted run's.
+//!
+//! Floating-point payloads round-trip bit-exactly through `cppll-json`
+//! (shortest-round-trip formatting), which is what makes a resumed run's
+//! certificates *bit-identical* to an uninterrupted run's: replay feeds the
+//! exact same numbers into the exact same downstream arithmetic.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
+use cppll_json::{decode, DecodeError, ObjectBuilder, ToJson, Value};
+use cppll_poly::Polynomial;
+use cppll_sdp::{SdpSolution, SolveTimings};
+use cppll_sos::LedgerStats;
+
+use crate::escape::EscapeCertificate;
+use crate::lyapunov::CertificateScheme;
+use crate::pipeline::PipelineOptions;
+use crate::region::Region;
+
+/// Journal format version (bumped on incompatible record changes).
+const JOURNAL_VERSION: u64 = 1;
+
+/// Where and how a pipeline run journals its progress.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Identifier of the run; the journal lives in `<dir>/<run_id>/`.
+    pub run_id: String,
+    /// Base directory for run journals.
+    pub dir: PathBuf,
+    /// Replay an existing journal for this run id instead of starting
+    /// over. With `resume = false` an existing journal is truncated.
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing for a fresh run under the default `target/runs` dir.
+    pub fn new(run_id: impl Into<String>) -> Self {
+        CheckpointConfig {
+            run_id: run_id.into(),
+            dir: PathBuf::from("target/runs"),
+            resume: false,
+        }
+    }
+
+    /// Overrides the base runs directory (builder style).
+    #[must_use]
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = dir.into();
+        self
+    }
+
+    /// Marks the run as a resume of an existing journal (builder style).
+    #[must_use]
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Directory holding this run's artifacts.
+    pub fn run_dir(&self) -> PathBuf {
+        self.dir.join(&self.run_id)
+    }
+
+    /// Path of this run's journal file.
+    pub fn journal_path(&self) -> PathBuf {
+        self.run_dir().join("journal.jsonl")
+    }
+}
+
+/// Why a journal could not be written or replayed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or writing the journal.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// The journal exists but cannot be parsed back into records.
+    Corrupt {
+        /// 1-based journal line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The journal belongs to a different problem or different options.
+    Stale {
+        /// Fingerprint of the current problem.
+        expected: String,
+        /// Fingerprint recorded in the journal header.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "journal I/O failed at {}: {source}", path.display())
+            }
+            CheckpointError::Corrupt { line, message } => {
+                write!(f, "journal corrupt at line {line}: {message}")
+            }
+            CheckpointError::Stale { expected, found } => write!(
+                f,
+                "journal is stale: problem fingerprint {expected} does not \
+                 match journaled {found} (changed spec or options?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Cumulative solve-ledger statistics at the instant a record was written.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LedgerSnapshot {
+    /// Cumulative supervised-solve counts.
+    pub stats: LedgerStats,
+    /// Cumulative per-stage solver timings.
+    pub timings: SolveTimings,
+}
+
+impl ToJson for LedgerSnapshot {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("stats", self.stats)
+            .field("timings", self.timings)
+            .build()
+    }
+}
+
+impl cppll_json::FromJson for LedgerSnapshot {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        Ok(LedgerSnapshot {
+            stats: decode::required(v, "stats")?,
+            timings: decode::required(v, "timings")?,
+        })
+    }
+}
+
+fn scheme_name(s: CertificateScheme) -> &'static str {
+    match s {
+        CertificateScheme::Common => "common",
+        CertificateScheme::Multiple => "multiple",
+    }
+}
+
+fn parse_scheme(name: &str) -> Option<CertificateScheme> {
+    match name {
+        "common" => Some(CertificateScheme::Common),
+        "multiple" => Some(CertificateScheme::Multiple),
+        _ => None,
+    }
+}
+
+impl ToJson for CertificateScheme {
+    fn to_json(&self) -> Value {
+        Value::String(scheme_name(*self).to_string())
+    }
+}
+
+impl cppll_json::FromJson for CertificateScheme {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        let name = decode::string(v)?;
+        parse_scheme(name)
+            .ok_or_else(|| DecodeError::new(format!("unknown certificate scheme '{name}'")))
+    }
+}
+
+impl ToJson for EscapeCertificate {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("e", &self.e)
+            .field("mode", self.mode)
+            .field("epsilon", self.epsilon)
+            .build()
+    }
+}
+
+impl cppll_json::FromJson for EscapeCertificate {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        Ok(EscapeCertificate {
+            e: decode::required(v, "e")?,
+            mode: decode::required(v, "mode")?,
+            epsilon: decode::required(v, "epsilon")?,
+        })
+    }
+}
+
+/// One completed pipeline stage, exactly as journaled.
+#[derive(Debug, Clone)]
+pub enum StageRecord {
+    /// The synthesised Lyapunov certificates (stage "lyapunov").
+    Lyapunov {
+        /// Per-mode certificates.
+        vs: Vec<Polynomial>,
+        /// Certificate degree.
+        degree: u32,
+        /// Synthesis margin.
+        epsilon: f64,
+        /// Certificate scheme.
+        scheme: CertificateScheme,
+        /// Cumulative ledger snapshot.
+        ledger: LedgerSnapshot,
+    },
+    /// The maximised level set (stage "levelset").
+    LevelSet {
+        /// Certified level value.
+        level: f64,
+        /// Per-mode attractive-invariant polynomials `Vᵢ − c`.
+        ai_polys: Vec<Polynomial>,
+        /// Bisection probes performed.
+        probes: usize,
+        /// Cumulative ledger snapshot.
+        ledger: LedgerSnapshot,
+    },
+    /// One advection step (stage "advection").
+    AdvectionStep {
+        /// 0-based step index.
+        iter: usize,
+        /// Advected front pieces after this step.
+        pieces: Vec<Polynomial>,
+        /// Taylor truncation error estimate.
+        taylor_error: f64,
+        /// Guard-consistency mismatch.
+        guard_mismatch: f64,
+        /// Whether the front was certified inside the AI after this step.
+        included: bool,
+        /// Per-mode final SDP iterates of the inclusion probes — the
+        /// warm-start seeds for the next step's structurally-identical
+        /// probes. `None` for modes the short-circuiting check skipped.
+        warm: Vec<Option<SdpSolution>>,
+        /// Cumulative ledger snapshot.
+        ledger: LedgerSnapshot,
+    },
+    /// One escape-stage mode outcome (stage "escape").
+    Escape {
+        /// Mode index.
+        mode: usize,
+        /// `true` when the mode's piece was already inside the AI (no
+        /// escape certificate needed).
+        included: bool,
+        /// The escape certificate, when one was synthesised.
+        certificate: Option<EscapeCertificate>,
+        /// Cumulative ledger snapshot.
+        ledger: LedgerSnapshot,
+    },
+}
+
+impl StageRecord {
+    /// The cumulative ledger snapshot taken when the record was written.
+    pub fn ledger(&self) -> &LedgerSnapshot {
+        match self {
+            StageRecord::Lyapunov { ledger, .. }
+            | StageRecord::LevelSet { ledger, .. }
+            | StageRecord::AdvectionStep { ledger, .. }
+            | StageRecord::Escape { ledger, .. } => ledger,
+        }
+    }
+
+    /// Stable record-type tag used in the journal.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StageRecord::Lyapunov { .. } => "lyapunov",
+            StageRecord::LevelSet { .. } => "levelset",
+            StageRecord::AdvectionStep { .. } => "advection-step",
+            StageRecord::Escape { .. } => "escape",
+        }
+    }
+}
+
+impl ToJson for StageRecord {
+    fn to_json(&self) -> Value {
+        let b = ObjectBuilder::new().field("record", self.tag());
+        match self {
+            StageRecord::Lyapunov {
+                vs,
+                degree,
+                epsilon,
+                scheme,
+                ledger,
+            } => b
+                .field("vs", vs)
+                .field("degree", *degree)
+                .field("epsilon", *epsilon)
+                .field("scheme", *scheme)
+                .field("ledger", *ledger)
+                .build(),
+            StageRecord::LevelSet {
+                level,
+                ai_polys,
+                probes,
+                ledger,
+            } => b
+                .field("level", *level)
+                .field("ai_polys", ai_polys)
+                .field("probes", *probes)
+                .field("ledger", *ledger)
+                .build(),
+            StageRecord::AdvectionStep {
+                iter,
+                pieces,
+                taylor_error,
+                guard_mismatch,
+                included,
+                warm,
+                ledger,
+            } => b
+                .field("iter", *iter)
+                .field("pieces", pieces)
+                .field("taylor_error", *taylor_error)
+                .field("guard_mismatch", *guard_mismatch)
+                .field("included", *included)
+                .field("warm", warm)
+                .field("ledger", *ledger)
+                .build(),
+            StageRecord::Escape {
+                mode,
+                included,
+                certificate,
+                ledger,
+            } => b
+                .field("mode", *mode)
+                .field("included", *included)
+                .field("certificate", certificate)
+                .field("ledger", *ledger)
+                .build(),
+        }
+    }
+}
+
+impl cppll_json::FromJson for StageRecord {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        let tag: String = decode::required(v, "record")?;
+        match tag.as_str() {
+            "lyapunov" => Ok(StageRecord::Lyapunov {
+                vs: decode::required(v, "vs")?,
+                degree: decode::required(v, "degree")?,
+                epsilon: decode::required(v, "epsilon")?,
+                scheme: decode::required(v, "scheme")?,
+                ledger: decode::required(v, "ledger")?,
+            }),
+            "levelset" => Ok(StageRecord::LevelSet {
+                level: decode::required(v, "level")?,
+                ai_polys: decode::required(v, "ai_polys")?,
+                probes: decode::required(v, "probes")?,
+                ledger: decode::required(v, "ledger")?,
+            }),
+            "advection-step" => Ok(StageRecord::AdvectionStep {
+                iter: decode::required(v, "iter")?,
+                pieces: decode::required(v, "pieces")?,
+                taylor_error: decode::required(v, "taylor_error")?,
+                guard_mismatch: decode::required(v, "guard_mismatch")?,
+                included: decode::required(v, "included")?,
+                warm: decode::required(v, "warm")?,
+                ledger: decode::required(v, "ledger")?,
+            }),
+            "escape" => Ok(StageRecord::Escape {
+                mode: decode::required(v, "mode")?,
+                included: decode::required(v, "included")?,
+                certificate: decode::required(v, "certificate")?,
+                ledger: decode::required(v, "ledger")?,
+            }),
+            other => Err(DecodeError::new(format!(
+                "unknown journal record type '{other}'"
+            ))),
+        }
+    }
+}
+
+// ---- fingerprint --------------------------------------------------------
+
+/// FNV-1a 64-bit hash.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hex rendering of a fingerprint, as stored in journal headers.
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Fingerprint of a verification problem: the hybrid system, the boundary
+/// and initial set, and every *math-relevant* pipeline option (degrees,
+/// margins, step sizes). Resilience knobs — retries, timeouts, thread
+/// counts, fault plans — and the checkpoint config itself are deliberately
+/// excluded: they change how a run executes, not what it computes.
+pub fn fingerprint(
+    system: &cppll_hybrid::HybridSystem,
+    boundary: &[Polynomial],
+    initial: &Region,
+    opt: &PipelineOptions,
+) -> u64 {
+    let modes: Vec<Value> = system
+        .modes()
+        .iter()
+        .map(|m| {
+            ObjectBuilder::new()
+                .field("flow", m.flow())
+                .field("flow_set", m.flow_set())
+                .build()
+        })
+        .collect();
+    let jumps: Vec<Value> = system
+        .jumps()
+        .iter()
+        .map(|j| {
+            ObjectBuilder::new()
+                .field("from", j.from)
+                .field("to", j.to)
+                .field("guard", &j.guard)
+                .field("guard_eq", &j.guard_eq)
+                .field("reset", &j.reset)
+                .build()
+        })
+        .collect();
+    let robust = match opt.lyapunov.robust {
+        crate::lyapunov::RobustEncoding::Vertices => "vertices",
+        crate::lyapunov::RobustEncoding::SProcedure => "s-procedure",
+    };
+    let doc = ObjectBuilder::new()
+        .field("version", JOURNAL_VERSION)
+        .field("nstates", system.nstates())
+        .field("modes", modes)
+        .field("jumps", jumps)
+        .field("param_lo", system.params().lo())
+        .field("param_hi", system.params().hi())
+        .field("boundary", boundary)
+        .field("initial_level", initial.level())
+        .field("initial_side", initial.side())
+        .field(
+            "lyapunov",
+            ObjectBuilder::new()
+                .field("degree", opt.lyapunov.degree)
+                .field("epsilon", opt.lyapunov.epsilon)
+                .field("multiplier_half_degree", opt.lyapunov.multiplier_half_degree)
+                .field("scheme", opt.lyapunov.scheme)
+                .field("robust", robust)
+                .build(),
+        )
+        .field(
+            "level",
+            ObjectBuilder::new()
+                .field("tolerance", opt.level.tolerance)
+                .field("hi", opt.level.hi)
+                .field("mult_half_degree", opt.level.mult_half_degree)
+                .build(),
+        )
+        .field(
+            "advection",
+            ObjectBuilder::new()
+                .field("h", opt.advection.h)
+                .field("taylor_order", opt.advection.taylor_order)
+                .field("degree", opt.advection.degree)
+                .field("gamma_tol", opt.advection.gamma_tol)
+                .field("gamma_max", opt.advection.gamma_max)
+                .field("mult_half_degree", opt.advection.mult_half_degree)
+                .field("error_box", &opt.advection.error_box)
+                .field("bounding", &opt.advection.bounding)
+                .build(),
+        )
+        .field(
+            "escape",
+            ObjectBuilder::new()
+                .field("degree", opt.escape.degree)
+                .field("epsilon", opt.escape.epsilon)
+                .field("mult_half_degree", opt.escape.mult_half_degree)
+                .build(),
+        )
+        .field("max_advection_iters", opt.max_advection_iters)
+        .field("inclusion_margin", opt.inclusion_margin)
+        .field(
+            "inclusion_mult_half_degree",
+            opt.inclusion_mult_half_degree,
+        )
+        .build();
+    fnv1a(doc.to_compact_string().as_bytes())
+}
+
+// ---- the journal --------------------------------------------------------
+
+/// The on-disk journal of one run: a header line plus one line per
+/// completed stage record. Appends rewrite the whole file atomically
+/// (write temp, rename), which a few dozen kilobyte-scale records make
+/// cheap and which keeps every intermediate state a valid journal.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl RunJournal {
+    fn header_line(run_id: &str, fp: u64) -> String {
+        ObjectBuilder::new()
+            .field("record", "header")
+            .field("version", JOURNAL_VERSION)
+            .field("run_id", run_id)
+            .field("fingerprint", fingerprint_hex(fp))
+            .build()
+            .to_compact_string()
+    }
+
+    /// Opens the journal per the config: resuming parses and returns any
+    /// journaled records (after validating header and fingerprint); not
+    /// resuming truncates to a fresh header.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failures,
+    /// [`CheckpointError::Corrupt`] on unparseable journals, and
+    /// [`CheckpointError::Stale`] when the journaled fingerprint differs.
+    pub fn open(
+        config: &CheckpointConfig,
+        fp: u64,
+    ) -> Result<(RunJournal, Vec<StageRecord>), CheckpointError> {
+        let dir = config.run_dir();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let path = config.journal_path();
+        if config.resume && path.exists() {
+            let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+            let mut lines = Vec::new();
+            let mut records = Vec::new();
+            for (i, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+                let v = cppll_json::parse(line).map_err(|e| CheckpointError::Corrupt {
+                    line: i + 1,
+                    message: e.to_string(),
+                })?;
+                if i == 0 {
+                    let tag = v.get("record").and_then(Value::as_str).unwrap_or("");
+                    if tag != "header" {
+                        return Err(CheckpointError::Corrupt {
+                            line: 1,
+                            message: format!("expected header record, found '{tag}'"),
+                        });
+                    }
+                    let found = v
+                        .get("fingerprint")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    let expected = fingerprint_hex(fp);
+                    if found != expected {
+                        return Err(CheckpointError::Stale { expected, found });
+                    }
+                } else {
+                    let rec = cppll_json::FromJson::from_json(&v).map_err(|e| {
+                        CheckpointError::Corrupt {
+                            line: i + 1,
+                            message: e.to_string(),
+                        }
+                    })?;
+                    records.push(rec);
+                }
+                lines.push(line.to_string());
+            }
+            if lines.is_empty() {
+                // Empty file: treat as a fresh run.
+                let mut j = RunJournal { path, lines: vec![Self::header_line(&config.run_id, fp)] };
+                j.write_atomic()?;
+                return Ok((j, Vec::new()));
+            }
+            Ok((RunJournal { path, lines }, records))
+        } else {
+            let mut j = RunJournal {
+                path,
+                lines: vec![Self::header_line(&config.run_id, fp)],
+            };
+            j.write_atomic()?;
+            Ok((j, Vec::new()))
+        }
+    }
+
+    /// Appends a stage record and atomically rewrites the file.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failures.
+    pub fn append(&mut self, record: &StageRecord) -> Result<(), CheckpointError> {
+        self.lines.push(record.to_json().to_compact_string());
+        self.write_atomic()
+    }
+
+    fn write_atomic(&mut self) -> Result<(), CheckpointError> {
+        let tmp = self.path.with_extension("jsonl.tmp");
+        let mut body = self.lines.join("\n");
+        body.push('\n');
+        std::fs::write(&tmp, body).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, e))
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---- pipeline-facing cursor ---------------------------------------------
+
+/// How a checkpointed run went: replayed vs freshly computed stages and the
+/// warm-started solve count. Attached to the verification report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResumeSummary {
+    /// The run id, when checkpointing was enabled.
+    pub run_id: Option<String>,
+    /// Stage records replayed from the journal instead of recomputed.
+    pub stages_replayed: usize,
+    /// Stage records computed (and journaled) in this process.
+    pub stages_fresh: usize,
+    /// SDP solves that accepted a warm-start seed during this process.
+    pub warm_started_solves: usize,
+}
+
+/// Replay cursor plus journal writer threaded through a checkpointed
+/// pipeline run.
+pub(crate) struct Checkpointer {
+    journal: RunJournal,
+    replay: VecDeque<StageRecord>,
+    run_id: String,
+    pub stages_replayed: usize,
+    pub stages_fresh: usize,
+    pub warm_started_solves: usize,
+}
+
+impl Checkpointer {
+    /// Opens (or resumes) the journal for a run.
+    pub fn open(config: &CheckpointConfig, fp: u64) -> Result<Self, CheckpointError> {
+        let (journal, records) = RunJournal::open(config, fp)?;
+        Ok(Checkpointer {
+            journal,
+            replay: records.into(),
+            run_id: config.run_id.clone(),
+            stages_replayed: 0,
+            stages_fresh: 0,
+            warm_started_solves: 0,
+        })
+    }
+
+    /// The cumulative ledger snapshot of the last journaled record — the
+    /// prior work a resumed ledger must absorb. `None` on a fresh journal.
+    pub fn prior_snapshot(&self) -> Option<LedgerSnapshot> {
+        self.replay.back().map(|r| *r.ledger())
+    }
+
+    /// Peeks at the next record to replay.
+    pub fn peek(&self) -> Option<&StageRecord> {
+        self.replay.front()
+    }
+
+    /// Consumes the next replayed record.
+    pub fn take(&mut self) -> Option<StageRecord> {
+        let r = self.replay.pop_front();
+        if r.is_some() {
+            self.stages_replayed += 1;
+        }
+        r
+    }
+
+    /// Journals a freshly computed record.
+    pub fn record(&mut self, rec: StageRecord) -> Result<(), CheckpointError> {
+        self.stages_fresh += 1;
+        self.journal.append(&rec)
+    }
+
+    /// The summary attached to the final report.
+    pub fn summary(&self) -> ResumeSummary {
+        ResumeSummary {
+            run_id: Some(self.run_id.clone()),
+            stages_replayed: self.stages_replayed,
+            stages_fresh: self.stages_fresh,
+            warm_started_solves: self.warm_started_solves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_config(name: &str, resume: bool) -> CheckpointConfig {
+        let dir = std::env::temp_dir().join("cppll-checkpoint-tests");
+        CheckpointConfig {
+            run_id: name.to_string(),
+            dir,
+            resume,
+        }
+    }
+
+    fn sample_record() -> StageRecord {
+        StageRecord::LevelSet {
+            level: 0.125,
+            ai_polys: vec![Polynomial::from_terms(
+                2,
+                &[(&[2, 0], 1.0), (&[0, 2], 1.0), (&[0, 0], -0.125)],
+            )],
+            probes: 17,
+            ledger: LedgerSnapshot {
+                stats: LedgerStats {
+                    solves: 3,
+                    attempts: 4,
+                    retries: 1,
+                    failures: 0,
+                },
+                timings: SolveTimings {
+                    total: 1.5,
+                    ..Default::default()
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_records() {
+        let cfg = tmp_config("round-trip", false);
+        let (mut j, replayed) = RunJournal::open(&cfg, 0xabcd).unwrap();
+        assert!(replayed.is_empty());
+        j.append(&sample_record()).unwrap();
+
+        let cfg = tmp_config("round-trip", true);
+        let (_, replayed) = RunJournal::open(&cfg, 0xabcd).unwrap();
+        assert_eq!(replayed.len(), 1);
+        match &replayed[0] {
+            StageRecord::LevelSet {
+                level,
+                ai_polys,
+                probes,
+                ledger,
+            } => {
+                assert_eq!(level.to_bits(), 0.125f64.to_bits());
+                assert_eq!(ai_polys.len(), 1);
+                assert_eq!(*probes, 17);
+                assert_eq!(ledger.stats.attempts, 4);
+            }
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_fingerprint_is_rejected() {
+        let cfg = tmp_config("stale", false);
+        let (mut j, _) = RunJournal::open(&cfg, 1).unwrap();
+        j.append(&sample_record()).unwrap();
+        let cfg = tmp_config("stale", true);
+        match RunJournal::open(&cfg, 2) {
+            Err(CheckpointError::Stale { expected, found }) => {
+                assert_eq!(expected, fingerprint_hex(2));
+                assert_eq!(found, fingerprint_hex(1));
+            }
+            other => panic!("expected Stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_resume_open_truncates() {
+        let cfg = tmp_config("truncate", false);
+        let (mut j, _) = RunJournal::open(&cfg, 7).unwrap();
+        j.append(&sample_record()).unwrap();
+        let (_, replayed) = RunJournal::open(&cfg, 7).unwrap();
+        assert!(replayed.is_empty(), "resume=false must start over");
+    }
+
+    #[test]
+    fn corrupt_journal_is_reported_with_line() {
+        let cfg = tmp_config("corrupt", false);
+        let (j, _) = RunJournal::open(&cfg, 7).unwrap();
+        let path = j.path().to_path_buf();
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{{\"record\":\"advection-step\",\"iter\":0}}\n",
+                RunJournal::header_line("corrupt", 7)
+            ),
+        )
+        .unwrap();
+        let cfg = tmp_config("corrupt", true);
+        match RunJournal::open(&cfg, 7) {
+            Err(CheckpointError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escape_and_advection_records_round_trip_bit_exactly() {
+        let warm = Some(SdpSolution {
+            status: cppll_sdp::SdpStatus::Optimal,
+            x: vec![cppll_linalg::Matrix::identity(2)],
+            free: vec![-0.0, 1.0e-300],
+            y: vec![2.5],
+            s: vec![cppll_linalg::Matrix::identity(2).scale(3.0)],
+            primal_objective: 1.0,
+            dual_objective: 1.0 - 1e-9,
+            primal_infeasibility: 5e-324,
+            dual_infeasibility: 0.0,
+            gap: 1e-9,
+            iterations: 12,
+            timings: SolveTimings::default(),
+            warm_started: true,
+        });
+        let rec = StageRecord::AdvectionStep {
+            iter: 3,
+            pieces: vec![Polynomial::from_terms(1, &[(&[2], 1.0), (&[0], -0.5)])],
+            taylor_error: 1.25e-7,
+            guard_mismatch: -0.0,
+            included: false,
+            warm: vec![warm, None],
+            ledger: LedgerSnapshot::default(),
+        };
+        let text = rec.to_json().to_compact_string();
+        let back: StageRecord =
+            cppll_json::FromJson::from_json(&cppll_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json().to_compact_string(), text);
+        match back {
+            StageRecord::AdvectionStep {
+                guard_mismatch,
+                warm,
+                ..
+            } => {
+                assert_eq!(guard_mismatch.to_bits(), (-0.0f64).to_bits());
+                let w = warm[0].as_ref().unwrap();
+                assert_eq!(w.free[0].to_bits(), (-0.0f64).to_bits());
+                assert_eq!(w.primal_infeasibility.to_bits(), 5e-324f64.to_bits());
+                assert!(warm[1].is_none());
+            }
+            other => panic!("wrong record: {other:?}"),
+        }
+
+        let esc = StageRecord::Escape {
+            mode: 1,
+            included: false,
+            certificate: Some(EscapeCertificate {
+                e: Polynomial::from_terms(2, &[(&[1, 0], -1.0)]),
+                mode: 1,
+                epsilon: 1e-3,
+            }),
+            ledger: LedgerSnapshot::default(),
+        };
+        let text = esc.to_json().to_compact_string();
+        let back: StageRecord =
+            cppll_json::FromJson::from_json(&cppll_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json().to_compact_string(), text);
+    }
+}

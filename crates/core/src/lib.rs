@@ -26,6 +26,7 @@
 
 pub mod advection;
 pub mod barrier;
+pub mod checkpoint;
 pub mod escape;
 pub mod exactify;
 pub mod levelset;
@@ -37,6 +38,9 @@ pub mod validation;
 
 pub use advection::{Advection, AdvectionOptions, AdvectionStep};
 pub use barrier::{BarrierCertificate, BarrierOptions, BarrierSynthesizer};
+pub use checkpoint::{
+    CheckpointConfig, CheckpointError, LedgerSnapshot, ResumeSummary, RunJournal, StageRecord,
+};
 pub use escape::{EscapeCertificate, EscapeOptions, EscapeSynthesizer};
 pub use exactify::{exactify_certificates, ExactificationReport, ExactifyError, ExactifyOptions};
 pub use levelset::{LevelSetMaximizer, LevelSetOptions, LevelSetResult};
@@ -48,6 +52,10 @@ pub use pipeline::{
 };
 pub use region::Region;
 pub use resilience::{FailureReport, PipelineStage, ResilienceConfig};
+
+// Fault-injection plumbing, re-exported so front-ends (CLI, CI smoke jobs)
+// can build crash plans without depending on `cppll-sdp` directly.
+pub use cppll_sdp::{CrashMode, FaultInjector, FaultKind, FaultPlan};
 
 /// Errors surfaced by the verification pipeline.
 #[derive(Debug)]
@@ -67,6 +75,12 @@ pub enum VerifyError {
         /// Underlying SOS error.
         source: cppll_sos::SosError,
     },
+    /// The run journal could not be written, or an existing journal could
+    /// not be replayed (corrupt or stale).
+    Checkpoint {
+        /// Underlying checkpoint error.
+        source: CheckpointError,
+    },
 }
 
 impl VerifyError {
@@ -76,6 +90,7 @@ impl VerifyError {
             VerifyError::Infeasible { source, .. } | VerifyError::Numerical { source, .. } => {
                 source.attempts()
             }
+            VerifyError::Checkpoint { .. } => &[],
         }
     }
 
@@ -96,8 +111,17 @@ impl std::fmt::Display for VerifyError {
             VerifyError::Numerical { step, source } => {
                 write!(f, "{step}: solver failure ({source})")
             }
+            VerifyError::Checkpoint { source } => {
+                write!(f, "checkpoint: {source}")
+            }
         }
     }
 }
 
 impl std::error::Error for VerifyError {}
+
+impl From<CheckpointError> for VerifyError {
+    fn from(source: CheckpointError) -> Self {
+        VerifyError::Checkpoint { source }
+    }
+}

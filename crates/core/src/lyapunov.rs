@@ -124,6 +124,23 @@ impl LyapunovCertificates {
         self.scheme
     }
 
+    /// Reassembles certificates from their parts — used by checkpoint
+    /// replay, which must rebuild the exact struct the crashed run
+    /// journaled without re-running synthesis.
+    pub(crate) fn from_parts(
+        vs: Vec<Polynomial>,
+        degree: u32,
+        epsilon: f64,
+        scheme: CertificateScheme,
+    ) -> Self {
+        LyapunovCertificates {
+            vs,
+            degree,
+            epsilon,
+            scheme,
+        }
+    }
+
     /// Rescales all certificates by a common factor so the largest
     /// coefficient is 1 — Lyapunov conditions are scale-invariant, and the
     /// downstream level-set arithmetic is much better conditioned this way.

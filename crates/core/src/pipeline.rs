@@ -3,11 +3,16 @@
 use std::time::Instant;
 
 use cppll_hybrid::HybridSystem;
+use cppll_json::{ObjectBuilder, Value};
 use cppll_poly::Polynomial;
-use cppll_sdp::SolveTimings;
-use cppll_sos::{check_inclusion, InclusionOptions, LedgerStats, SolveLedger};
+use cppll_sdp::{SdpSolution, SolveTimings};
+use cppll_sos::{check_inclusion, check_inclusion_seeded, InclusionOptions, LedgerStats, SolveLedger};
 
 use crate::advection::{Advection, AdvectionOptions};
+use crate::checkpoint::{
+    self, CheckpointConfig, CheckpointError, Checkpointer, LedgerSnapshot, ResumeSummary,
+    StageRecord,
+};
 use crate::escape::{EscapeCertificate, EscapeOptions, EscapeSynthesizer};
 use crate::levelset::{LevelSetMaximizer, LevelSetOptions, LevelSetResult};
 use crate::lyapunov::{LyapunovCertificates, LyapunovOptions, LyapunovSynthesizer};
@@ -37,6 +42,13 @@ pub struct PipelineOptions {
     /// Resilience of the run: per-solve retries, budgets, deadline and the
     /// fault-injection hook. Inert by default.
     pub resilience: ResilienceConfig,
+    /// Crash-safe journaling and resume. `None` (the default) journals
+    /// nothing. With a config, every completed stage is journaled under
+    /// `<dir>/<run_id>/journal.jsonl`; with [`CheckpointConfig::resume`]
+    /// set, an existing journal is replayed — completed stages are skipped
+    /// and the next SDP solves are warm-started from the journaled
+    /// iterates.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl PipelineOptions {
@@ -53,6 +65,7 @@ impl PipelineOptions {
             // the attractive-invariant polynomial: deg σ ≥ deg V − deg front.
             inclusion_mult_half_degree: (lyapunov_degree.saturating_sub(2) / 2).max(1),
             resilience: ResilienceConfig::default(),
+            checkpoint: None,
         }
     }
 }
@@ -144,6 +157,10 @@ pub struct VerificationReport {
     /// Per-stage SDP solver wall-clock totals, aggregated across every
     /// supervised solve of the run (Schur assembly, KKT factor/solve, …).
     pub solve_timings: SolveTimings,
+    /// Checkpoint/resume bookkeeping: replayed vs fresh stage counts and
+    /// warm-started solves. All-zero (with no run id) when checkpointing
+    /// was off.
+    pub resume: ResumeSummary,
 }
 
 impl VerificationReport {
@@ -164,6 +181,73 @@ impl VerificationReport {
     /// Total wall-clock seconds across all steps.
     pub fn total_seconds(&self) -> f64 {
         self.timings.iter().map(|t| t.seconds).sum()
+    }
+
+    /// Canonical JSON of everything the pipeline *proved*: verdict,
+    /// certificates, level set, advection trace, and escape certificates.
+    /// Wall-clock timings, solve statistics and resume bookkeeping are
+    /// excluded. `cppll-json` prints every `f64` with shortest-round-trip
+    /// formatting (including the sign of `-0.0`), so two reports have equal
+    /// canonical JSON exactly when their results are bit-identical — the
+    /// property the crash/resume acceptance test asserts.
+    pub fn canonical_result_json(&self) -> String {
+        let verdict = match &self.verdict {
+            Verdict::Inevitable { advection_sufficed } => ObjectBuilder::new()
+                .field("kind", "inevitable")
+                .field("advection_sufficed", *advection_sufficed)
+                .build(),
+            Verdict::Inconclusive { reason } => ObjectBuilder::new()
+                .field("kind", "inconclusive")
+                .field("reason", reason.as_str())
+                .build(),
+            Verdict::Degraded { stage, reason } => ObjectBuilder::new()
+                .field("kind", "degraded")
+                .field("stage", stage.name())
+                .field("reason", reason.as_str())
+                .build(),
+        };
+        let certificates = match &self.certificates {
+            Some(c) => ObjectBuilder::new()
+                .field("vs", c.all())
+                .field("degree", c.degree())
+                .field("epsilon", c.epsilon())
+                .field("scheme", c.scheme())
+                .build(),
+            None => Value::Null,
+        };
+        let trace: Vec<Value> = self
+            .advection_trace
+            .iter()
+            .map(|e| {
+                ObjectBuilder::new()
+                    .field("pieces", &e.pieces)
+                    .field("taylor_error", e.taylor_error)
+                    .field("guard_mismatch", e.guard_mismatch)
+                    .field("included", e.included)
+                    .build()
+            })
+            .collect();
+        ObjectBuilder::new()
+            .field("verdict", verdict)
+            .field("certificates", certificates)
+            .field(
+                "levels",
+                ObjectBuilder::new()
+                    .field("level", self.levels.level)
+                    .field("ai_polys", &self.levels.ai_polys)
+                    .field("probes", self.levels.probes)
+                    .build(),
+            )
+            .field("advection_trace", trace)
+            .field("escape_certificates", &self.escape_certificates)
+            .build()
+            .to_compact_string()
+    }
+
+    /// FNV-1a digest of [`Self::canonical_result_json`] — a short stable
+    /// token the CLI prints and CI diffs across kill/resume boundaries.
+    pub fn result_digest(&self) -> String {
+        checkpoint::fingerprint_hex(checkpoint::fnv1a(self.canonical_result_json().as_bytes()))
     }
 }
 
@@ -254,6 +338,27 @@ impl<'s> InevitabilityVerifier<'s> {
         let run_deadline = opt.resilience.deadline.map(|d| Instant::now() + d);
         let sos_res = opt.resilience.to_sos(run_deadline, &ledger);
 
+        // Checkpointing: open (or resume) the run journal before anything
+        // solves. Resume absorbs the last journaled ledger snapshot so the
+        // final report counts the pre-crash work too.
+        let mut ckpt: Option<Checkpointer> = match &opt.checkpoint {
+            Some(cfg) => {
+                let fp = checkpoint::fingerprint(self.system, &self.boundary, &self.initial, opt);
+                let c = Checkpointer::open(cfg, fp)?;
+                if let Some(snap) = c.prior_snapshot() {
+                    ledger.absorb_prior(&snap.stats, &snap.timings);
+                }
+                Some(c)
+            }
+            None => None,
+        };
+        let snapshot = |ledger: &SolveLedger| LedgerSnapshot {
+            stats: ledger.stats(),
+            timings: ledger.timings(),
+        };
+        let resume_of =
+            |ckpt: &Option<Checkpointer>| ckpt.as_ref().map(Checkpointer::summary).unwrap_or_default();
+
         // Supervised copy of the stage options: every stage's solves run
         // under the same supervisor configuration and shared ledger.
         let mut opt = opt.clone();
@@ -274,36 +379,69 @@ impl<'s> InevitabilityVerifier<'s> {
         // ---- P1: attractive invariant --------------------------------
         opt.resilience.announce_stage(PipelineStage::Lyapunov);
         let t0 = Instant::now();
-        let certs = match LyapunovSynthesizer::new(self.system).synthesize_auto(&opt.lyapunov) {
-            Ok(c) => c,
-            Err(e @ VerifyError::Infeasible { .. }) => return Err(e),
-            Err(VerifyError::Numerical { step, source }) => {
-                timings.push(StepTiming {
-                    name: "attractive invariant",
-                    seconds: t0.elapsed().as_secs_f64(),
-                });
-                failures.push(FailureReport {
-                    stage: PipelineStage::Lyapunov,
-                    detail: format!("{step}: {source}"),
-                    attempts: source.attempts().to_vec(),
-                });
-                return Ok(VerificationReport {
-                    certificates: None,
-                    levels: empty_levels(),
-                    advection_trace: Vec::new(),
-                    escape_certificates: Vec::new(),
-                    timings,
-                    verdict: Verdict::Degraded {
-                        stage: PipelineStage::Lyapunov,
-                        reason: "lyapunov synthesis failed numerically \
-                                 after exhausting retries"
-                            .into(),
-                    },
-                    failures,
-                    solve_stats: ledger.stats(),
-                    solve_timings: ledger.timings(),
-                });
+        let mut replayed_certs: Option<LyapunovCertificates> = None;
+        if let Some(c) = ckpt.as_mut() {
+            if matches!(c.peek(), Some(StageRecord::Lyapunov { .. })) {
+                if let Some(StageRecord::Lyapunov {
+                    vs,
+                    degree,
+                    epsilon,
+                    scheme,
+                    ..
+                }) = c.take()
+                {
+                    replayed_certs =
+                        Some(LyapunovCertificates::from_parts(vs, degree, epsilon, scheme));
+                }
             }
+        }
+        let certs = if let Some(c) = replayed_certs {
+            c
+        } else {
+            let certs =
+                match LyapunovSynthesizer::new(self.system).synthesize_auto(&opt.lyapunov) {
+                    Ok(c) => c,
+                    Err(e @ VerifyError::Infeasible { .. }) => return Err(e),
+                    Err(e @ VerifyError::Checkpoint { .. }) => return Err(e),
+                    Err(VerifyError::Numerical { step, source }) => {
+                        timings.push(StepTiming {
+                            name: "attractive invariant",
+                            seconds: t0.elapsed().as_secs_f64(),
+                        });
+                        failures.push(FailureReport {
+                            stage: PipelineStage::Lyapunov,
+                            detail: format!("{step}: {source}"),
+                            attempts: source.attempts().to_vec(),
+                        });
+                        return Ok(VerificationReport {
+                            certificates: None,
+                            levels: empty_levels(),
+                            advection_trace: Vec::new(),
+                            escape_certificates: Vec::new(),
+                            timings,
+                            verdict: Verdict::Degraded {
+                                stage: PipelineStage::Lyapunov,
+                                reason: "lyapunov synthesis failed numerically \
+                                         after exhausting retries"
+                                    .into(),
+                            },
+                            failures,
+                            solve_stats: ledger.stats(),
+                            solve_timings: ledger.timings(),
+                            resume: resume_of(&ckpt),
+                        });
+                    }
+                };
+            if let Some(c) = ckpt.as_mut() {
+                c.record(StageRecord::Lyapunov {
+                    vs: certs.all().to_vec(),
+                    degree: certs.degree(),
+                    epsilon: certs.epsilon(),
+                    scheme: certs.scheme(),
+                    ledger: snapshot(&ledger),
+                })?;
+            }
+            certs
         };
         timings.push(StepTiming {
             name: "attractive invariant",
@@ -313,8 +451,40 @@ impl<'s> InevitabilityVerifier<'s> {
         opt.resilience.announce_stage(PipelineStage::LevelSet);
         let failures_before_levels = ledger.stats().failures;
         let t0 = Instant::now();
-        let levels =
-            LevelSetMaximizer::new(self.system, self.boundary.clone()).maximize(&certs, &opt.level);
+        let mut replayed_levels: Option<LevelSetResult> = None;
+        if let Some(c) = ckpt.as_mut() {
+            if matches!(c.peek(), Some(StageRecord::LevelSet { .. })) {
+                if let Some(StageRecord::LevelSet {
+                    level,
+                    ai_polys,
+                    probes,
+                    ..
+                }) = c.take()
+                {
+                    replayed_levels = Some(LevelSetResult {
+                        level,
+                        ai_polys,
+                        probes,
+                    });
+                }
+            }
+        }
+        let levels = match replayed_levels {
+            Some(l) => Some(l),
+            None => {
+                let levels = LevelSetMaximizer::new(self.system, self.boundary.clone())
+                    .maximize(&certs, &opt.level);
+                if let (Some(c), Some(l)) = (ckpt.as_mut(), &levels) {
+                    c.record(StageRecord::LevelSet {
+                        level: l.level,
+                        ai_polys: l.ai_polys.clone(),
+                        probes: l.probes,
+                        ledger: snapshot(&ledger),
+                    })?;
+                }
+                levels
+            }
+        };
         timings.push(StepTiming {
             name: "max level curves",
             seconds: t0.elapsed().as_secs_f64(),
@@ -350,7 +520,8 @@ impl<'s> InevitabilityVerifier<'s> {
                 verdict,
                 failures,
                 solve_stats: ledger.stats(),
-                    solve_timings: ledger.timings(),
+                solve_timings: ledger.timings(),
+                resume: resume_of(&ckpt),
             });
         };
 
@@ -372,13 +543,63 @@ impl<'s> InevitabilityVerifier<'s> {
         let mut trace: Vec<AdvectionTraceEntry> = Vec::new();
         let mut advection_ok = false;
         let mut inclusion_seconds = 0.0;
-        for _k in 0..opt.max_advection_iters {
+        // Per-mode warm-start chain: each inclusion probe is seeded from
+        // the previous step's final iterate for the same mode (advection by
+        // exact composition preserves the SDP block structure step to
+        // step). Only active under checkpointing, so non-checkpointed runs
+        // keep their historical solve trajectories.
+        let mut warm: Vec<Option<SdpSolution>> = vec![None; nmodes];
+        for k in 0..opt.max_advection_iters {
+            if let Some(c) = ckpt.as_mut() {
+                if matches!(c.peek(), Some(StageRecord::AdvectionStep { .. })) {
+                    let Some(StageRecord::AdvectionStep {
+                        iter,
+                        pieces: journaled_pieces,
+                        taylor_error,
+                        guard_mismatch,
+                        included,
+                        warm: journaled_warm,
+                        ..
+                    }) = c.take()
+                    else {
+                        unreachable!("peek said AdvectionStep");
+                    };
+                    if iter != k {
+                        return Err(VerifyError::Checkpoint {
+                            source: CheckpointError::Corrupt {
+                                line: 0,
+                                message: format!(
+                                    "advection step {iter} journaled out of order \
+                                     (expected step {k})"
+                                ),
+                            },
+                        });
+                    }
+                    pieces = journaled_pieces;
+                    warm = journaled_warm;
+                    trace.push(AdvectionTraceEntry {
+                        pieces: pieces.clone(),
+                        taylor_error,
+                        guard_mismatch,
+                        included,
+                    });
+                    if included {
+                        advection_ok = true;
+                        break;
+                    }
+                    continue;
+                }
+            }
             let taylor_error = advector.estimate_taylor_error(&pieces[0], &adv_opt);
             pieces = advector.step_pieces(&pieces, &adv_opt);
             let guard_mismatch = advector.guard_mismatch(&pieces, &adv_opt);
             let ti = Instant::now();
             let margin = opt.inclusion_margin;
-            let included = self.pieces_inside_ai(&pieces, &levels, margin, &inc_opt);
+            let included = if let Some(c) = ckpt.as_mut() {
+                self.pieces_inside_ai_seeded(&pieces, &levels, margin, &inc_opt, &mut warm, c)
+            } else {
+                self.pieces_inside_ai(&pieces, &levels, margin, &inc_opt)
+            };
             inclusion_seconds += ti.elapsed().as_secs_f64();
             trace.push(AdvectionTraceEntry {
                 pieces: pieces.clone(),
@@ -386,6 +607,17 @@ impl<'s> InevitabilityVerifier<'s> {
                 guard_mismatch,
                 included,
             });
+            if let Some(c) = ckpt.as_mut() {
+                c.record(StageRecord::AdvectionStep {
+                    iter: k,
+                    pieces: pieces.clone(),
+                    taylor_error,
+                    guard_mismatch,
+                    included,
+                    warm: warm.clone(),
+                    ledger: snapshot(&ledger),
+                })?;
+            }
             if included {
                 advection_ok = true;
                 break;
@@ -428,7 +660,8 @@ impl<'s> InevitabilityVerifier<'s> {
                 },
                 failures,
                 solve_stats: ledger.stats(),
-                    solve_timings: ledger.timings(),
+                solve_timings: ledger.timings(),
+                resume: resume_of(&ckpt),
             });
         }
 
@@ -444,10 +677,36 @@ impl<'s> InevitabilityVerifier<'s> {
         let mut failed_mode: Option<usize> = None;
         let mut escape_numerical = false;
         for (mi, piece) in pieces.iter().enumerate() {
+            if let Some(c) = ckpt.as_mut() {
+                if matches!(c.peek(), Some(StageRecord::Escape { mode, .. }) if *mode == mi) {
+                    let Some(StageRecord::Escape {
+                        included,
+                        certificate,
+                        ..
+                    }) = c.take()
+                    else {
+                        unreachable!("peek said Escape");
+                    };
+                    if !included {
+                        if let Some(cert) = certificate {
+                            escapes.push(cert);
+                        }
+                    }
+                    continue;
+                }
+            }
             let ai = &levels.ai_polys[mi] + &Polynomial::constant(n, opt.inclusion_margin);
             let mut domain = self.boundary.clone();
             domain.extend(self.system.modes()[mi].flow_set().iter().cloned());
             if check_inclusion(piece, &ai, &domain, &inc_opt) {
+                if let Some(c) = ckpt.as_mut() {
+                    c.record(StageRecord::Escape {
+                        mode: mi,
+                        included: true,
+                        certificate: None,
+                        ledger: snapshot(&ledger),
+                    })?;
+                }
                 continue; // this mode's piece is already inside the AI
             }
             let set = vec![
@@ -455,7 +714,17 @@ impl<'s> InevitabilityVerifier<'s> {
                 levels.ai_polys[mi].clone(), // Vᵢ − c ≥ 0 (outside the AI)
             ];
             match EscapeSynthesizer::new(self.system).synthesize(mi, &set, &opt.escape) {
-                Ok(c) => escapes.push(c),
+                Ok(cert) => {
+                    if let Some(c) = ckpt.as_mut() {
+                        c.record(StageRecord::Escape {
+                            mode: mi,
+                            included: false,
+                            certificate: Some(cert.clone()),
+                            ledger: snapshot(&ledger),
+                        })?;
+                    }
+                    escapes.push(cert);
+                }
                 Err(e) => {
                     if let VerifyError::Numerical { step, source } = &e {
                         escape_numerical = true;
@@ -518,6 +787,7 @@ impl<'s> InevitabilityVerifier<'s> {
             failures,
             solve_stats: ledger.stats(),
             solve_timings: ledger.timings(),
+            resume: resume_of(&ckpt),
         })
     }
 
@@ -542,6 +812,38 @@ impl<'s> InevitabilityVerifier<'s> {
                 1.25 * extent
             })
             .collect()
+    }
+
+    /// [`Self::pieces_inside_ai`] with a per-mode warm-start chain: each
+    /// probe is seeded from the previous advection step's final iterate for
+    /// the same mode, and the iterate produced here (feasible or not) is
+    /// stored back for the next step. Mode order and the stop-at-first-
+    /// failure short-circuit match the unseeded path exactly.
+    fn pieces_inside_ai_seeded(
+        &self,
+        pieces: &[Polynomial],
+        levels: &LevelSetResult,
+        margin: f64,
+        inc_opt: &InclusionOptions,
+        warm: &mut [Option<SdpSolution>],
+        ckpt: &mut Checkpointer,
+    ) -> bool {
+        let n = self.system.nstates();
+        for mi in 0..self.system.modes().len() {
+            let ai = &levels.ai_polys[mi] + &Polynomial::constant(n, margin);
+            let mut domain = self.boundary.clone();
+            domain.extend(self.system.modes()[mi].flow_set().iter().cloned());
+            let probe =
+                check_inclusion_seeded(&pieces[mi], &ai, &domain, inc_opt, warm[mi].as_ref());
+            if probe.warm_started {
+                ckpt.warm_started_solves += 1;
+            }
+            warm[mi] = probe.iterate;
+            if !probe.included {
+                return false;
+            }
+        }
+        true
     }
 
     /// Per-mode Lemma-1 inclusion of the piecewise front into the

@@ -163,6 +163,11 @@ fn write_number(out: &mut String, x: f64) {
         // JSON has no non-finite numbers; serialise as null like serde_json
         // would reject — null keeps artefacts loadable.
         out.push_str("null");
+    } else if x == 0.0 {
+        // The integer fast path below would collapse -0.0 to "0"; keeping
+        // the sign preserves bit-exact f64 round-trips ("-0" parses back
+        // to -0.0).
+        out.push_str(if x.is_sign_negative() { "-0" } else { "0" });
     } else if x.fract() == 0.0 && x.abs() < 1e15 {
         let _ = write!(out, "{}", x as i64);
     } else {
@@ -481,6 +486,12 @@ impl ToJson for u32 {
     }
 }
 
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        Value::Number(*self as f64)
+    }
+}
+
 impl ToJson for usize {
     fn to_json(&self) -> Value {
         Value::Number(*self as f64)
@@ -529,6 +540,191 @@ impl<A: ToJson, B: ToJson> ToJson for (A, B) {
 impl<T: ToJson + ?Sized> ToJson for &T {
     fn to_json(&self) -> Value {
         (**self).to_json()
+    }
+}
+
+/// A typed-decoding failure: the document parsed as JSON but does not have
+/// the shape (or numeric range) the target type requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What is wrong, naming the offending field where possible.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DecodeError {
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes the message with a field path segment (`ctx: message`).
+    #[must_use]
+    pub fn in_field(self, ctx: &str) -> Self {
+        DecodeError {
+            message: format!("{ctx}: {}", self.message),
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Conversion from a [`Value`] — the strict counterpart of [`ToJson`] used
+/// by the checkpoint journal. Decoders reject missing fields, mistyped
+/// values and non-finite numbers (which serialise as `null`) instead of
+/// defaulting them.
+pub trait FromJson: Sized {
+    /// Decodes the value.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] naming the first field that does not decode.
+    fn from_json(v: &Value) -> Result<Self, DecodeError>;
+}
+
+/// Strict accessors shared by [`FromJson`] implementations.
+pub mod decode {
+    use super::{DecodeError, FromJson, Value};
+
+    /// Looks up a required object member.
+    ///
+    /// # Errors
+    ///
+    /// When `v` is not an object or lacks `key`.
+    pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DecodeError> {
+        v.get(key)
+            .ok_or_else(|| DecodeError::new(format!("missing field '{key}'")))
+    }
+
+    /// Decodes a required object member into `T`.
+    ///
+    /// # Errors
+    ///
+    /// When the member is absent or does not decode; the error names `key`.
+    pub fn required<T: FromJson>(v: &Value, key: &str) -> Result<T, DecodeError> {
+        T::from_json(field(v, key)?).map_err(|e| e.in_field(key))
+    }
+
+    /// A finite number. `null` (how NaN/Inf serialise) and non-numbers are
+    /// rejected, as are numbers that parsed to NaN or ±Inf (e.g. `1e999`).
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a finite JSON number.
+    pub fn finite_f64(v: &Value) -> Result<f64, DecodeError> {
+        match v.as_f64() {
+            Some(x) if x.is_finite() => Ok(x),
+            Some(_) => Err(DecodeError::new("expected a finite number")),
+            None => Err(DecodeError::new("expected a number")),
+        }
+    }
+
+    /// A nonnegative integer.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a nonnegative integral number.
+    pub fn uint(v: &Value) -> Result<u64, DecodeError> {
+        v.as_u64()
+            .ok_or_else(|| DecodeError::new("expected a nonnegative integer"))
+    }
+
+    /// A string.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a string.
+    pub fn string(v: &Value) -> Result<&str, DecodeError> {
+        v.as_str()
+            .ok_or_else(|| DecodeError::new("expected a string"))
+    }
+
+    /// An array's elements.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an array.
+    pub fn array(v: &Value) -> Result<&[Value], DecodeError> {
+        v.as_array()
+            .ok_or_else(|| DecodeError::new("expected an array"))
+    }
+
+    /// Decodes every element of an array; errors name the failing index.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an array or any element does not decode.
+    pub fn vec_of<T: FromJson>(v: &Value) -> Result<Vec<T>, DecodeError> {
+        array(v)?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        Ok(v.clone())
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        v.as_bool()
+            .ok_or_else(|| DecodeError::new("expected a boolean"))
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        decode::finite_f64(v)
+    }
+}
+
+impl FromJson for u32 {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        u32::try_from(decode::uint(v)?).map_err(|_| DecodeError::new("integer out of range"))
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        decode::uint(v)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        usize::try_from(decode::uint(v)?).map_err(|_| DecodeError::new("integer out of range"))
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        decode::string(v).map(str::to_string)
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        decode::vec_of(v)
     }
 }
 
@@ -597,6 +793,61 @@ mod tests {
         assert_eq!(Value::Number(3.0).to_compact_string(), "3");
         assert_eq!(Value::Number(3.5).to_compact_string(), "3.5");
         assert_eq!(Value::Number(f64::NAN).to_compact_string(), "null");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        assert_eq!(Value::Number(-0.0).to_compact_string(), "-0");
+        assert_eq!(Value::Number(0.0).to_compact_string(), "0");
+        let back = parse("-0").unwrap().as_f64().unwrap();
+        assert!(back == 0.0 && back.is_sign_negative());
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.5,
+            -2.75e-3,
+            1e300,
+            5e-324,
+            f64::MIN_POSITIVE,
+            std::f64::consts::PI,
+            -1234567890123456.0,
+        ] {
+            let text = Value::Number(x).to_compact_string();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn from_json_decodes_and_rejects() {
+        assert_eq!(f64::from_json(&Value::Number(2.5)), Ok(2.5));
+        assert!(f64::from_json(&Value::Null).is_err());
+        assert!(f64::from_json(&Value::Number(f64::NAN)).is_err());
+        assert!(f64::from_json(&Value::Number(f64::INFINITY)).is_err());
+        // Overflowing exponents parse to ±Inf and must be rejected too.
+        let huge = parse("1e999").unwrap();
+        assert!(f64::from_json(&huge).is_err());
+        assert_eq!(u32::from_json(&Value::Number(7.0)), Ok(7));
+        assert!(u32::from_json(&Value::Number(-1.0)).is_err());
+        assert!(u32::from_json(&Value::Number(1e12)).is_err());
+        assert_eq!(
+            Vec::<f64>::from_json(&parse("[1, 2, 3]").unwrap()),
+            Ok(vec![1.0, 2.0, 3.0])
+        );
+        let err = Vec::<f64>::from_json(&parse("[1, null]").unwrap()).unwrap_err();
+        assert!(err.message.contains("[1]"), "{err}");
+        assert_eq!(
+            Option::<f64>::from_json(&Value::Null),
+            Ok(None)
+        );
+        let obj = parse(r#"{"a": 3}"#).unwrap();
+        assert_eq!(decode::required::<f64>(&obj, "a"), Ok(3.0));
+        let missing = decode::required::<f64>(&obj, "b").unwrap_err();
+        assert!(missing.message.contains("'b'"), "{missing}");
     }
 
     #[test]

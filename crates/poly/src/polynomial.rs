@@ -405,6 +405,62 @@ impl std::ops::Neg for &Polynomial {
     }
 }
 
+impl cppll_json::ToJson for Polynomial {
+    fn to_json(&self) -> cppll_json::Value {
+        use cppll_json::Value;
+        let terms: Vec<Value> = self
+            .terms
+            .iter()
+            .map(|(m, &c)| {
+                Value::Array(vec![
+                    Value::Array(
+                        m.exps()
+                            .iter()
+                            .map(|&e| Value::Number(f64::from(e)))
+                            .collect(),
+                    ),
+                    Value::Number(c),
+                ])
+            })
+            .collect();
+        cppll_json::ObjectBuilder::new()
+            .field("nvars", self.nvars)
+            .field("terms", Value::Array(terms))
+            .build()
+    }
+}
+
+impl cppll_json::FromJson for Polynomial {
+    fn from_json(v: &cppll_json::Value) -> Result<Self, cppll_json::DecodeError> {
+        use cppll_json::{decode, DecodeError};
+        let nvars: usize = decode::required(v, "nvars")?;
+        let mut p = Polynomial::zero(nvars);
+        for (i, term) in decode::array(decode::field(v, "terms")?)?.iter().enumerate() {
+            let pair = decode::array(term).map_err(|e| e.in_field(&format!("terms[{i}]")))?;
+            if pair.len() != 2 {
+                return Err(DecodeError::new(format!(
+                    "terms[{i}]: expected an [exponents, coefficient] pair"
+                )));
+            }
+            let exps: Vec<u32> =
+                decode::vec_of(&pair[0]).map_err(|e| e.in_field(&format!("terms[{i}]")))?;
+            if exps.len() != nvars {
+                return Err(DecodeError::new(format!(
+                    "terms[{i}]: exponent vector length {} does not match nvars {nvars}",
+                    exps.len()
+                )));
+            }
+            let c = decode::finite_f64(&pair[1]).map_err(|e| e.in_field(&format!("terms[{i}]")))?;
+            // Insert directly (not via `add_term`) so the decoded polynomial
+            // reproduces the serialised term map exactly, bit for bit.
+            if p.terms.insert(Monomial::new(exps), c).is_some() {
+                return Err(DecodeError::new(format!("terms[{i}]: duplicate monomial")));
+            }
+        }
+        Ok(p)
+    }
+}
+
 impl std::fmt::Display for Polynomial {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_zero() {

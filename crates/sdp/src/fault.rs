@@ -42,11 +42,28 @@ impl FaultKind {
     }
 }
 
+/// How an injected crash terminates the process.
+///
+/// Unlike [`FaultKind`] faults — which make a solve *fail* and exercise the
+/// retry machinery — a crash kills the process mid-pipeline, exercising the
+/// checkpoint/resume machinery in `cppll-verify`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// `panic!` on the solving thread. In-process tests run the pipeline on
+    /// a spawned thread and observe the crash as a `join` error.
+    Panic,
+    /// `std::process::exit` with this code. Used by the CLI's
+    /// `--inject-crash` flag so CI can kill and resume a real process.
+    Exit(i32),
+}
+
 /// Declarative schedule of which solves fail and how.
 ///
-/// Triggers are checked in the order: exact call index, first-attempt,
-/// stage match, first-solve-per-stage. The `budget` caps the total number
-/// of injected faults regardless of trigger.
+/// Triggers are checked in the order: crash triggers (exact call index,
+/// then per-stage solve index), exact call index, first-attempt, stage
+/// match, first-solve-per-stage. The `budget` caps the total number of
+/// injected [`FaultKind`] faults; crashes ignore the budget (a crash is a
+/// process death, not a failed solve).
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Fault the solve with this global call index (0-based, counted across
@@ -61,6 +78,11 @@ pub struct FaultPlan {
     first_solve_per_stage: Option<FaultKind>,
     /// Maximum number of faults to inject in total.
     budget: Option<usize>,
+    /// Crash the process when the solve with this global call index starts.
+    crash_at_call: BTreeMap<usize, CrashMode>,
+    /// Crash the process when the `nth` (0-based) solve within the named
+    /// pipeline stage starts.
+    crash_at_stage: Vec<(String, usize, CrashMode)>,
 }
 
 impl FaultPlan {
@@ -106,6 +128,29 @@ impl FaultPlan {
         self.budget = Some(budget);
         self
     }
+
+    /// Crashes the process when the solve with global call index `index`
+    /// starts (before any iteration runs, so everything journaled up to
+    /// that point is consistent).
+    #[must_use]
+    pub fn crash_at_call(mut self, index: usize, mode: CrashMode) -> Self {
+        self.crash_at_call.insert(index, mode);
+        self
+    }
+
+    /// Crashes the process when the `nth` (0-based) solve in pipeline stage
+    /// `stage` starts. Stage names follow the pipeline's announcements
+    /// (`"lyapunov"`, `"levelset"`, `"advection"`, `"escape"`).
+    #[must_use]
+    pub fn crash_at_stage_solve(
+        mut self,
+        stage: impl Into<String>,
+        nth: usize,
+        mode: CrashMode,
+    ) -> Self {
+        self.crash_at_stage.push((stage.into(), nth, mode));
+        self
+    }
 }
 
 #[derive(Debug, Default)]
@@ -121,6 +166,8 @@ struct InjectorState {
     /// Stages seen at least once (first-solve-per-stage bookkeeping: a
     /// stage whose first solve has been observed is not faulted again).
     seen_stages: BTreeSet<String>,
+    /// Per-stage solve counters (crash-at-stage-solve bookkeeping).
+    stage_calls: BTreeMap<String, usize>,
 }
 
 /// Shared, thread-safe fault source polled once per SDP solve.
@@ -156,7 +203,33 @@ impl FaultInjector {
         let index = st.calls;
         st.calls += 1;
         let stage = st.stage.clone();
-        let first_in_stage = st.seen_stages.insert(stage);
+        let stage_index = {
+            let c = st.stage_calls.entry(stage.clone()).or_insert(0);
+            let i = *c;
+            *c += 1;
+            i
+        };
+        let first_in_stage = st.seen_stages.insert(stage.clone());
+
+        let crash = self.plan.crash_at_call.get(&index).copied().or_else(|| {
+            self.plan
+                .crash_at_stage
+                .iter()
+                .find(|(name, nth, _)| *name == stage && *nth == stage_index)
+                .map(|&(_, _, mode)| mode)
+        });
+        if let Some(mode) = crash {
+            // Release the lock before dying so a Panic-mode crash caught by a
+            // test harness does not leave the injector's mutex poisoned while
+            // the guard unwinds.
+            drop(st);
+            match mode {
+                CrashMode::Panic => panic!(
+                    "injected crash at solve call {index} (stage '{stage}', stage solve {stage_index})"
+                ),
+                CrashMode::Exit(code) => std::process::exit(code),
+            }
+        }
 
         if let Some(budget) = self.plan.budget {
             if st.fired >= budget {
@@ -269,6 +342,33 @@ mod tests {
         assert_eq!(inj.poll(), Some(FaultKind::Stall));
         assert_eq!(inj.poll(), None);
         assert_eq!(inj.fired(), 2);
+    }
+
+    #[test]
+    fn crash_at_call_panics_on_the_indexed_solve() {
+        let inj = FaultInjector::new(FaultPlan::new().crash_at_call(1, CrashMode::Panic));
+        assert_eq!(inj.poll(), None);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.poll()));
+        assert!(err.is_err(), "second solve should crash");
+        // The lock was released before panicking, so the injector keeps
+        // working for the (resumed) process.
+        assert_eq!(inj.poll(), None);
+        assert_eq!(inj.calls(), 3);
+    }
+
+    #[test]
+    fn crash_at_stage_solve_counts_solves_per_stage() {
+        let inj = FaultInjector::new(
+            FaultPlan::new().crash_at_stage_solve("advection", 2, CrashMode::Panic),
+        );
+        inj.set_stage("lyapunov");
+        assert_eq!(inj.poll(), None);
+        assert_eq!(inj.poll(), None);
+        inj.set_stage("advection");
+        assert_eq!(inj.poll(), None); // stage solve 0
+        assert_eq!(inj.poll(), None); // stage solve 1
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.poll()));
+        assert!(err.is_err(), "third advection solve should crash");
     }
 
     #[test]

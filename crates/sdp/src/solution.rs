@@ -136,6 +136,9 @@ pub struct SdpSolution {
     pub iterations: usize,
     /// Per-stage wall-clock breakdown of this solve.
     pub timings: SolveTimings,
+    /// `true` when the solve was seeded from a saved iterate
+    /// (`SolverOptions.warm_start`) whose dimensions matched.
+    pub warm_started: bool,
 }
 
 impl SdpSolution {
@@ -158,6 +161,120 @@ impl std::fmt::Display for SdpSolution {
             self.gap,
             self.iterations
         )
+    }
+}
+
+impl SdpStatus {
+    /// Stable machine-readable name used in the checkpoint journal.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SdpStatus::Optimal => "optimal",
+            SdpStatus::NearOptimal => "near-optimal",
+            SdpStatus::MaxIterations => "max-iterations",
+            SdpStatus::Stalled => "stalled",
+            SdpStatus::PrimalInfeasibleLikely => "primal-infeasible",
+            SdpStatus::DualInfeasibleLikely => "dual-infeasible",
+            SdpStatus::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+
+    /// Inverse of [`SdpStatus::as_str`].
+    pub fn parse(name: &str) -> Option<SdpStatus> {
+        Some(match name {
+            "optimal" => SdpStatus::Optimal,
+            "near-optimal" => SdpStatus::NearOptimal,
+            "max-iterations" => SdpStatus::MaxIterations,
+            "stalled" => SdpStatus::Stalled,
+            "primal-infeasible" => SdpStatus::PrimalInfeasibleLikely,
+            "dual-infeasible" => SdpStatus::DualInfeasibleLikely,
+            "deadline-exceeded" => SdpStatus::DeadlineExceeded,
+            _ => return None,
+        })
+    }
+}
+
+impl cppll_json::ToJson for SdpStatus {
+    fn to_json(&self) -> cppll_json::Value {
+        cppll_json::Value::String(self.as_str().to_string())
+    }
+}
+
+impl cppll_json::FromJson for SdpStatus {
+    fn from_json(v: &cppll_json::Value) -> Result<Self, cppll_json::DecodeError> {
+        use cppll_json::{decode, DecodeError};
+        let name = decode::string(v)?;
+        SdpStatus::parse(name)
+            .ok_or_else(|| DecodeError::new(format!("unknown SDP status '{name}'")))
+    }
+}
+
+impl cppll_json::ToJson for SolveTimings {
+    fn to_json(&self) -> cppll_json::Value {
+        cppll_json::ObjectBuilder::new()
+            .field("residuals", self.residuals)
+            .field("factorizations", self.factorizations)
+            .field("schur_assembly", self.schur_assembly)
+            .field("kkt_factor", self.kkt_factor)
+            .field("kkt_solve", self.kkt_solve)
+            .field("line_search", self.line_search)
+            .field("total", self.total)
+            .build()
+    }
+}
+
+impl cppll_json::FromJson for SolveTimings {
+    fn from_json(v: &cppll_json::Value) -> Result<Self, cppll_json::DecodeError> {
+        use cppll_json::decode;
+        Ok(SolveTimings {
+            residuals: decode::required(v, "residuals")?,
+            factorizations: decode::required(v, "factorizations")?,
+            schur_assembly: decode::required(v, "schur_assembly")?,
+            kkt_factor: decode::required(v, "kkt_factor")?,
+            kkt_solve: decode::required(v, "kkt_solve")?,
+            line_search: decode::required(v, "line_search")?,
+            total: decode::required(v, "total")?,
+        })
+    }
+}
+
+impl cppll_json::ToJson for SdpSolution {
+    fn to_json(&self) -> cppll_json::Value {
+        cppll_json::ObjectBuilder::new()
+            .field("status", self.status)
+            .field("x", &self.x)
+            .field("free", &self.free)
+            .field("y", &self.y)
+            .field("s", &self.s)
+            .field("primal_objective", self.primal_objective)
+            .field("dual_objective", self.dual_objective)
+            .field("primal_infeasibility", self.primal_infeasibility)
+            .field("dual_infeasibility", self.dual_infeasibility)
+            .field("gap", self.gap)
+            .field("iterations", self.iterations)
+            .field("timings", self.timings)
+            .field("warm_started", self.warm_started)
+            .build()
+    }
+}
+
+impl cppll_json::FromJson for SdpSolution {
+    fn from_json(v: &cppll_json::Value) -> Result<Self, cppll_json::DecodeError> {
+        use cppll_json::decode;
+        Ok(SdpSolution {
+            status: decode::required(v, "status")?,
+            x: decode::required(v, "x")?,
+            free: decode::required(v, "free")?,
+            y: decode::required(v, "y")?,
+            s: decode::required(v, "s")?,
+            primal_objective: decode::required(v, "primal_objective")?,
+            dual_objective: decode::required(v, "dual_objective")?,
+            primal_infeasibility: decode::required(v, "primal_infeasibility")?,
+            dual_infeasibility: decode::required(v, "dual_infeasibility")?,
+            gap: decode::required(v, "gap")?,
+            iterations: decode::required(v, "iterations")?,
+            timings: decode::required(v, "timings")?,
+            warm_started: decode::required(v, "warm_started")?,
+        })
     }
 }
 

@@ -39,6 +39,15 @@ pub struct SolverOptions {
     /// functions of their index and all reductions run on the calling
     /// thread in fixed index order.
     pub threads: usize,
+    /// Optional saved iterate to start from instead of the cold SDPA-style
+    /// initial point. X/y/S (and the free variables) are copied from the
+    /// saved solution with feasibility-restoring clamping: a diagonal shift
+    /// is added to each X/S block and doubled until the block factorises,
+    /// so near-boundary converged iterates become strictly interior again.
+    /// Silently falls back to the cold start when the block structure does
+    /// not match this problem or the saved iterate is non-finite. Seeding is
+    /// deterministic: the same saved iterate always produces the same solve.
+    pub warm_start: Option<SdpSolution>,
 }
 
 impl Default for SolverOptions {
@@ -53,6 +62,7 @@ impl Default for SolverOptions {
             deadline: None,
             fault: None,
             threads: 0,
+            warm_start: None,
         }
     }
 }
@@ -108,6 +118,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             gap: 0.0,
             iterations: 0,
             timings: tm,
+            warm_started: false,
         };
     }
 
@@ -165,6 +176,13 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         y: vec![0.0; m],
         u: vec![0.0; nfree],
     };
+    let mut warm_started = false;
+    if let Some(ws) = &opt.warm_start {
+        if let Some(seeded) = seed_from(ws, &p.block_dims, m, nfree) {
+            it = seeded;
+            warm_started = true;
+        }
+    }
 
     let mut stall_count = 0usize;
     let mut stagnation = 0usize;
@@ -263,18 +281,18 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         // ---- Injected faults and deadline -------------------------------
         if iter == 0 {
             if let Some(kind) = injected {
-                return finish(p, it, kind.status(), last, iter, tm, solve_start);
+                return finish(it, kind.status(), last, iter, tm, solve_start, warm_started);
             }
         }
         if let Some(deadline) = opt.deadline {
             if Instant::now() >= deadline {
-                return finish(p, it, SdpStatus::DeadlineExceeded, last, iter, tm, solve_start);
+                return finish(it, SdpStatus::DeadlineExceeded, last, iter, tm, solve_start, warm_started);
             }
         }
 
         // ---- Termination ----------------------------------------------
         if pinf < opt.tolerance && dinf < opt.tolerance && gap.max(mu_rel) < opt.tolerance {
-            return finish(p, it, SdpStatus::Optimal, last, iter, tm, solve_start);
+            return finish(it, SdpStatus::Optimal, last, iter, tm, solve_start, warm_started);
         }
         // Degenerate (no-strict-interior) instances: complementarity and
         // feasibility converge but the objective gap stagnates because the
@@ -287,15 +305,15 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         }
         prev_gap = gap;
         if stagnation >= 8 && pinf < 1e-5 && dinf < 1e-5 && mu_rel < 1e-6 {
-            return finish(p, it, SdpStatus::NearOptimal, last, iter, tm, solve_start);
+            return finish(it, SdpStatus::NearOptimal, last, iter, tm, solve_start, warm_started);
         }
         // Infeasibility heuristics: unbounded dual ⇒ primal infeasible.
         let scale = 1.0 + b_norm + c_norm;
         if dobj > 1e9 * scale && dinf < 1e-4 {
-            return finish(p, it, SdpStatus::PrimalInfeasibleLikely, last, iter, tm, solve_start);
+            return finish(it, SdpStatus::PrimalInfeasibleLikely, last, iter, tm, solve_start, warm_started);
         }
         if pobj < -1e9 * scale && pinf < 1e-4 {
-            return finish(p, it, SdpStatus::DualInfeasibleLikely, last, iter, tm, solve_start);
+            return finish(it, SdpStatus::DualInfeasibleLikely, last, iter, tm, solve_start, warm_started);
         }
 
         // ---- Factorisations --------------------------------------------
@@ -312,7 +330,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         });
         tm.factorizations += stage_start.elapsed().as_secs_f64();
         if factored.iter().any(Option::is_none) {
-            return finish(p, it, SdpStatus::Stalled, last, iter, tm, solve_start);
+            return finish(it, SdpStatus::Stalled, last, iter, tm, solve_start, warm_started);
         }
         let work: Vec<BlockWork> = factored.into_iter().map(Option::unwrap).collect();
 
@@ -337,7 +355,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         let stage_start = Instant::now();
         let kkt_fact = match kkt.ldlt(opt.free_regularization.max(1e-13)) {
             Ok(f) => f,
-            Err(_) => return finish(p, it, SdpStatus::Stalled, last, iter, tm, solve_start),
+            Err(_) => return finish(it, SdpStatus::Stalled, last, iter, tm, solve_start, warm_started),
         };
         tm.kkt_factor += stage_start.elapsed().as_secs_f64();
         let kkt_solver = KktSolver {
@@ -421,7 +439,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             if stall_count >= 4 {
                 // Weakly infeasible or numerically exhausted.
                 let status = near_status(&last, opt);
-                return finish(p, it, status, last, iter, tm, solve_start);
+                return finish(it, status, last, iter, tm, solve_start, warm_started);
             }
         } else {
             stall_count = 0;
@@ -443,7 +461,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
     }
 
     let status = near_status(&last, opt);
-    finish(p, it, status, last, iterations, tm, solve_start)
+    finish(it, status, last, iterations, tm, solve_start, warm_started)
 }
 
 /// Assembles the `m × m` Schur-complement part `M_{ik} = Σⱼ tr(A_{ij} Sⱼ⁻¹
@@ -553,15 +571,14 @@ fn near_status(m: &Metrics, opt: &SolverOptions) -> SdpStatus {
 }
 
 fn finish(
-    p: &SdpProblem,
     it: Iterate,
     status: SdpStatus,
     m: Metrics,
     iterations: usize,
     mut tm: SolveTimings,
     solve_start: Instant,
+    warm_started: bool,
 ) -> SdpSolution {
-    let _ = p;
     tm.total = solve_start.elapsed().as_secs_f64();
     SdpSolution {
         status,
@@ -576,6 +593,7 @@ fn finish(
         gap: m.gap,
         iterations: iterations + 1,
         timings: tm,
+        warm_started,
     }
 }
 
@@ -591,6 +609,74 @@ fn robust_cholesky(a: &Matrix) -> Option<Cholesky> {
         b[(i, i)] += bump;
     }
     b.cholesky().ok()
+}
+
+/// Builds a warm-start iterate from a saved solution, or `None` when the
+/// saved solution cannot seed this problem.
+///
+/// The saved X/S blocks must match `block_dims` exactly and `y`/`free` must
+/// have the right lengths; every entry must be finite. Each X/S block is
+/// then clamped back to the strict interior: blocks that already factorise
+/// are used as-is, otherwise a diagonal shift (starting at a trace-scaled
+/// epsilon and doubling) is added until the Cholesky succeeds. The whole
+/// procedure is deterministic — the same saved iterate always yields the
+/// same seed.
+fn seed_from(
+    ws: &SdpSolution,
+    block_dims: &[usize],
+    m: usize,
+    nfree: usize,
+) -> Option<Iterate> {
+    if ws.x.len() != block_dims.len()
+        || ws.s.len() != block_dims.len()
+        || ws.y.len() != m
+        || ws.free.len() != nfree
+    {
+        return None;
+    }
+    for (mat, &n) in ws.x.iter().chain(ws.s.iter()).zip(block_dims.iter().chain(block_dims)) {
+        if mat.nrows() != n || mat.ncols() != n {
+            return None;
+        }
+        if !mat.as_slice().iter().all(|v| v.is_finite()) {
+            return None;
+        }
+    }
+    if !ws.y.iter().chain(ws.free.iter()).all(|v| v.is_finite()) {
+        return None;
+    }
+    let clamp = |mat: &Matrix| -> Option<Matrix> {
+        if robust_cholesky(mat).is_some() {
+            return Some(mat.clone());
+        }
+        let n = mat.nrows();
+        let mut shift = 1e-10 * (mat.trace().abs() / n.max(1) as f64).max(1.0);
+        for _ in 0..80 {
+            let mut b = mat.clone();
+            for i in 0..n {
+                b[(i, i)] += shift;
+            }
+            if robust_cholesky(&b).is_some() {
+                return Some(b);
+            }
+            shift *= 2.0;
+        }
+        None
+    };
+    let mut x = Vec::with_capacity(ws.x.len());
+    for mat in &ws.x {
+        x.push(clamp(mat)?);
+    }
+    let mut s = Vec::with_capacity(ws.s.len());
+    for mat in &ws.s {
+        s.push(clamp(mat)?);
+    }
+    Some(Iterate {
+        x,
+        s,
+        y: ws.y.clone(),
+        u: ws.free.clone(),
+    })
 }
 
 /// The `A_{ij}` matrix of constraint `i` on block `j`.

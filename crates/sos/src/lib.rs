@@ -54,6 +54,6 @@ pub use bisect::{maximize_bisect, BisectResult};
 pub use bounds::{certified_lower_bound, certified_range, certified_upper_bound, BoundOptions};
 pub use decomposition::SosDecomposition;
 pub use expr::{GramVarId, PolyExpr, PolyVarId, ScalarVarId};
-pub use inclusion::{check_inclusion, InclusionOptions};
+pub use inclusion::{check_inclusion, check_inclusion_seeded, InclusionOptions, InclusionProbe};
 pub use program::{SosConstraintId, SosError, SosOptions, SosProgram, SosSolution};
 pub use supervisor::{AttemptRecord, LedgerStats, ResilienceOptions, RetryPolicy, SolveLedger};

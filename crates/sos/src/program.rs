@@ -425,6 +425,33 @@ impl SosProgram {
     /// [`SosError::Numerical`] once retries are exhausted, carrying the
     /// final residuals and the full attempt log.
     pub fn solve(&self, options: &SosOptions) -> Result<SosSolution, SosError> {
+        self.solve_supervised(options, false).0
+    }
+
+    /// Like [`SosProgram::solve`], but additionally returns the final SDP
+    /// iterate of the last attempt — even when the answer is
+    /// [`SosError::Infeasible`]. Checkpointing uses this to save a
+    /// warm-start seed for the structurally-identical next solve (advection
+    /// inclusion probes are *expected* to come back infeasible until the
+    /// level set stops moving, and their iterates are still good seeds).
+    ///
+    /// The iterate is `None` only when no attempt ran at all.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`SosProgram::solve`].
+    pub fn solve_with_iterate(
+        &self,
+        options: &SosOptions,
+    ) -> (Result<SosSolution, SosError>, Option<SdpSolution>) {
+        self.solve_supervised(options, true)
+    }
+
+    fn solve_supervised(
+        &self,
+        options: &SosOptions,
+        capture: bool,
+    ) -> (Result<SosSolution, SosError>, Option<SdpSolution>) {
         let res = &options.resilience;
         let policy = &res.retry;
         let mut attempts: Vec<AttemptRecord> = Vec::new();
@@ -461,13 +488,17 @@ impl SosProgram {
                     if let Some(ledger) = &res.ledger {
                         ledger.record(&attempts, true);
                     }
-                    return Ok(SosSolution {
-                        sdp: sol,
-                        layout: compiled.layout,
-                        poly_bases: self.polys.iter().map(|p| p.basis.clone()).collect(),
-                        gram_bases: self.grams.iter().map(|g| g.basis.clone()).collect(),
-                        exprs: self.constraints.iter().map(|c| c.expr.clone()).collect(),
-                    });
+                    let captured = capture.then(|| sol.clone());
+                    return (
+                        Ok(SosSolution {
+                            sdp: sol,
+                            layout: compiled.layout,
+                            poly_bases: self.polys.iter().map(|p| p.basis.clone()).collect(),
+                            gram_bases: self.grams.iter().map(|g| g.basis.clone()).collect(),
+                            exprs: self.constraints.iter().map(|c| c.expr.clone()).collect(),
+                        }),
+                        captured,
+                    );
                 }
                 SdpStatus::PrimalInfeasibleLikely | SdpStatus::DualInfeasibleLikely => {
                     attempts.push(record);
@@ -478,7 +509,11 @@ impl SosProgram {
                         // keys off the ledger's failure count.
                         ledger.record(&attempts, true);
                     }
-                    return Err(SosError::Infeasible { status: sol.status });
+                    let status = sol.status;
+                    return (
+                        Err(SosError::Infeasible { status }),
+                        capture.then_some(sol),
+                    );
                 }
                 s if s.is_retryable() && attempt + 1 < max_attempts => {
                     let backoff = policy.planned_backoff_ms(attempt + 1);
@@ -507,14 +542,17 @@ impl SosProgram {
                     if let Some(ledger) = &res.ledger {
                         ledger.record(&attempts, false);
                     }
-                    return Err(SosError::Numerical {
-                        status: s,
-                        primal_infeasibility: sol.primal_infeasibility,
-                        dual_infeasibility: sol.dual_infeasibility,
-                        gap: sol.gap,
-                        iterations: sol.iterations,
-                        attempts,
-                    });
+                    return (
+                        Err(SosError::Numerical {
+                            status: s,
+                            primal_infeasibility: sol.primal_infeasibility,
+                            dual_infeasibility: sol.dual_infeasibility,
+                            gap: sol.gap,
+                            iterations: sol.iterations,
+                            attempts,
+                        }),
+                        capture.then_some(sol),
+                    );
                 }
             }
         }
@@ -529,6 +567,10 @@ impl SosProgram {
         let policy = &res.retry;
         let mut opt = base.clone();
         if attempt > 0 {
+            // A retry means the seeded (or cold) first attempt failed — go
+            // back to the cold start so escalated regularisation works from
+            // a known-interior point instead of a possibly-degenerate seed.
+            opt.sdp.warm_start = None;
             let escalation = policy.regularization_escalation.powi(attempt as i32);
             opt.sdp.schur_regularization *= escalation;
             opt.sdp.free_regularization *= escalation;

@@ -205,6 +205,29 @@ impl std::fmt::Display for LedgerStats {
     }
 }
 
+impl cppll_json::ToJson for LedgerStats {
+    fn to_json(&self) -> cppll_json::Value {
+        cppll_json::ObjectBuilder::new()
+            .field("solves", self.solves)
+            .field("attempts", self.attempts)
+            .field("retries", self.retries)
+            .field("failures", self.failures)
+            .build()
+    }
+}
+
+impl cppll_json::FromJson for LedgerStats {
+    fn from_json(v: &cppll_json::Value) -> Result<Self, cppll_json::DecodeError> {
+        use cppll_json::decode;
+        Ok(LedgerStats {
+            solves: decode::required(v, "solves")?,
+            attempts: decode::required(v, "attempts")?,
+            retries: decode::required(v, "retries")?,
+            failures: decode::required(v, "failures")?,
+        })
+    }
+}
+
 #[derive(Debug, Default)]
 struct LedgerInner {
     stats: LedgerStats,
@@ -253,6 +276,19 @@ impl SolveLedger {
     /// Per-stage wall-clock totals across every attempt recorded so far.
     pub fn timings(&self) -> SolveTimings {
         self.0.lock().expect("ledger lock").timings
+    }
+
+    /// Merges a previous run's cumulative statistics and timings into this
+    /// ledger, so a resumed pipeline reports the *total* work done across
+    /// crash boundaries rather than only the post-resume tail. Called once
+    /// by checkpoint replay, before any post-resume solve runs.
+    pub fn absorb_prior(&self, stats: &LedgerStats, timings: &SolveTimings) {
+        let mut inner = self.0.lock().expect("ledger lock");
+        inner.stats.solves += stats.solves;
+        inner.stats.attempts += stats.attempts;
+        inner.stats.retries += stats.retries;
+        inner.stats.failures += stats.failures;
+        inner.timings.accumulate(timings);
     }
 
     /// Aggregate statistics so far.
@@ -353,6 +389,58 @@ mod tests {
         assert_eq!(ledger.log_lines().len(), 3);
         assert!(ledger.log_lines()[0].starts_with("solve=0 attempt=0"));
         assert!(ledger.log_lines()[2].starts_with("solve=1 attempt=0"));
+    }
+
+    #[test]
+    fn absorb_prior_merges_counts_and_timings() {
+        let ledger = SolveLedger::new();
+        let prior = LedgerStats {
+            solves: 3,
+            attempts: 5,
+            retries: 2,
+            failures: 1,
+        };
+        let pt = SolveTimings {
+            total: 2.5,
+            kkt_solve: 1.0,
+            ..Default::default()
+        };
+        ledger.absorb_prior(&prior, &pt);
+        let rec = AttemptRecord {
+            attempt: 0,
+            status: SdpStatus::Optimal,
+            iterations: 1,
+            primal_infeasibility: 0.0,
+            dual_infeasibility: 0.0,
+            gap: 0.0,
+            trace_weight: 1.0,
+            schur_regularization: 1e-11,
+            step_fraction: 0.95,
+            planned_backoff_ms: 0,
+        };
+        ledger.record(&[rec], true);
+        let s = ledger.stats();
+        assert_eq!(s.solves, 4);
+        assert_eq!(s.attempts, 6);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.failures, 1);
+        assert_eq!(ledger.timings().total, 2.5);
+        // Post-resume log lines continue the solve numbering.
+        assert!(ledger.log_lines()[0].starts_with("solve=3 "));
+    }
+
+    #[test]
+    fn ledger_stats_round_trip_json() {
+        use cppll_json::{parse, FromJson, ToJson};
+        let s = LedgerStats {
+            solves: 7,
+            attempts: 9,
+            retries: 2,
+            failures: 1,
+        };
+        let back =
+            LedgerStats::from_json(&parse(&s.to_json().to_compact_string()).unwrap()).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]
