@@ -69,6 +69,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("affine_shift_deg4", |b| {
         b.iter(|| black_box(p.shift(black_box(&shift))))
     });
+    g.bench_function("monomials_up_to_deg8_6vars", |b| {
+        b.iter(|| black_box(monomials_up_to(black_box(6), black_box(8))))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("sdp");
@@ -168,9 +171,37 @@ fn write_kernel_report() {
     }
 }
 
+/// Timing assertion for the one-pass grlex `monomials_up_to`: enumerating a
+/// deg-10 basis in 7 variables (19 448 monomials) must stay comfortably
+/// sub-second, and the single pass must agree with degree-by-degree
+/// concatenation. The bound is ~100× the observed cost so it only trips on
+/// a genuine complexity regression (e.g. reverting to per-degree allocation
+/// with quadratic copying), never on machine noise.
+fn assert_monomial_enumeration_fast() {
+    let (nvars, deg) = (7, 10u32);
+    let secs = best_of(5, || {
+        black_box(monomials_up_to(black_box(nvars), black_box(deg)));
+    });
+    let basis = monomials_up_to(nvars, deg);
+    let reference: Vec<_> = (0..=deg)
+        .flat_map(|d| cppll_poly::monomials_of_degree(nvars, d))
+        .collect();
+    assert_eq!(basis, reference, "one-pass grlex enumeration diverged");
+    assert!(
+        secs < 0.5,
+        "monomials_up_to({nvars}, {deg}) took {secs:.3}s — one-pass enumeration regressed"
+    );
+    println!(
+        "[monomials_up_to({nvars}, {deg}): {} monomials in {:.1}ms]",
+        basis.len(),
+        secs * 1e3
+    );
+}
+
 criterion_group!(benches, bench);
 
 fn main() {
     benches();
     write_kernel_report();
+    assert_monomial_enumeration_fast();
 }

@@ -182,10 +182,12 @@ fn main() {
                 "  {} — verified={}, {} solves / {} attempts",
                 row.problem, row.verified, row.solves, row.attempts
             );
-            for (name, secs) in row.timings.stages() {
-                println!("    {name:<26} {secs:>9.3}s");
+            if row.reduction.grams > 0 {
+                println!("    reduction: {}", row.reduction);
             }
-            println!("    {:<26} {:>9.3}s", "total", row.timings.total);
+            for line in row.timings.report_lines() {
+                println!("    {line}");
+            }
         }
         let path = cppll_bench::bench_sdp_json_path();
         match cppll_bench::merge_bench_sdp(&path, "pipeline", b.to_json()) {

@@ -1,15 +1,15 @@
 //! One runner per table/figure of the paper, plus the ablations.
 
 use cppll_hybrid::{HybridSystem, Jump, Mode};
+use cppll_json::{ObjectBuilder, ToJson, Value};
 use cppll_pll::{
     PllModelBuilder, PllOrder, TableOneParams, UncertaintySelection, VerificationModel,
 };
-use cppll_json::{ObjectBuilder, ToJson, Value};
 use cppll_poly::Polynomial;
 use cppll_sdp::SolveTimings;
 use cppll_verify::{
     CertificateScheme, InevitabilityVerifier, LyapunovOptions, LyapunovSynthesizer,
-    PipelineOptions, Region, ResilienceConfig, RobustEncoding, VerificationReport,
+    PipelineOptions, ReductionStats, Region, ResilienceConfig, RobustEncoding, VerificationReport,
 };
 
 use crate::contour::{trace_sublevel_boundary, Curve};
@@ -184,7 +184,11 @@ fn ai_figure(
         id: id.into(),
         curves,
         level: report.levels.level,
-        degree: report.certificates.as_ref().expect("verified run has certificates").degree(),
+        degree: report
+            .certificates
+            .as_ref()
+            .expect("verified run has certificates")
+            .degree(),
         notes,
     }
 }
@@ -575,6 +579,9 @@ pub struct BenchSdpRow {
     pub attempts: usize,
     /// Aggregate per-stage solver timings.
     pub timings: SolveTimings,
+    /// Aggregate problem-size reduction statistics (Gram basis pruning and
+    /// symmetry block splitting) across the run's solves.
+    pub reduction: ReductionStats,
 }
 
 /// The SDP hot-path benchmark: where solver time goes on a toy hybrid
@@ -616,6 +623,7 @@ fn bench_sdp_row(problem: &str, report: &VerificationReport) -> BenchSdpRow {
         solves: report.solve_stats.solves,
         attempts: report.solve_stats.attempts,
         timings: report.solve_timings,
+        reduction: report.reduction,
     }
 }
 
@@ -722,6 +730,7 @@ impl ToJson for BenchSdpRow {
             .field("attempts", self.attempts)
             .field("stages", stages.build())
             .field("total_seconds", self.timings.total)
+            .field("reduction", self.reduction.to_json())
             .build()
     }
 }

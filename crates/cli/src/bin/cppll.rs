@@ -23,16 +23,23 @@
 //! --runs-dir <dir>         base directory for run journals (default target/runs)
 //! --inject-crash <stage>:<n>  exit(3) at the n-th solve of a stage (testing)
 //! ```
+//!
+//! Reduction flags (both `verify` and `pll`):
+//!
+//! ```text
+//! --no-reduce              solve the unreduced SDPs (skip Newton-polytope
+//!                          basis pruning and sign-symmetry block splitting)
+//! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cppll_cli::{run_inevitability_checkpointed, SystemSpec};
+use cppll_cli::{run_inevitability_tuned, SystemSpec};
 use cppll_pll::{PllModelBuilder, PllOrder};
 use cppll_verify::{
     CheckpointConfig, CrashMode, FaultInjector, FaultPlan, InevitabilityVerifier, PipelineOptions,
-    ResilienceConfig, VerificationReport,
+    ReductionOptions, ResilienceConfig, VerificationReport,
 };
 
 const EXAMPLE_SPEC: &str = r#"{
@@ -71,13 +78,15 @@ fn print_report(report: &VerificationReport) {
     for t in &report.timings {
         println!("  {:<26} {:>9.2}s", t.name, t.seconds);
     }
+    if report.reduction.grams > 0 {
+        println!("reduction: {}", report.reduction);
+    }
     let tm = &report.solve_timings;
     if tm.total > 0.0 {
         println!("solver stages ({} threads):", cppll_par::current_threads());
-        for (name, secs) in tm.stages() {
-            println!("  {name:<26} {secs:>9.3}s");
+        for line in tm.report_lines() {
+            println!("  {line}");
         }
-        println!("  {:<26} {:>9.3}s", "total", tm.total);
     }
     println!("result digest: {}", report.result_digest());
     if let Some(run_id) = &report.resume.run_id {
@@ -130,20 +139,31 @@ impl DurabilityFlags {
     }
 }
 
+/// Parsed command line: positionals plus every flag group.
+struct ParsedArgs {
+    positional: Vec<String>,
+    resilience: ResilienceConfig,
+    durability: DurabilityFlags,
+    reduction: ReductionOptions,
+}
+
 /// Extracts every `--flag value` pair from `args`, returning the remaining
-/// positional arguments, the resilience config, and the durability flags.
-fn parse_flags(args: &[String]) -> Result<(Vec<String>, ResilienceConfig, DurabilityFlags), String> {
+/// positional arguments and the flag groups.
+fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     fn seconds(flag: &str, v: &str) -> Result<Duration, String> {
         let secs: f64 = v
             .parse()
             .map_err(|_| format!("{flag}: not a number of seconds: {v}"))?;
         if !secs.is_finite() || secs < 0.0 {
-            return Err(format!("{flag}: must be a non-negative number of seconds: {v}"));
+            return Err(format!(
+                "{flag}: must be a non-negative number of seconds: {v}"
+            ));
         }
         Ok(Duration::from_secs_f64(secs))
     }
     let mut config = ResilienceConfig::default();
     let mut durability = DurabilityFlags::default();
+    let mut reduction = ReductionOptions::default();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -160,7 +180,8 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, ResilienceConfig, Durabi
                     .map_err(|_| format!("--retries: not a count: {v}"))?;
             }
             "--solve-timeout" => {
-                config.solve_timeout = Some(seconds("--solve-timeout", value_of("--solve-timeout")?)?);
+                config.solve_timeout =
+                    Some(seconds("--solve-timeout", value_of("--solve-timeout")?)?);
             }
             "--deadline" => {
                 config.deadline = Some(seconds("--deadline", value_of("--deadline")?)?);
@@ -185,18 +206,29 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, ResilienceConfig, Durabi
                     .map_err(|_| format!("--inject-crash: not a solve index: {nth}"))?;
                 durability.inject_crash = Some((stage.to_string(), nth));
             }
+            "--no-reduce" => reduction = ReductionOptions::none(),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}"));
             }
             other => positional.push(other.to_string()),
         }
     }
-    Ok((positional, config, durability))
+    Ok(ParsedArgs {
+        positional,
+        resilience: config,
+        durability,
+        reduction,
+    })
 }
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, mut resilience, durability) = match parse_flags(&raw) {
+    let ParsedArgs {
+        positional: args,
+        mut resilience,
+        durability,
+        reduction,
+    } = match parse_flags(&raw) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
@@ -235,7 +267,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match run_inevitability_checkpointed(&spec, resilience, checkpoint) {
+            match run_inevitability_tuned(&spec, resilience, checkpoint, reduction) {
                 Ok(report) => {
                     print_report(&report);
                     if report.verdict.is_verified() {
@@ -267,6 +299,7 @@ fn main() -> ExitCode {
             let mut opt = PipelineOptions::degree(degree);
             opt.resilience = resilience;
             opt.checkpoint = checkpoint;
+            opt.reduction = reduction;
             match verifier.verify(&opt) {
                 Ok(report) => {
                     print_report(&report);
@@ -301,7 +334,11 @@ fn main() -> ExitCode {
                  \x20 --run-id <id>            journal completed stages under target/runs/<id>\n\
                  \x20 --resume <id>            resume a journaled run, replaying finished stages\n\
                  \x20 --runs-dir <dir>         base directory for run journals (default target/runs)\n\
-                 \x20 --inject-crash <stage>:<n>  exit(3) at the n-th solve of a stage (testing)"
+                 \x20 --inject-crash <stage>:<n>  exit(3) at the n-th solve of a stage (testing)\n\
+                 \n\
+                 reduction flags (verify, pll):\n\
+                 \x20 --no-reduce              solve the unreduced SDPs (skip basis pruning\n\
+                 \x20                          and symmetry block splitting)"
             );
             ExitCode::FAILURE
         }

@@ -428,6 +428,28 @@ pub fn run_inevitability_checkpointed(
     resilience: cppll_verify::ResilienceConfig,
     checkpoint: Option<cppll_verify::CheckpointConfig>,
 ) -> Result<VerificationReport, SpecError> {
+    run_inevitability_tuned(
+        spec,
+        resilience,
+        checkpoint,
+        cppll_verify::ReductionOptions::default(),
+    )
+}
+
+/// Like [`run_inevitability_checkpointed`], with explicit problem-size
+/// reduction options (the CLI's `--no-reduce` passes
+/// [`cppll_verify::ReductionOptions::none`] to reproduce the unreduced
+/// SDPs exactly).
+///
+/// # Errors
+///
+/// Exactly as [`run_inevitability_checkpointed`].
+pub fn run_inevitability_tuned(
+    spec: &SystemSpec,
+    resilience: cppll_verify::ResilienceConfig,
+    checkpoint: Option<cppll_verify::CheckpointConfig>,
+    reduction: cppll_verify::ReductionOptions,
+) -> Result<VerificationReport, SpecError> {
     if spec.initial_radii.len() != spec.states {
         return Err(SpecError::Invalid {
             message: "initial_radii must have one entry per state".into(),
@@ -440,6 +462,7 @@ pub fn run_inevitability_checkpointed(
     let mut opt = PipelineOptions::degree(spec.degree);
     opt.resilience = resilience;
     opt.checkpoint = checkpoint;
+    opt.reduction = reduction;
     verifier.verify(&opt).map_err(SpecError::Verify)
 }
 

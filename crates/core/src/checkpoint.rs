@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 use cppll_json::{decode, DecodeError, ObjectBuilder, ToJson, Value};
 use cppll_poly::Polynomial;
 use cppll_sdp::{SdpSolution, SolveTimings};
-use cppll_sos::LedgerStats;
+use cppll_sos::{LedgerStats, ReductionStats};
 
 use crate::escape::EscapeCertificate;
 use crate::lyapunov::CertificateScheme;
@@ -146,6 +146,8 @@ pub struct LedgerSnapshot {
     pub stats: LedgerStats,
     /// Cumulative per-stage solver timings.
     pub timings: SolveTimings,
+    /// Cumulative problem-reduction totals.
+    pub reduction: ReductionStats,
 }
 
 impl ToJson for LedgerSnapshot {
@@ -153,6 +155,7 @@ impl ToJson for LedgerSnapshot {
         ObjectBuilder::new()
             .field("stats", self.stats)
             .field("timings", self.timings)
+            .field("reduction", self.reduction)
             .build()
     }
 }
@@ -162,6 +165,10 @@ impl cppll_json::FromJson for LedgerSnapshot {
         Ok(LedgerSnapshot {
             stats: decode::required(v, "stats")?,
             timings: decode::required(v, "timings")?,
+            // Journals written before problem reduction existed cannot be
+            // resumed anyway (the fingerprint now covers the reduction
+            // options), but stay lenient for hand-edited journals.
+            reduction: decode::optional(v, "reduction")?.unwrap_or_default(),
         })
     }
 }
@@ -466,7 +473,10 @@ pub fn fingerprint(
             ObjectBuilder::new()
                 .field("degree", opt.lyapunov.degree)
                 .field("epsilon", opt.lyapunov.epsilon)
-                .field("multiplier_half_degree", opt.lyapunov.multiplier_half_degree)
+                .field(
+                    "multiplier_half_degree",
+                    opt.lyapunov.multiplier_half_degree,
+                )
                 .field("scheme", opt.lyapunov.scheme)
                 .field("robust", robust)
                 .build(),
@@ -501,11 +511,15 @@ pub fn fingerprint(
                 .build(),
         )
         .field("max_advection_iters", opt.max_advection_iters)
-        .field("inclusion_margin", opt.inclusion_margin)
         .field(
-            "inclusion_mult_half_degree",
-            opt.inclusion_mult_half_degree,
+            "reduction",
+            ObjectBuilder::new()
+                .field("newton", opt.reduction.newton)
+                .field("symmetry", opt.reduction.symmetry)
+                .build(),
         )
+        .field("inclusion_margin", opt.inclusion_margin)
+        .field("inclusion_mult_half_degree", opt.inclusion_mult_half_degree)
         .build();
     fnv1a(doc.to_compact_string().as_bytes())
 }
@@ -588,7 +602,10 @@ impl RunJournal {
             }
             if lines.is_empty() {
                 // Empty file: treat as a fresh run.
-                let mut j = RunJournal { path, lines: vec![Self::header_line(&config.run_id, fp)] };
+                let mut j = RunJournal {
+                    path,
+                    lines: vec![Self::header_line(&config.run_id, fp)],
+                };
                 j.write_atomic()?;
                 return Ok((j, Vec::new()));
             }
@@ -736,6 +753,13 @@ mod tests {
                 timings: SolveTimings {
                     total: 1.5,
                     ..Default::default()
+                },
+                reduction: ReductionStats {
+                    grams: 2,
+                    basis_before: 12,
+                    basis_after: 9,
+                    blocks: 4,
+                    max_block: 5,
                 },
             },
         }

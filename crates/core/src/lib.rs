@@ -57,6 +57,10 @@ pub use resilience::{FailureReport, PipelineStage, ResilienceConfig};
 // can build crash plans without depending on `cppll-sdp` directly.
 pub use cppll_sdp::{CrashMode, FaultInjector, FaultKind, FaultPlan};
 
+// Problem-size reduction knobs and statistics, re-exported so front-ends
+// can toggle `--no-reduce` without depending on `cppll-sos` directly.
+pub use cppll_sos::{ReductionOptions, ReductionStats};
+
 /// Errors surfaced by the verification pipeline.
 #[derive(Debug)]
 pub enum VerifyError {

@@ -6,7 +6,10 @@ use cppll_hybrid::HybridSystem;
 use cppll_json::{ObjectBuilder, Value};
 use cppll_poly::Polynomial;
 use cppll_sdp::{SdpSolution, SolveTimings};
-use cppll_sos::{check_inclusion, check_inclusion_seeded, InclusionOptions, LedgerStats, SolveLedger};
+use cppll_sos::{
+    check_inclusion, check_inclusion_seeded, InclusionOptions, LedgerStats, ReductionOptions,
+    ReductionStats, SolveLedger,
+};
 
 use crate::advection::{Advection, AdvectionOptions};
 use crate::checkpoint::{
@@ -39,6 +42,11 @@ pub struct PipelineOptions {
     /// Multiplier half-degree for the inclusion checks (step "Checking Set
     /// Inclusion").
     pub inclusion_mult_half_degree: u32,
+    /// Problem-size reduction applied to every SOS compile of the run
+    /// (Newton-polytope basis pruning + sign-symmetry blocking). On by
+    /// default; [`ReductionOptions::none`] (CLI `--no-reduce`) reproduces
+    /// the unreduced SDPs bit for bit.
+    pub reduction: ReductionOptions,
     /// Resilience of the run: per-solve retries, budgets, deadline and the
     /// fault-injection hook. Inert by default.
     pub resilience: ResilienceConfig,
@@ -64,6 +72,7 @@ impl PipelineOptions {
             // The Lemma-1 certificate needs σ·front to reach the degree of
             // the attractive-invariant polynomial: deg σ ≥ deg V − deg front.
             inclusion_mult_half_degree: (lyapunov_degree.saturating_sub(2) / 2).max(1),
+            reduction: ReductionOptions::default(),
             resilience: ResilienceConfig::default(),
             checkpoint: None,
         }
@@ -157,6 +166,9 @@ pub struct VerificationReport {
     /// Per-stage SDP solver wall-clock totals, aggregated across every
     /// supervised solve of the run (Schur assembly, KKT factor/solve, …).
     pub solve_timings: SolveTimings,
+    /// Problem-size reduction totals across every compiled solve of the run
+    /// (Gram bases before/after pruning, emitted block counts and sizes).
+    pub reduction: ReductionStats,
     /// Checkpoint/resume bookkeeping: replayed vs fresh stage counts and
     /// warm-started solves. All-zero (with no run id) when checkpointing
     /// was off.
@@ -346,7 +358,7 @@ impl<'s> InevitabilityVerifier<'s> {
                 let fp = checkpoint::fingerprint(self.system, &self.boundary, &self.initial, opt);
                 let c = Checkpointer::open(cfg, fp)?;
                 if let Some(snap) = c.prior_snapshot() {
-                    ledger.absorb_prior(&snap.stats, &snap.timings);
+                    ledger.absorb_prior(&snap.stats, &snap.timings, &snap.reduction);
                 }
                 Some(c)
             }
@@ -355,9 +367,11 @@ impl<'s> InevitabilityVerifier<'s> {
         let snapshot = |ledger: &SolveLedger| LedgerSnapshot {
             stats: ledger.stats(),
             timings: ledger.timings(),
+            reduction: ledger.reduction(),
         };
-        let resume_of =
-            |ckpt: &Option<Checkpointer>| ckpt.as_ref().map(Checkpointer::summary).unwrap_or_default();
+        let resume_of = |ckpt: &Option<Checkpointer>| {
+            ckpt.as_ref().map(Checkpointer::summary).unwrap_or_default()
+        };
 
         // Supervised copy of the stage options: every stage's solves run
         // under the same supervisor configuration and shared ledger.
@@ -366,6 +380,10 @@ impl<'s> InevitabilityVerifier<'s> {
         opt.level.sos.resilience = sos_res.clone();
         opt.advection.sos.resilience = sos_res.clone();
         opt.escape.sos.resilience = sos_res;
+        opt.lyapunov.sos.reduction = opt.reduction;
+        opt.level.sos.reduction = opt.reduction;
+        opt.advection.sos.reduction = opt.reduction;
+        opt.escape.sos.reduction = opt.reduction;
         let opt = &opt;
 
         let mut timings = Vec::new();
@@ -390,48 +408,49 @@ impl<'s> InevitabilityVerifier<'s> {
                     ..
                 }) = c.take()
                 {
-                    replayed_certs =
-                        Some(LyapunovCertificates::from_parts(vs, degree, epsilon, scheme));
+                    replayed_certs = Some(LyapunovCertificates::from_parts(
+                        vs, degree, epsilon, scheme,
+                    ));
                 }
             }
         }
         let certs = if let Some(c) = replayed_certs {
             c
         } else {
-            let certs =
-                match LyapunovSynthesizer::new(self.system).synthesize_auto(&opt.lyapunov) {
-                    Ok(c) => c,
-                    Err(e @ VerifyError::Infeasible { .. }) => return Err(e),
-                    Err(e @ VerifyError::Checkpoint { .. }) => return Err(e),
-                    Err(VerifyError::Numerical { step, source }) => {
-                        timings.push(StepTiming {
-                            name: "attractive invariant",
-                            seconds: t0.elapsed().as_secs_f64(),
-                        });
-                        failures.push(FailureReport {
+            let certs = match LyapunovSynthesizer::new(self.system).synthesize_auto(&opt.lyapunov) {
+                Ok(c) => c,
+                Err(e @ VerifyError::Infeasible { .. }) => return Err(e),
+                Err(e @ VerifyError::Checkpoint { .. }) => return Err(e),
+                Err(VerifyError::Numerical { step, source }) => {
+                    timings.push(StepTiming {
+                        name: "attractive invariant",
+                        seconds: t0.elapsed().as_secs_f64(),
+                    });
+                    failures.push(FailureReport {
+                        stage: PipelineStage::Lyapunov,
+                        detail: format!("{step}: {source}"),
+                        attempts: source.attempts().to_vec(),
+                    });
+                    return Ok(VerificationReport {
+                        certificates: None,
+                        levels: empty_levels(),
+                        advection_trace: Vec::new(),
+                        escape_certificates: Vec::new(),
+                        timings,
+                        verdict: Verdict::Degraded {
                             stage: PipelineStage::Lyapunov,
-                            detail: format!("{step}: {source}"),
-                            attempts: source.attempts().to_vec(),
-                        });
-                        return Ok(VerificationReport {
-                            certificates: None,
-                            levels: empty_levels(),
-                            advection_trace: Vec::new(),
-                            escape_certificates: Vec::new(),
-                            timings,
-                            verdict: Verdict::Degraded {
-                                stage: PipelineStage::Lyapunov,
-                                reason: "lyapunov synthesis failed numerically \
+                            reason: "lyapunov synthesis failed numerically \
                                          after exhausting retries"
-                                    .into(),
-                            },
-                            failures,
-                            solve_stats: ledger.stats(),
-                            solve_timings: ledger.timings(),
-                            resume: resume_of(&ckpt),
-                        });
-                    }
-                };
+                                .into(),
+                        },
+                        failures,
+                        solve_stats: ledger.stats(),
+                        solve_timings: ledger.timings(),
+                        reduction: ledger.reduction(),
+                        resume: resume_of(&ckpt),
+                    });
+                }
+            };
             if let Some(c) = ckpt.as_mut() {
                 c.record(StageRecord::Lyapunov {
                     vs: certs.all().to_vec(),
@@ -521,6 +540,7 @@ impl<'s> InevitabilityVerifier<'s> {
                 failures,
                 solve_stats: ledger.stats(),
                 solve_timings: ledger.timings(),
+                reduction: ledger.reduction(),
                 resume: resume_of(&ckpt),
             });
         };
@@ -661,6 +681,7 @@ impl<'s> InevitabilityVerifier<'s> {
                 failures,
                 solve_stats: ledger.stats(),
                 solve_timings: ledger.timings(),
+                reduction: ledger.reduction(),
                 resume: resume_of(&ckpt),
             });
         }
@@ -787,6 +808,7 @@ impl<'s> InevitabilityVerifier<'s> {
             failures,
             solve_stats: ledger.stats(),
             solve_timings: ledger.timings(),
+            reduction: ledger.reduction(),
             resume: resume_of(&ckpt),
         })
     }

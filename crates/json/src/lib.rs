@@ -206,7 +206,11 @@ pub struct JsonError {
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} at line {} column {}", self.message, self.line, self.column)
+        write!(
+            f,
+            "{} at line {} column {}",
+            self.message, self.line, self.column
+        )
     }
 }
 
@@ -384,10 +388,7 @@ impl Parser<'_> {
                     // bytes are valid UTF-8; copy the full sequence).
                     let start = self.pos;
                     self.pos += 1;
-                    while self
-                        .peek()
-                        .is_some_and(|b| (b & 0xC0) == 0x80)
-                    {
+                    while self.peek().is_some_and(|b| (b & 0xC0) == 0x80) {
                         self.pos += 1;
                     }
                     s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
@@ -612,6 +613,21 @@ pub mod decode {
         T::from_json(field(v, key)?).map_err(|e| e.in_field(key))
     }
 
+    /// Decodes an optional object member into `T`: `Ok(None)` when the key
+    /// is absent, an error (naming the field) when it is present but
+    /// malformed. For fields added after data files already exist in the
+    /// wild — absence means "the writer predates the field", not damage.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors of `T`, tagged with the field name.
+    pub fn optional<T: FromJson>(v: &Value, key: &str) -> Result<Option<T>, DecodeError> {
+        match v.get(key) {
+            Some(inner) => T::from_json(inner).map(Some).map_err(|e| e.in_field(key)),
+            None => Ok(None),
+        }
+    }
+
     /// A finite number. `null` (how NaN/Inf serialise) and non-numbers are
     /// rejected, as are numbers that parsed to NaN or ±Inf (e.g. `1e999`).
     ///
@@ -762,7 +778,10 @@ mod tests {
         let text = r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\n\"y\""}"#;
         let v = parse(text).expect("parses");
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
-        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Null));
         assert_eq!(v.get("e").unwrap().as_str(), Some("x\n\"y\""));
@@ -774,7 +793,15 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated", "{} x"] {
+        for bad in [
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{} x",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} must not parse");
         }
         let err = parse("{\n  \"a\": !\n}").unwrap_err();
@@ -840,10 +867,7 @@ mod tests {
         );
         let err = Vec::<f64>::from_json(&parse("[1, null]").unwrap()).unwrap_err();
         assert!(err.message.contains("[1]"), "{err}");
-        assert_eq!(
-            Option::<f64>::from_json(&Value::Null),
-            Ok(None)
-        );
+        assert_eq!(Option::<f64>::from_json(&Value::Null), Ok(None));
         let obj = parse(r#"{"a": 3}"#).unwrap();
         assert_eq!(decode::required::<f64>(&obj, "a"), Ok(3.0));
         let missing = decode::required::<f64>(&obj, "b").unwrap_err();

@@ -14,10 +14,9 @@ use crate::Monomial;
 /// assert_eq!(monomials_of_degree(2, 2).len(), 3);
 /// ```
 pub fn monomials_of_degree(nvars: usize, degree: u32) -> Vec<Monomial> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(compositions(nvars, degree));
     let mut exps = vec![0u32; nvars];
     fill(&mut out, &mut exps, 0, degree);
-    out.sort();
     out
 }
 
@@ -36,11 +35,35 @@ pub fn monomials_of_degree(nvars: usize, degree: u32) -> Vec<Monomial> {
 /// assert_eq!(monomials_up_to(2, 2).len(), 6);
 /// ```
 pub fn monomials_up_to(nvars: usize, degree: u32) -> Vec<Monomial> {
-    let mut out = Vec::new();
+    // One pass in graded-lex order: a single pre-sized allocation, each
+    // monomial pushed exactly once in its final position. `fill` emits a
+    // fixed-degree slice already lex-sorted (the exponent loop ascends at
+    // every position), so concatenating degrees 0..=degree is grlex order
+    // with no intermediate buffers and no sort.
+    let mut out =
+        Vec::with_capacity(binomial(nvars as u64 + degree as u64, degree as u64) as usize);
+    let mut exps = vec![0u32; nvars];
     for d in 0..=degree {
-        out.extend(monomials_of_degree(nvars, d));
+        fill(&mut out, &mut exps, 0, d);
     }
     out
+}
+
+/// Number of monomials of total degree exactly `degree`: C(n + d − 1, d).
+fn compositions(nvars: usize, degree: u32) -> usize {
+    if nvars == 0 {
+        return if degree == 0 { 1 } else { 0 };
+    }
+    binomial(nvars as u64 + degree as u64 - 1, degree as u64) as usize
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    let k = k.min(n - k);
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
 }
 
 fn fill(out: &mut Vec<Monomial>, exps: &mut Vec<u32>, var: usize, remaining: u32) {
@@ -66,15 +89,6 @@ fn fill(out: &mut Vec<Monomial>, exps: &mut Vec<u32>, var: usize, remaining: u32
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn binomial(n: u64, k: u64) -> u64 {
-        let k = k.min(n - k);
-        let mut acc = 1u64;
-        for i in 0..k {
-            acc = acc * (n - i) / (i + 1);
-        }
-        acc
-    }
 
     #[test]
     fn counts_match_binomials() {

@@ -31,8 +31,10 @@
 
 mod basis;
 mod monomial;
+mod newton;
 mod polynomial;
 
 pub use basis::{monomials_of_degree, monomials_up_to};
 pub use monomial::Monomial;
+pub use newton::{prune_gram_basis, NewtonPolytope};
 pub use polynomial::Polynomial;

@@ -435,7 +435,10 @@ impl cppll_json::FromJson for Polynomial {
         use cppll_json::{decode, DecodeError};
         let nvars: usize = decode::required(v, "nvars")?;
         let mut p = Polynomial::zero(nvars);
-        for (i, term) in decode::array(decode::field(v, "terms")?)?.iter().enumerate() {
+        for (i, term) in decode::array(decode::field(v, "terms")?)?
+            .iter()
+            .enumerate()
+        {
             let pair = decode::array(term).map_err(|e| e.in_field(&format!("terms[{i}]")))?;
             if pair.len() != 2 {
                 return Err(DecodeError::new(format!(

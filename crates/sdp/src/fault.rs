@@ -316,9 +316,8 @@ mod tests {
 
     #[test]
     fn first_solve_per_stage_fires_once_per_stage() {
-        let inj = FaultInjector::new(
-            FaultPlan::new().fault_first_solve_per_stage(FaultKind::Stall),
-        );
+        let inj =
+            FaultInjector::new(FaultPlan::new().fault_first_solve_per_stage(FaultKind::Stall));
         inj.set_stage("lyapunov");
         inj.set_attempt(0);
         assert_eq!(inj.poll(), Some(FaultKind::Stall));
@@ -358,9 +357,11 @@ mod tests {
 
     #[test]
     fn crash_at_stage_solve_counts_solves_per_stage() {
-        let inj = FaultInjector::new(
-            FaultPlan::new().crash_at_stage_solve("advection", 2, CrashMode::Panic),
-        );
+        let inj = FaultInjector::new(FaultPlan::new().crash_at_stage_solve(
+            "advection",
+            2,
+            CrashMode::Panic,
+        ));
         inj.set_stage("lyapunov");
         assert_eq!(inj.poll(), None);
         assert_eq!(inj.poll(), None);

@@ -66,6 +66,11 @@ impl std::fmt::Display for SdpStatus {
 /// go" in benchmark output and CLI reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolveTimings {
+    /// Problem-size reduction before the solve (Newton-polytope basis
+    /// pruning and sign-symmetry block splitting). The solver itself never
+    /// writes this stage; the SOS compiler above it does. Zero when
+    /// reduction is disabled — reported explicitly, never hidden.
+    pub reduction: f64,
     /// Residual and convergence-metric evaluation.
     pub residuals: f64,
     /// Per-block Cholesky factorisations of `Xⱼ`, `Sⱼ` and `Sⱼ⁻¹`.
@@ -87,6 +92,7 @@ impl SolveTimings {
     /// aggregate timings across supervised retry attempts and across
     /// pipeline stages).
     pub fn accumulate(&mut self, other: &SolveTimings) {
+        self.reduction += other.reduction;
         self.residuals += other.residuals;
         self.factorizations += other.factorizations;
         self.schur_assembly += other.schur_assembly;
@@ -97,8 +103,9 @@ impl SolveTimings {
     }
 
     /// Stage names and totals in reporting order, excluding `total`.
-    pub fn stages(&self) -> [(&'static str, f64); 6] {
+    pub fn stages(&self) -> [(&'static str, f64); 7] {
         [
+            ("reduction", self.reduction),
             ("residuals", self.residuals),
             ("factorizations", self.factorizations),
             ("schur_assembly", self.schur_assembly),
@@ -106,6 +113,27 @@ impl SolveTimings {
             ("kkt_solve", self.kkt_solve),
             ("line_search", self.line_search),
         ]
+    }
+
+    /// Canonical report lines: every stage printed, zero-cost stages shown
+    /// with an explicit `0.0ms` rather than dropped or left blank, followed
+    /// by the `total` row. All consumers (CLI, bench harness) render through
+    /// this so stage names stay consistently padded everywhere.
+    pub fn report_lines(&self) -> Vec<String> {
+        let fmt = |secs: f64| {
+            if secs < 1.0 {
+                format!("{:>10.1}ms", secs * 1e3)
+            } else {
+                format!("{:>11.3}s", secs)
+            }
+        };
+        let mut lines: Vec<String> = self
+            .stages()
+            .iter()
+            .map(|(name, secs)| format!("{name:<26} {}", fmt(*secs)))
+            .collect();
+        lines.push(format!("{:<26} {}", "total", fmt(self.total)));
+        lines
     }
 }
 
@@ -211,6 +239,7 @@ impl cppll_json::FromJson for SdpStatus {
 impl cppll_json::ToJson for SolveTimings {
     fn to_json(&self) -> cppll_json::Value {
         cppll_json::ObjectBuilder::new()
+            .field("reduction", self.reduction)
             .field("residuals", self.residuals)
             .field("factorizations", self.factorizations)
             .field("schur_assembly", self.schur_assembly)
@@ -226,6 +255,9 @@ impl cppll_json::FromJson for SolveTimings {
     fn from_json(v: &cppll_json::Value) -> Result<Self, cppll_json::DecodeError> {
         use cppll_json::decode;
         Ok(SolveTimings {
+            // Absent in journals written before the reduction stage existed;
+            // those fingerprints are stale anyway, but decode stays lenient.
+            reduction: decode::optional(v, "reduction")?.unwrap_or(0.0),
             residuals: decode::required(v, "residuals")?,
             factorizations: decode::required(v, "factorizations")?,
             schur_assembly: decode::required(v, "schur_assembly")?,

@@ -194,16 +194,8 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
     // H block buffers are allocated once and reused every iteration.
     let kdim = m + nfree;
     let mut kkt = Matrix::zeros(kdim, kdim);
-    let mut corr_ws: Vec<Matrix> = p
-        .block_dims
-        .iter()
-        .map(|&n| Matrix::zeros(n, n))
-        .collect();
-    let mut h_ws: Vec<Matrix> = p
-        .block_dims
-        .iter()
-        .map(|&n| Matrix::zeros(n, n))
-        .collect();
+    let mut corr_ws: Vec<Matrix> = p.block_dims.iter().map(|&n| Matrix::zeros(n, n)).collect();
+    let mut h_ws: Vec<Matrix> = p.block_dims.iter().map(|&n| Matrix::zeros(n, n)).collect();
 
     // Fault injection (testing hook): decided once per solve, applied after
     // the first iteration's residuals are computed so the returned iterate
@@ -286,13 +278,29 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         }
         if let Some(deadline) = opt.deadline {
             if Instant::now() >= deadline {
-                return finish(it, SdpStatus::DeadlineExceeded, last, iter, tm, solve_start, warm_started);
+                return finish(
+                    it,
+                    SdpStatus::DeadlineExceeded,
+                    last,
+                    iter,
+                    tm,
+                    solve_start,
+                    warm_started,
+                );
             }
         }
 
         // ---- Termination ----------------------------------------------
         if pinf < opt.tolerance && dinf < opt.tolerance && gap.max(mu_rel) < opt.tolerance {
-            return finish(it, SdpStatus::Optimal, last, iter, tm, solve_start, warm_started);
+            return finish(
+                it,
+                SdpStatus::Optimal,
+                last,
+                iter,
+                tm,
+                solve_start,
+                warm_started,
+            );
         }
         // Degenerate (no-strict-interior) instances: complementarity and
         // feasibility converge but the objective gap stagnates because the
@@ -305,15 +313,39 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         }
         prev_gap = gap;
         if stagnation >= 8 && pinf < 1e-5 && dinf < 1e-5 && mu_rel < 1e-6 {
-            return finish(it, SdpStatus::NearOptimal, last, iter, tm, solve_start, warm_started);
+            return finish(
+                it,
+                SdpStatus::NearOptimal,
+                last,
+                iter,
+                tm,
+                solve_start,
+                warm_started,
+            );
         }
         // Infeasibility heuristics: unbounded dual ⇒ primal infeasible.
         let scale = 1.0 + b_norm + c_norm;
         if dobj > 1e9 * scale && dinf < 1e-4 {
-            return finish(it, SdpStatus::PrimalInfeasibleLikely, last, iter, tm, solve_start, warm_started);
+            return finish(
+                it,
+                SdpStatus::PrimalInfeasibleLikely,
+                last,
+                iter,
+                tm,
+                solve_start,
+                warm_started,
+            );
         }
         if pobj < -1e9 * scale && pinf < 1e-4 {
-            return finish(it, SdpStatus::DualInfeasibleLikely, last, iter, tm, solve_start, warm_started);
+            return finish(
+                it,
+                SdpStatus::DualInfeasibleLikely,
+                last,
+                iter,
+                tm,
+                solve_start,
+                warm_started,
+            );
         }
 
         // ---- Factorisations --------------------------------------------
@@ -330,7 +362,15 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         });
         tm.factorizations += stage_start.elapsed().as_secs_f64();
         if factored.iter().any(Option::is_none) {
-            return finish(it, SdpStatus::Stalled, last, iter, tm, solve_start, warm_started);
+            return finish(
+                it,
+                SdpStatus::Stalled,
+                last,
+                iter,
+                tm,
+                solve_start,
+                warm_started,
+            );
         }
         let work: Vec<BlockWork> = factored.into_iter().map(Option::unwrap).collect();
 
@@ -355,7 +395,17 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         let stage_start = Instant::now();
         let kkt_fact = match kkt.ldlt(opt.free_regularization.max(1e-13)) {
             Ok(f) => f,
-            Err(_) => return finish(it, SdpStatus::Stalled, last, iter, tm, solve_start, warm_started),
+            Err(_) => {
+                return finish(
+                    it,
+                    SdpStatus::Stalled,
+                    last,
+                    iter,
+                    tm,
+                    solve_start,
+                    warm_started,
+                )
+            }
         };
         tm.kkt_factor += stage_start.elapsed().as_secs_f64();
         let kkt_solver = KktSolver {
@@ -621,12 +671,7 @@ fn robust_cholesky(a: &Matrix) -> Option<Cholesky> {
 /// epsilon and doubling) is added until the Cholesky succeeds. The whole
 /// procedure is deterministic — the same saved iterate always yields the
 /// same seed.
-fn seed_from(
-    ws: &SdpSolution,
-    block_dims: &[usize],
-    m: usize,
-    nfree: usize,
-) -> Option<Iterate> {
+fn seed_from(ws: &SdpSolution, block_dims: &[usize], m: usize, nfree: usize) -> Option<Iterate> {
     if ws.x.len() != block_dims.len()
         || ws.s.len() != block_dims.len()
         || ws.y.len() != m
@@ -634,7 +679,11 @@ fn seed_from(
     {
         return None;
     }
-    for (mat, &n) in ws.x.iter().chain(ws.s.iter()).zip(block_dims.iter().chain(block_dims)) {
+    for (mat, &n) in
+        ws.x.iter()
+            .chain(ws.s.iter())
+            .zip(block_dims.iter().chain(block_dims))
+    {
         if mat.nrows() != n || mat.ncols() != n {
             return None;
         }

@@ -66,7 +66,9 @@ fn build_random(dims: &[usize], m: usize, pool: &[f64]) -> RandomSchur {
 
 /// An SPD matrix `B Bᵀ + n·I` drawn from a flat pool at `offset`.
 fn spd(n: usize, pool: &[f64], offset: usize) -> Matrix {
-    let data: Vec<f64> = (0..n * n).map(|k| pool[(offset + k) % pool.len()]).collect();
+    let data: Vec<f64> = (0..n * n)
+        .map(|k| pool[(offset + k) % pool.len()])
+        .collect();
     let b = Matrix::from_col_major(n, n, data);
     let mut a = b.matmul(&b.transpose());
     for i in 0..n {

@@ -53,6 +53,32 @@ impl SosDecomposition {
         }
     }
 
+    /// Builds the decomposition of a block-diagonal Gram matrix given as
+    /// `(sub-basis, block)` pairs — the form sign-symmetry reduction
+    /// produces. Equivalent to [`SosDecomposition::from_gram`] on the
+    /// assembled matrix (the blocks are its invariant subspaces), but each
+    /// eigendecomposition is on the small block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is not square of its sub-basis dimension.
+    pub fn from_blocks(nvars: usize, blocks: &[(Vec<Monomial>, Matrix)]) -> Self {
+        let mut squares = Vec::new();
+        let mut reconstruction = Polynomial::zero(nvars);
+        for (basis, gram) in blocks {
+            if basis.is_empty() {
+                continue;
+            }
+            let dec = SosDecomposition::from_gram(basis, gram);
+            squares.extend(dec.squares);
+            reconstruction = &reconstruction + &dec.reconstruction;
+        }
+        SosDecomposition {
+            squares,
+            reconstruction,
+        }
+    }
+
     /// The square roots `qᵢ`.
     pub fn squares(&self) -> &[Polynomial] {
         &self.squares

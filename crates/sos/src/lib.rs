@@ -48,6 +48,7 @@ mod decomposition;
 mod expr;
 mod inclusion;
 mod program;
+mod reduce;
 mod supervisor;
 
 pub use bisect::{maximize_bisect, BisectResult};
@@ -56,4 +57,5 @@ pub use decomposition::SosDecomposition;
 pub use expr::{GramVarId, PolyExpr, PolyVarId, ScalarVarId};
 pub use inclusion::{check_inclusion, check_inclusion_seeded, InclusionOptions, InclusionProbe};
 pub use program::{SosConstraintId, SosError, SosOptions, SosProgram, SosSolution};
+pub use reduce::{ReductionOptions, ReductionStats};
 pub use supervisor::{AttemptRecord, LedgerStats, ResilienceOptions, RetryPolicy, SolveLedger};

@@ -3,11 +3,12 @@
 use std::collections::BTreeMap;
 
 use cppll_linalg::Matrix;
-use cppll_poly::{monomials_up_to, Monomial, Polynomial};
+use cppll_poly::{monomials_up_to, prune_gram_basis, Monomial, Polynomial};
 use cppll_sdp::{BlockId, FreeVarId, SdpProblem, SdpSolution, SdpStatus, SolverOptions};
 
 use crate::decomposition::SosDecomposition;
 use crate::expr::{GramVarId, PolyExpr, PolyOp, PolyVarId, ScalarVarId};
+use crate::reduce::{split_by_signature, ReductionOptions, ReductionStats, SymmetryDetector};
 use crate::supervisor::{AttemptRecord, ResilienceOptions};
 
 /// Identifier of an SOS constraint (used to read back Gram matrices and
@@ -28,6 +29,10 @@ pub struct SosOptions {
     /// Supervision of the solve: retry policy, budgets, fault hooks. The
     /// default is inert (single attempt, no timeouts).
     pub resilience: ResilienceOptions,
+    /// Problem-size reduction applied during compilation (Newton-polytope
+    /// basis pruning + sign-symmetry block-diagonalisation). On by default;
+    /// [`ReductionOptions::none`] reproduces the unreduced SDP bit for bit.
+    pub reduction: ReductionOptions,
 }
 
 impl Default for SosOptions {
@@ -36,6 +41,7 @@ impl Default for SosOptions {
             trace_weight: 1.0,
             sdp: SolverOptions::default(),
             resilience: ResilienceOptions::default(),
+            reduction: ReductionOptions::default(),
         }
     }
 }
@@ -463,11 +469,18 @@ impl SosProgram {
                 fault.set_attempt(attempt);
             }
             let compiled = self.compile(&attempt_options);
-            let sol = compiled.sdp.solve(&attempt_options.sdp);
+            let mut sol = compiled.sdp.solve(&attempt_options.sdp);
+            // Reduction happens at compile time, before the solver runs; fold
+            // it into the solve timings so every stage of the pipeline is
+            // accounted for in one place.
+            sol.timings.reduction = compiled.reduction_seconds;
+            sol.timings.total += compiled.reduction_seconds;
+            let sol = sol;
             if let Some(ledger) = &res.ledger {
                 // Stage timings are aggregated apart from the attempt log so
                 // the log stays byte-deterministic.
                 ledger.add_timings(&sol.timings);
+                ledger.add_reduction(&compiled.stats);
             }
             let mut record = AttemptRecord {
                 attempt,
@@ -491,10 +504,11 @@ impl SosProgram {
                     let captured = capture.then(|| sol.clone());
                     return (
                         Ok(SosSolution {
+                            nvars: self.nvars,
                             sdp: sol,
                             layout: compiled.layout,
+                            reduction: compiled.stats,
                             poly_bases: self.polys.iter().map(|p| p.basis.clone()).collect(),
-                            gram_bases: self.grams.iter().map(|g| g.basis.clone()).collect(),
                             exprs: self.constraints.iter().map(|c| c.expr.clone()).collect(),
                         }),
                         captured,
@@ -510,10 +524,7 @@ impl SosProgram {
                         ledger.record(&attempts, true);
                     }
                     let status = sol.status;
-                    return (
-                        Err(SosError::Infeasible { status }),
-                        capture.then_some(sol),
-                    );
+                    return (Err(SosError::Infeasible { status }), capture.then_some(sol));
                 }
                 s if s.is_retryable() && attempt + 1 < max_attempts => {
                     let backoff = policy.planned_backoff_ms(attempt + 1);
@@ -589,6 +600,22 @@ impl SosProgram {
     // ---- compilation ----------------------------------------------------
 
     fn compile(&self, options: &SosOptions) -> Compiled {
+        let red = &options.reduction;
+        let mut reduction_seconds = 0.0;
+        let mut stats = ReductionStats::default();
+
+        // Sign symmetries are a property of the whole program: every
+        // constraint must tolerate the flip, so the detector walks all of
+        // them once up front.
+        let generators: Vec<u64> = if red.symmetry {
+            let t = std::time::Instant::now();
+            let g = self.sign_symmetry_generators();
+            reduction_seconds += t.elapsed().as_secs_f64();
+            g
+        } else {
+            Vec::new()
+        };
+
         let mut sdp = SdpProblem::new();
         // Free variables: scalars then poly coefficients.
         let scalar_free: Vec<FreeVarId> = (0..self.num_scalars)
@@ -601,43 +628,96 @@ impl SosProgram {
         for &(s, w) in &self.objective {
             sdp.set_free_cost(scalar_free[s.0], w);
         }
-        // PSD blocks: one per Gram multiplier + one per SOS constraint.
-        let gram_blocks: Vec<BlockId> = self
-            .grams
-            .iter()
-            .map(|g| {
-                let b = sdp.add_psd_block(g.basis.len());
-                sdp.set_block_cost_identity(b, g.trace_weight.unwrap_or(options.trace_weight));
-                b
-            })
-            .collect();
-        let mut constraint_blocks: Vec<Option<(BlockId, Vec<Monomial>)>> = Vec::new();
+        // PSD blocks: one per signature class per Gram (multipliers first,
+        // then SOS constraints — same creation order as the unreduced
+        // compiler, which the no-reduction path reproduces bit for bit).
+        //
+        // Multiplier Grams are free decision polynomials: the Newton
+        // argument does not apply to them (there is no fixed target whose
+        // polytope could bound their support), so their bases are never
+        // pruned — only symmetry-split.
+        let mut gram_layouts: Vec<GramLayout> = Vec::with_capacity(self.grams.len());
+        for g in &self.grams {
+            let basis = g.basis.clone();
+            stats.grams += 1;
+            stats.basis_before += basis.len();
+            stats.basis_after += basis.len();
+            let layout = self.make_layout(
+                &mut sdp,
+                basis,
+                &generators,
+                g.trace_weight.unwrap_or(options.trace_weight),
+                &mut reduction_seconds,
+                &mut stats,
+            );
+            gram_layouts.push(layout);
+        }
+        let mut constraint_layouts: Vec<Option<GramLayout>> = Vec::new();
         for c in &self.constraints {
             match &c.kind {
-                ConstraintKind::Zero => constraint_blocks.push(None),
+                ConstraintKind::Zero => constraint_layouts.push(None),
                 ConstraintKind::Sos { basis_override } => {
-                    let basis = basis_override
+                    let declared = basis_override
                         .clone()
-                        .unwrap_or_else(|| self.auto_gram_basis(&c.expr));
-                    let b = sdp.add_psd_block(basis.len());
-                    sdp.set_block_cost_identity(b, options.trace_weight);
-                    constraint_blocks.push(Some((b, basis)));
+                        .unwrap_or_else(|| self.auto_gram_basis(&c.expr, &gram_layouts));
+                    stats.grams += 1;
+                    stats.basis_before += declared.len();
+                    // Newton pruning applies only to automatically chosen
+                    // bases: explicit bases are a caller contract (exact
+                    // verification relies on their dimension).
+                    let basis = if red.newton && basis_override.is_none() {
+                        let t = std::time::Instant::now();
+                        let support: Vec<Monomial> = self
+                            .expr_support(&c.expr, &gram_layouts)
+                            .into_keys()
+                            .collect();
+                        let pruned = prune_gram_basis(&support, &declared);
+                        reduction_seconds += t.elapsed().as_secs_f64();
+                        pruned
+                    } else {
+                        declared
+                    };
+                    stats.basis_after += basis.len();
+                    let layout = self.make_layout(
+                        &mut sdp,
+                        basis,
+                        &generators,
+                        options.trace_weight,
+                        &mut reduction_seconds,
+                        &mut stats,
+                    );
+                    constraint_layouts.push(Some(layout));
                 }
             }
         }
 
-        // Emit coefficient-matching equalities per constraint.
+        // Emit coefficient-matching equalities per constraint. The row set
+        // must cover the FULL potential support of the non-Gram part (rows
+        // with no Gram pair become pure linear constraints on the decision
+        // variables), plus every within-block pair product of the
+        // constraint's own Gram.
         for (ci, c) in self.constraints.iter().enumerate() {
-            let support = self.support_of(&c.expr, constraint_blocks[ci].as_ref());
+            let mut support = self.expr_support(&c.expr, &gram_layouts);
+            if let Some(layout) = &constraint_layouts[ci] {
+                for (_, idxs) in &layout.blocks {
+                    for (a, &ia) in idxs.iter().enumerate() {
+                        for &ib in idxs.iter().skip(a) {
+                            support.insert(layout.basis[ia].mul(&layout.basis[ib]), ());
+                        }
+                    }
+                }
+            }
             for alpha in support.keys() {
                 let rhs = c.expr.constant.coefficient(alpha);
                 let row = sdp.add_constraint(rhs);
-                // Constraint's own Gram: +⟨E_α, P⟩.
-                if let Some((blk, basis)) = &constraint_blocks[ci] {
-                    for (bi, mb) in basis.iter().enumerate() {
-                        for (gi, mg) in basis.iter().enumerate().skip(bi) {
-                            if &mb.mul(mg) == alpha {
-                                sdp.set_entry(row, *blk, bi, gi, 1.0);
+                // Constraint's own Gram: +⟨E_α, P⟩, per block.
+                if let Some(layout) = &constraint_layouts[ci] {
+                    for (blk, idxs) in &layout.blocks {
+                        for (a, &ia) in idxs.iter().enumerate() {
+                            for (b, &ib) in idxs.iter().enumerate().skip(a) {
+                                if &layout.basis[ia].mul(&layout.basis[ib]) == alpha {
+                                    sdp.set_entry(row, *blk, a, b, 1.0);
+                                }
                             }
                         }
                     }
@@ -658,17 +738,18 @@ impl SosProgram {
                         }
                     }
                 }
-                // Gram multiplier terms.
+                // Gram multiplier terms, per block.
                 for (g, h) in &c.expr.gram_terms {
-                    let basis = &self.grams[g.0].basis;
-                    let blk = gram_blocks[g.0];
-                    for (bi, mb) in basis.iter().enumerate() {
-                        for (gi, mg) in basis.iter().enumerate().skip(bi) {
-                            let prod = mb.mul(mg);
-                            // coefficient of alpha in (z_b z_g) * h
-                            for (mh, ch) in h.terms() {
-                                if &prod.mul(mh) == alpha {
-                                    sdp.set_entry(row, blk, bi, gi, -ch);
+                    let layout = &gram_layouts[g.0];
+                    for (blk, idxs) in &layout.blocks {
+                        for (a, &ia) in idxs.iter().enumerate() {
+                            for (b, &ib) in idxs.iter().enumerate().skip(a) {
+                                let prod = layout.basis[ia].mul(&layout.basis[ib]);
+                                // coefficient of alpha in (z_a z_b) * h
+                                for (mh, ch) in h.terms() {
+                                    if &prod.mul(mh) == alpha {
+                                        sdp.set_entry(row, *blk, a, b, -ch);
+                                    }
                                 }
                             }
                         }
@@ -682,19 +763,86 @@ impl SosProgram {
             layout: Layout {
                 scalar_free,
                 poly_free,
-                gram_blocks,
-                constraint_blocks,
+                gram_layouts,
+                constraint_layouts,
             },
+            reduction_seconds,
+            stats,
         }
     }
 
-    /// Union of all monomials that can appear in `expr` (and in the
-    /// constraint's own Gram products, if any).
-    fn support_of(
+    /// Splits `basis` into sign-symmetry signature classes and allocates one
+    /// PSD block per class. With no generators this is the single identity
+    /// class — byte-identical to the unreduced compiler.
+    fn make_layout(
         &self,
-        expr: &PolyExpr,
-        block: Option<&(BlockId, Vec<Monomial>)>,
-    ) -> BTreeMap<Monomial, ()> {
+        sdp: &mut SdpProblem,
+        basis: Vec<Monomial>,
+        generators: &[u64],
+        trace_weight: f64,
+        reduction_seconds: &mut f64,
+        stats: &mut ReductionStats,
+    ) -> GramLayout {
+        let classes = if generators.is_empty() {
+            vec![(0..basis.len()).collect()]
+        } else {
+            let t = std::time::Instant::now();
+            let c = split_by_signature(&basis, generators);
+            *reduction_seconds += t.elapsed().as_secs_f64();
+            c
+        };
+        let mut blocks = Vec::with_capacity(classes.len());
+        for idxs in classes {
+            // Newton pruning can empty a basis outright (the constraint
+            // degenerates to pure linear rows); the solver has no use for a
+            // 0-dimensional PSD block.
+            if idxs.is_empty() {
+                continue;
+            }
+            let b = sdp.add_psd_block(idxs.len());
+            sdp.set_block_cost_identity(b, trace_weight);
+            stats.blocks += 1;
+            stats.max_block = stats.max_block.max(idxs.len());
+            blocks.push((b, idxs));
+        }
+        GramLayout { basis, blocks }
+    }
+
+    /// Harvests the GF(2) parity constraints every program datum imposes on
+    /// a candidate sign flip and returns the group's generators. See
+    /// [`crate::reduce`] for the per-term rules and the soundness argument.
+    fn sign_symmetry_generators(&self) -> Vec<u64> {
+        let mut det = SymmetryDetector::new(self.nvars);
+        for c in &self.constraints {
+            let e = &c.expr;
+            det.require_invariant(&e.constant);
+            for (_, q) in &e.scalar_terms {
+                det.require_invariant(q);
+            }
+            for (_, op) in &e.poly_terms {
+                match op {
+                    PolyOp::Mul(q) => det.require_invariant(q),
+                    PolyOp::DerivMul(i, q) => det.require_equivariant(q, *i),
+                    PolyOp::ComposeMul(subs, q) => {
+                        det.require_invariant(q);
+                        for (j, s) in subs.iter().enumerate() {
+                            det.require_equivariant(s, j);
+                        }
+                    }
+                }
+            }
+            for (_, h) in &e.gram_terms {
+                det.require_invariant(h);
+            }
+        }
+        det.generators()
+    }
+
+    /// Union of all monomials that can appear in `expr`, with multiplier
+    /// Gram products restricted to within-block pairs (cross-block entries
+    /// are structurally zero). The constraint's own Gram products are added
+    /// separately by the caller.
+    fn expr_support(&self, expr: &PolyExpr, gram_layouts: &[GramLayout]) -> BTreeMap<Monomial, ()> {
         let mut set = BTreeMap::new();
         for (m, _) in expr.constant.terms() {
             set.insert(m.clone(), ());
@@ -712,20 +860,15 @@ impl SosProgram {
             }
         }
         for (g, h) in &expr.gram_terms {
-            let basis = &self.grams[g.0].basis;
-            for (bi, mb) in basis.iter().enumerate() {
-                for mg in basis.iter().skip(bi) {
-                    let prod = mb.mul(mg);
-                    for (mh, _) in h.terms() {
-                        set.insert(prod.mul(mh), ());
+            let layout = &gram_layouts[g.0];
+            for (_, idxs) in &layout.blocks {
+                for (a, &ia) in idxs.iter().enumerate() {
+                    for &ib in idxs.iter().skip(a) {
+                        let prod = layout.basis[ia].mul(&layout.basis[ib]);
+                        for (mh, _) in h.terms() {
+                            set.insert(prod.mul(mh), ());
+                        }
                     }
-                }
-            }
-        }
-        if let Some((_, basis)) = block {
-            for (bi, mb) in basis.iter().enumerate() {
-                for mg in basis.iter().skip(bi) {
-                    set.insert(mb.mul(mg), ());
                 }
             }
         }
@@ -735,8 +878,8 @@ impl SosProgram {
     /// Automatic Gram basis for an SOS constraint: all monomials whose
     /// doubled degree fits within the (per-variable and total) degree
     /// envelope of the expression's possible support.
-    fn auto_gram_basis(&self, expr: &PolyExpr) -> Vec<Monomial> {
-        let support = self.support_of(expr, None);
+    fn auto_gram_basis(&self, expr: &PolyExpr, gram_layouts: &[GramLayout]) -> Vec<Monomial> {
+        let support = self.expr_support(expr, gram_layouts);
         if support.is_empty() {
             return vec![Monomial::one(self.nvars)];
         }
@@ -762,25 +905,88 @@ impl SosProgram {
     }
 }
 
+/// How one Gram variable maps onto SDP blocks: the (possibly pruned) basis
+/// and, per signature class, the PSD block holding that class along with
+/// the basis indices it covers.
+struct GramLayout {
+    basis: Vec<Monomial>,
+    blocks: Vec<(BlockId, Vec<usize>)>,
+}
+
+impl GramLayout {
+    /// Reassembles the full `basis.len() × basis.len()` Gram matrix from the
+    /// solved blocks (cross-class entries are structurally zero).
+    fn assemble(&self, x: &[Matrix]) -> Matrix {
+        let n = self.basis.len();
+        let mut q = Matrix::zeros(n, n);
+        for (blk, idxs) in &self.blocks {
+            let xb = &x[block_index(blk)];
+            for (a, &ia) in idxs.iter().enumerate() {
+                for (b, &ib) in idxs.iter().enumerate() {
+                    q[(ia, ib)] = xb[(a, b)];
+                }
+            }
+        }
+        q
+    }
+
+    /// The polynomial `z(x)ᵀ Q z(x)` of the assembled Gram, without
+    /// materialising the full matrix.
+    fn to_poly(&self, x: &[Matrix], nvars: usize) -> Polynomial {
+        let mut p = Polynomial::zero(nvars);
+        for (blk, idxs) in &self.blocks {
+            let xb = &x[block_index(blk)];
+            for (a, &ia) in idxs.iter().enumerate() {
+                for (b, &ib) in idxs.iter().enumerate() {
+                    let v = xb[(a, b)];
+                    if v != 0.0 {
+                        p.add_term(self.basis[ia].mul(&self.basis[ib]), v);
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    /// The solved blocks as `(sub-basis, block Gram)` pairs.
+    fn cloned_blocks(&self, x: &[Matrix]) -> Vec<(Vec<Monomial>, Matrix)> {
+        self.blocks
+            .iter()
+            .map(|(blk, idxs)| {
+                (
+                    idxs.iter().map(|&i| self.basis[i].clone()).collect(),
+                    x[block_index(blk)].clone(),
+                )
+            })
+            .collect()
+    }
+}
+
 struct Layout {
     scalar_free: Vec<FreeVarId>,
     poly_free: Vec<Vec<FreeVarId>>,
-    gram_blocks: Vec<BlockId>,
-    constraint_blocks: Vec<Option<(BlockId, Vec<Monomial>)>>,
+    gram_layouts: Vec<GramLayout>,
+    constraint_layouts: Vec<Option<GramLayout>>,
 }
 
 struct Compiled {
     sdp: SdpProblem,
     layout: Layout,
+    /// Wall-clock spent on symmetry detection, basis pruning and block
+    /// splitting (reported as the `reduction` solve stage).
+    reduction_seconds: f64,
+    stats: ReductionStats,
 }
 
 /// A solved SOS program: read back scalar values, polynomial certificates,
 /// Gram matrices and SOS decompositions.
 pub struct SosSolution {
+    nvars: usize,
     sdp: SdpSolution,
     layout: Layout,
+    /// What compilation-time reduction achieved for this solve.
+    reduction: ReductionStats,
     poly_bases: Vec<Vec<Monomial>>,
-    gram_bases: Vec<Vec<Monomial>>,
     /// Copies of the constraint expressions, for a-posteriori residuals.
     exprs: Vec<PolyExpr>,
 }
@@ -805,33 +1011,50 @@ impl SosSolution {
 
     /// Numeric polynomial value of a Gram-backed SOS multiplier.
     pub fn sos_poly_value(&self, g: GramVarId) -> Polynomial {
-        let basis = &self.gram_bases[g.0];
-        let q = &self.sdp.x[block_index(&self.layout.gram_blocks[g.0])];
-        gram_to_poly(basis, q)
+        self.layout.gram_layouts[g.0].to_poly(&self.sdp.x, self.nvars)
     }
 
     /// Gram matrix and basis of a Gram-backed SOS multiplier — the raw
     /// certificate data (used, e.g., by exact-arithmetic post-verification).
-    pub fn sos_poly_gram(&self, g: GramVarId) -> (&[Monomial], &Matrix) {
-        (
-            self.gram_bases[g.0].as_slice(),
-            &self.sdp.x[block_index(&self.layout.gram_blocks[g.0])],
-        )
+    /// When sign-symmetry blocking is active the matrix is reassembled from
+    /// the solved blocks (cross-class entries are structurally zero).
+    pub fn sos_poly_gram(&self, g: GramVarId) -> (&[Monomial], Matrix) {
+        let layout = &self.layout.gram_layouts[g.0];
+        (layout.basis.as_slice(), layout.assemble(&self.sdp.x))
     }
 
     /// Gram matrix and basis of an SOS constraint (if the constraint was an
-    /// SOS — `None` for zero-equality constraints).
-    pub fn constraint_gram(&self, c: SosConstraintId) -> Option<(&[Monomial], &Matrix)> {
-        self.layout.constraint_blocks[c.0]
+    /// SOS — `None` for zero-equality constraints), reassembled across the
+    /// signature-class blocks.
+    pub fn constraint_gram(&self, c: SosConstraintId) -> Option<(&[Monomial], Matrix)> {
+        self.layout.constraint_layouts[c.0]
             .as_ref()
-            .map(|(blk, basis)| (basis.as_slice(), &self.sdp.x[block_index(blk)]))
+            .map(|layout| (layout.basis.as_slice(), layout.assemble(&self.sdp.x)))
+    }
+
+    /// The solved PSD blocks of an SOS constraint as `(sub-basis, Gram)`
+    /// pairs — the blocked form of [`SosSolution::constraint_gram`].
+    pub fn constraint_gram_blocks(
+        &self,
+        c: SosConstraintId,
+    ) -> Option<Vec<(Vec<Monomial>, Matrix)>> {
+        self.layout.constraint_layouts[c.0]
+            .as_ref()
+            .map(|layout| layout.cloned_blocks(&self.sdp.x))
     }
 
     /// SOS decomposition `Σ qᵢ²` of the polynomial certified by constraint
-    /// `c`, or `None` for zero-equality constraints.
+    /// `c`, or `None` for zero-equality constraints. Built block-by-block,
+    /// which is both cheaper and numerically no worse than eigensolving the
+    /// assembled matrix (the blocks are its invariant subspaces).
     pub fn sos_decomposition(&self, c: SosConstraintId) -> Option<SosDecomposition> {
-        let (basis, q) = self.constraint_gram(c)?;
-        Some(SosDecomposition::from_gram(basis, q))
+        let blocks = self.constraint_gram_blocks(c)?;
+        Some(SosDecomposition::from_blocks(self.nvars, &blocks))
+    }
+
+    /// What compilation-time reduction achieved for this solve.
+    pub fn reduction_stats(&self) -> ReductionStats {
+        self.reduction
     }
 
     /// Underlying SDP solution (diagnostics).
@@ -870,9 +1093,9 @@ impl SosSolution {
     /// false-positives on marginally infeasible programs.
     pub fn residual_of(&self, c: SosConstraintId) -> f64 {
         let value = self.eval_expr(&self.exprs[c.0]);
-        match &self.layout.constraint_blocks[c.0] {
-            Some((blk, basis)) => {
-                let gram = gram_to_poly(basis, &self.sdp.x[block_index(blk)]);
+        match &self.layout.constraint_layouts[c.0] {
+            Some(layout) => {
+                let gram = layout.to_poly(&self.sdp.x, self.nvars);
                 (&value - &gram).max_abs_coefficient()
             }
             None => value.max_abs_coefficient(),

@@ -1,0 +1,453 @@
+//! Problem-size reduction between SOS program construction and SDP
+//! emission: Newton-polytope basis pruning (see [`cppll_poly::prune_gram_basis`])
+//! and sign-symmetry block-diagonalisation of Gram matrices.
+//!
+//! # Sign symmetries
+//!
+//! A sign symmetry is a variable-flip map `τ_s : xᵢ ↦ (−1)^{sᵢ} xᵢ`
+//! (`s ∈ GF(2)ⁿ`) under which **every** datum of the program is invariant
+//! (or, for derivative/composition operators, suitably equivariant — see
+//! the per-term rules in `SymmetryDetector`). From any feasible solution a
+//! flipped solution can be built (`V ↦ V∘τ_s`, Gram `Q ↦ DQD` with
+//! `D = diag((−1)^{s·m})`, scalars unchanged), and the group average of all
+//! flipped solutions is again feasible (the constraints are affine in the
+//! decisions and the PSD cone is convex) with the same objective value
+//! (`tr(DQD) = tr(Q)`). The averaged Gram commutes with every `D`, so its
+//! entry `Q_{ab}` vanishes whenever the *signatures* `s ↦ s·(a mod 2)` of
+//! basis monomials `a, b` differ on some group generator. Partitioning each
+//! Gram basis by signature therefore splits one monolithic PSD block into
+//! independent smaller blocks **without changing feasibility in either
+//! direction** — exactly the shape the per-block parallel factorisations of
+//! the SDP solver are best at.
+//!
+//! The group of valid flips is computed as the GF(2) null space of parity
+//! constraints harvested from all known polynomial data; `u64` bit masks
+//! make the Gaussian elimination a few dozen XORs for the ≤ 8 variables
+//! this pipeline sees.
+
+use cppll_poly::{Monomial, Polynomial};
+
+/// Which reductions [`SosProgram::solve`](crate::SosProgram::solve) applies
+/// before handing the SDP to the solver. Both are on by default; the CLI
+/// exposes `--no-reduce` as the escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionOptions {
+    /// Newton-polytope + diagonal-consistency pruning of automatically
+    /// chosen constraint Gram bases. (Explicit bases passed via
+    /// `require_sos_with_basis` are honoured verbatim, and multiplier Grams
+    /// are free decision polynomials, to which the Newton argument does not
+    /// apply — neither is ever pruned.)
+    pub newton: bool,
+    /// Sign-symmetry block-diagonalisation of every Gram block (constraint
+    /// Grams and multipliers alike).
+    pub symmetry: bool,
+}
+
+impl Default for ReductionOptions {
+    fn default() -> Self {
+        ReductionOptions {
+            newton: true,
+            symmetry: true,
+        }
+    }
+}
+
+impl ReductionOptions {
+    /// Reduction fully disabled: compile exactly the SDP the program text
+    /// describes (bit-identical to the pre-reduction pipeline).
+    pub fn none() -> Self {
+        ReductionOptions {
+            newton: false,
+            symmetry: false,
+        }
+    }
+
+    /// `true` when any reduction is enabled.
+    pub fn is_active(&self) -> bool {
+        self.newton || self.symmetry
+    }
+}
+
+impl cppll_json::ToJson for ReductionOptions {
+    fn to_json(&self) -> cppll_json::Value {
+        cppll_json::ObjectBuilder::new()
+            .field("newton", self.newton)
+            .field("symmetry", self.symmetry)
+            .build()
+    }
+}
+
+impl cppll_json::FromJson for ReductionOptions {
+    fn from_json(v: &cppll_json::Value) -> Result<Self, cppll_json::DecodeError> {
+        use cppll_json::decode;
+        Ok(ReductionOptions {
+            newton: decode::required(v, "newton")?,
+            symmetry: decode::required(v, "symmetry")?,
+        })
+    }
+}
+
+/// What the reduction achieved, accumulated over every Gram block of every
+/// compiled program (and, via the ledger, over every solve of a pipeline
+/// run). `basis_after < basis_before` and `blocks > grams` are the two ways
+/// an SDP shrinks; both are reported rather than asserted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Gram blocks considered (multipliers + SOS constraints).
+    pub grams: usize,
+    /// Total basis monomials before pruning.
+    pub basis_before: usize,
+    /// Total basis monomials after pruning (= sum of all block dimensions).
+    pub basis_after: usize,
+    /// PSD blocks emitted (≥ `grams`; larger when symmetry splits).
+    pub blocks: usize,
+    /// Largest emitted block dimension.
+    pub max_block: usize,
+}
+
+impl ReductionStats {
+    /// Accumulates another compile's stats (sums; `max_block` maxes).
+    pub fn accumulate(&mut self, other: &ReductionStats) {
+        self.grams += other.grams;
+        self.basis_before += other.basis_before;
+        self.basis_after += other.basis_after;
+        self.blocks += other.blocks;
+        self.max_block = self.max_block.max(other.max_block);
+    }
+
+    /// Did reduction shrink anything at all?
+    pub fn is_reduced(&self) -> bool {
+        self.basis_after < self.basis_before || self.blocks > self.grams
+    }
+}
+
+impl std::fmt::Display for ReductionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} grams, basis {}→{}, {} blocks (max dim {})",
+            self.grams, self.basis_before, self.basis_after, self.blocks, self.max_block
+        )
+    }
+}
+
+impl cppll_json::ToJson for ReductionStats {
+    fn to_json(&self) -> cppll_json::Value {
+        cppll_json::ObjectBuilder::new()
+            .field("grams", self.grams)
+            .field("basis_before", self.basis_before)
+            .field("basis_after", self.basis_after)
+            .field("blocks", self.blocks)
+            .field("max_block", self.max_block)
+            .build()
+    }
+}
+
+impl cppll_json::FromJson for ReductionStats {
+    fn from_json(v: &cppll_json::Value) -> Result<Self, cppll_json::DecodeError> {
+        use cppll_json::decode;
+        Ok(ReductionStats {
+            grams: decode::required(v, "grams")?,
+            basis_before: decode::required(v, "basis_before")?,
+            basis_after: decode::required(v, "basis_after")?,
+            blocks: decode::required(v, "blocks")?,
+            max_block: decode::required(v, "max_block")?,
+        })
+    }
+}
+
+/// Bit mask of the odd-exponent variables of a monomial: the quantity a
+/// sign flip `τ_s` sees (`τ_s(x^α) = (−1)^{s·α} x^α`).
+pub(crate) fn parity_mask(m: &Monomial) -> u64 {
+    let mut mask = 0u64;
+    for (i, &e) in m.exps().iter().enumerate() {
+        if e % 2 == 1 {
+            mask |= 1u64 << i;
+        }
+    }
+    mask
+}
+
+/// Collects GF(2) parity constraints on candidate sign flips `s` and
+/// solves for the group of flips satisfying all of them.
+///
+/// Per-term rules (τ = τ_s, ε_i = (−1)^{s_i}):
+///
+/// * known polynomial `q` appearing multiplicatively (constants, scalar
+///   coefficients, multiplier factors, plain `V·q`): need `q∘τ = q`, i.e.
+///   `s·α = 0` for every `α ∈ supp(q)` — [`SymmetryDetector::require_invariant`];
+/// * `(∂V/∂xᵢ)·q`: the derivative picks up `εᵢ`, so `q` must satisfy
+///   `q∘τ = εᵢ·q`, i.e. `s·(α ⊕ eᵢ) = 0` —
+///   [`SymmetryDetector::require_equivariant`] with `var = i`;
+/// * `V(R(x))·q`: need `q` invariant and each component equivariant,
+///   `Rⱼ(τx) = εⱼ·Rⱼ(x)`, i.e. `s·(α ⊕ eⱼ) = 0` for `α ∈ supp(Rⱼ)`.
+#[derive(Debug)]
+pub(crate) struct SymmetryDetector {
+    nvars: usize,
+    /// Row space of the parity constraints, kept in reduced row-echelon
+    /// form (each pivot bit appears in exactly one row).
+    rows: Vec<u64>,
+    /// Pivot bit of each row (same order as `rows`).
+    pivots: Vec<u32>,
+}
+
+impl SymmetryDetector {
+    pub(crate) fn new(nvars: usize) -> Self {
+        SymmetryDetector {
+            nvars,
+            rows: Vec::new(),
+            pivots: Vec::new(),
+        }
+    }
+
+    fn add_row(&mut self, mut r: u64) {
+        if self.nvars > 64 {
+            return; // Symmetry detection disabled beyond mask width.
+        }
+        for (row, &p) in self.rows.iter().zip(&self.pivots) {
+            if (r >> p) & 1 == 1 {
+                r ^= row;
+            }
+        }
+        if r == 0 {
+            return;
+        }
+        let p = r.trailing_zeros();
+        // Keep reduced form: clear the new pivot bit from existing rows.
+        for row in &mut self.rows {
+            if (*row >> p) & 1 == 1 {
+                *row ^= r;
+            }
+        }
+        self.rows.push(r);
+        self.pivots.push(p);
+    }
+
+    /// `q∘τ_s = q` for every admissible flip: one row per support monomial.
+    pub(crate) fn require_invariant(&mut self, q: &Polynomial) {
+        for (m, c) in q.terms() {
+            if c != 0.0 {
+                self.add_row(parity_mask(m));
+            }
+        }
+    }
+
+    /// `q∘τ_s = (−1)^{s_var}·q`: the parity of every support monomial must
+    /// match the flip of `var`.
+    pub(crate) fn require_equivariant(&mut self, q: &Polynomial, var: usize) {
+        for (m, c) in q.terms() {
+            if c != 0.0 {
+                self.add_row(parity_mask(m) ^ (1u64 << var));
+            }
+        }
+    }
+
+    /// Basis of the group of admissible flips: the GF(2) null space of the
+    /// collected rows. Deterministic (free columns in ascending order).
+    /// Empty when only the identity flip survives — or when `nvars > 64`,
+    /// where detection is disabled and "no symmetry" is the sound answer.
+    pub(crate) fn generators(&self) -> Vec<u64> {
+        if self.nvars > 64 {
+            return Vec::new();
+        }
+        let mut gens = Vec::new();
+        for j in 0..self.nvars as u32 {
+            if self.pivots.contains(&j) {
+                continue;
+            }
+            let mut v = 1u64 << j;
+            for (row, &p) in self.rows.iter().zip(&self.pivots) {
+                if (row >> j) & 1 == 1 {
+                    v |= 1u64 << p;
+                }
+            }
+            gens.push(v);
+        }
+        gens
+    }
+}
+
+/// Signature of a basis monomial under the symmetry generators: bit `k` is
+/// the parity `gₖ · (m mod 2)`. The group-averaged Gram is zero across
+/// distinct signatures.
+pub(crate) fn signature(m: &Monomial, generators: &[u64]) -> u64 {
+    let mask = parity_mask(m);
+    let mut sig = 0u64;
+    for (k, g) in generators.iter().enumerate() {
+        if (g & mask).count_ones() % 2 == 1 {
+            sig |= 1u64 << k;
+        }
+    }
+    sig
+}
+
+/// Partitions basis indices into signature classes, ordered by first
+/// occurrence (deterministic; the class of the constant monomial comes
+/// first for the usual grlex bases). With no generators this is the single
+/// identity class.
+pub(crate) fn split_by_signature(basis: &[Monomial], generators: &[u64]) -> Vec<Vec<usize>> {
+    if generators.is_empty() {
+        return vec![(0..basis.len()).collect()];
+    }
+    let mut classes: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (i, m) in basis.iter().enumerate() {
+        let sig = signature(m, generators);
+        match classes.iter_mut().find(|(s, _)| *s == sig) {
+            Some((_, idxs)) => idxs.push(i),
+            None => classes.push((sig, vec![i])),
+        }
+    }
+    classes.into_iter().map(|(_, idxs)| idxs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cppll_poly::{monomials_up_to, Polynomial};
+
+    fn poly(nvars: usize, terms: &[(&[u32], f64)]) -> Polynomial {
+        Polynomial::from_terms(nvars, terms)
+    }
+
+    #[test]
+    fn even_polynomial_admits_full_flip_group() {
+        let mut det = SymmetryDetector::new(2);
+        det.require_invariant(&poly(2, &[(&[2, 0], 1.0), (&[0, 4], -2.0), (&[0, 0], 1.0)]));
+        let gens = det.generators();
+        assert_eq!(gens, vec![0b01, 0b10]);
+        // The degree-2 basis splits into 4 signature classes.
+        let classes = split_by_signature(&monomials_up_to(2, 2), &gens);
+        assert_eq!(classes.len(), 4);
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn odd_term_restricts_the_group() {
+        let mut det = SymmetryDetector::new(2);
+        // x breaks the x-flip but xy-coupling is absent: only the y-flip
+        // survives... x has parity 01 → constraint s·(1,0) = 0 → s₀ = 0.
+        det.require_invariant(&poly(2, &[(&[1, 0], 1.0), (&[2, 2], 1.0)]));
+        assert_eq!(det.generators(), vec![0b10]);
+        // Adding an xy term couples the flips away entirely: s₀ + s₁ = 0
+        // with s₀ = 0 forces s = 0.
+        det.require_invariant(&poly(2, &[(&[1, 1], 1.0)]));
+        assert!(det.generators().is_empty());
+    }
+
+    #[test]
+    fn derivative_equivariance_preserves_odd_field_symmetry() {
+        // ẋ = −x³ is odd: (∂V/∂x)·(−x³) needs s·(α ⊕ e₀) = 0 for α = (3),
+        // i.e. s·(0) = 0 — no restriction. The full flip group survives.
+        let mut det = SymmetryDetector::new(1);
+        det.require_equivariant(&poly(1, &[(&[3], -1.0)]), 0);
+        assert_eq!(det.generators(), vec![0b1]);
+        // An even field component x² under ∂/∂x breaks it: s·(2 ⊕ 1) ≠ 0.
+        det.require_equivariant(&poly(1, &[(&[2], 1.0)]), 0);
+        assert!(det.generators().is_empty());
+    }
+
+    #[test]
+    fn composition_equivariance_rules() {
+        // R(x, y) = (−y, x) style coupling: R₀ = y needs s·(e_y ⊕ e_x) = 0,
+        // R₁ = x needs the same — the diagonal flip (both together) remains.
+        let mut det = SymmetryDetector::new(2);
+        det.require_equivariant(&poly(2, &[(&[0, 1], -1.0)]), 0);
+        det.require_equivariant(&poly(2, &[(&[1, 0], 1.0)]), 1);
+        assert_eq!(det.generators(), vec![0b11]);
+    }
+
+    #[test]
+    fn nullspace_matches_brute_force() {
+        let rows: Vec<u64> = vec![0b0011, 0b0110, 0b1000];
+        let mut det = SymmetryDetector::new(4);
+        for &r in &rows {
+            det.add_row(r);
+        }
+        let gens = det.generators();
+        // Brute force: enumerate all 16 flips, keep those orthogonal to all
+        // rows; the span of the generators must be exactly that set.
+        let valid: Vec<u64> = (0u64..16)
+            .filter(|s| rows.iter().all(|r| (r & s).count_ones() % 2 == 0))
+            .collect();
+        let mut span = vec![0u64];
+        for g in &gens {
+            let mut next = span.clone();
+            for v in &span {
+                next.push(v ^ g);
+            }
+            span = next;
+        }
+        span.sort_unstable();
+        span.dedup();
+        assert_eq!(span, valid);
+    }
+
+    #[test]
+    fn signature_partition_is_consistent_with_products() {
+        // Within-class products are invariant monomials; cross-class
+        // products are not — the fact that makes the block split sound.
+        let gens = vec![0b01u64, 0b10];
+        let basis = monomials_up_to(2, 2);
+        let classes = split_by_signature(&basis, &gens);
+        for idxs in &classes {
+            for &a in idxs {
+                for &b in idxs {
+                    let prod = basis[a].mul(&basis[b]);
+                    assert_eq!(signature(&prod, &gens), 0, "{} * {}", basis[a], basis[b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_render() {
+        let mut s = ReductionStats::default();
+        s.accumulate(&ReductionStats {
+            grams: 2,
+            basis_before: 10,
+            basis_after: 7,
+            blocks: 4,
+            max_block: 3,
+        });
+        s.accumulate(&ReductionStats {
+            grams: 1,
+            basis_before: 5,
+            basis_after: 5,
+            blocks: 1,
+            max_block: 5,
+        });
+        assert_eq!(s.grams, 3);
+        assert_eq!(s.basis_before, 15);
+        assert_eq!(s.basis_after, 12);
+        assert_eq!(s.blocks, 5);
+        assert_eq!(s.max_block, 5);
+        assert!(s.is_reduced());
+        assert_eq!(s.to_string(), "3 grams, basis 15→12, 5 blocks (max dim 5)");
+    }
+
+    #[test]
+    fn options_round_trip_json() {
+        use cppll_json::{parse, FromJson, ToJson};
+        for (n, y) in [(true, true), (true, false), (false, true), (false, false)] {
+            let o = ReductionOptions {
+                newton: n,
+                symmetry: y,
+            };
+            let back =
+                ReductionOptions::from_json(&parse(&o.to_json().to_compact_string()).unwrap())
+                    .unwrap();
+            assert_eq!(back, o);
+        }
+        let s = ReductionStats {
+            grams: 1,
+            basis_before: 2,
+            basis_after: 3,
+            blocks: 4,
+            max_block: 5,
+        };
+        let back =
+            ReductionStats::from_json(&parse(&s.to_json().to_compact_string()).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -22,6 +22,8 @@ use std::time::{Duration, Instant};
 
 use cppll_sdp::{FaultInjector, SdpStatus, SolveTimings};
 
+use crate::reduce::ReductionStats;
+
 /// How (and whether) failed solves are retried.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
@@ -173,7 +175,10 @@ pub struct ResilienceOptions {
 impl ResilienceOptions {
     /// The effective deadline for an attempt starting now.
     pub(crate) fn attempt_deadline(&self) -> Option<Instant> {
-        match (self.solve_timeout.map(|t| Instant::now() + t), self.deadline) {
+        match (
+            self.solve_timeout.map(|t| Instant::now() + t),
+            self.deadline,
+        ) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
@@ -236,6 +241,9 @@ struct LedgerInner {
     /// Kept apart from `lines`/`stats`: timings are diagnostic and must
     /// never leak into the deterministic attempt log.
     timings: SolveTimings,
+    /// What compilation-time problem reduction achieved, summed over every
+    /// compiled attempt.
+    reduction: ReductionStats,
 }
 
 /// Cheaply cloneable, thread-safe collector of attempt records. One ledger
@@ -278,17 +286,34 @@ impl SolveLedger {
         self.0.lock().expect("ledger lock").timings
     }
 
-    /// Merges a previous run's cumulative statistics and timings into this
-    /// ledger, so a resumed pipeline reports the *total* work done across
-    /// crash boundaries rather than only the post-resume tail. Called once
-    /// by checkpoint replay, before any post-resume solve runs.
-    pub fn absorb_prior(&self, stats: &LedgerStats, timings: &SolveTimings) {
+    /// Accumulates one compiled attempt's problem-reduction statistics.
+    pub fn add_reduction(&self, r: &ReductionStats) {
+        self.0.lock().expect("ledger lock").reduction.accumulate(r);
+    }
+
+    /// Problem-reduction totals across every compiled attempt so far.
+    pub fn reduction(&self) -> ReductionStats {
+        self.0.lock().expect("ledger lock").reduction
+    }
+
+    /// Merges a previous run's cumulative statistics, timings and reduction
+    /// totals into this ledger, so a resumed pipeline reports the *total*
+    /// work done across crash boundaries rather than only the post-resume
+    /// tail. Called once by checkpoint replay, before any post-resume solve
+    /// runs.
+    pub fn absorb_prior(
+        &self,
+        stats: &LedgerStats,
+        timings: &SolveTimings,
+        reduction: &ReductionStats,
+    ) {
         let mut inner = self.0.lock().expect("ledger lock");
         inner.stats.solves += stats.solves;
         inner.stats.attempts += stats.attempts;
         inner.stats.retries += stats.retries;
         inner.stats.failures += stats.failures;
         inner.timings.accumulate(timings);
+        inner.reduction.accumulate(reduction);
     }
 
     /// Aggregate statistics so far.
@@ -405,7 +430,7 @@ mod tests {
             kkt_solve: 1.0,
             ..Default::default()
         };
-        ledger.absorb_prior(&prior, &pt);
+        ledger.absorb_prior(&prior, &pt, &ReductionStats::default());
         let rec = AttemptRecord {
             attempt: 0,
             status: SdpStatus::Optimal,

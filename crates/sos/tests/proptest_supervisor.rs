@@ -30,7 +30,12 @@ fn supervised_run(
 ) -> (bool, Vec<String>) {
     let p = Polynomial::from_terms(
         2,
-        &[(&[2, 0], 1.0), (&[1, 1], -2.0), (&[0, 2], 1.0), (&[0, 0], 1.0)],
+        &[
+            (&[2, 0], 1.0),
+            (&[1, 1], -2.0),
+            (&[0, 2], 1.0),
+            (&[0, 0], 1.0),
+        ],
     );
     let mut prog = SosProgram::new(2);
     prog.require_sos(p.into());

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Monte-Carlo validation of the certificates on the averaged model.
     let validator = Validator::new(model.system());
     let bounds = vec![0.8, 0.8, 0.95];
-    let certs = report.certificates.as_ref().expect("verified run has certificates");
+    let certs = report
+        .certificates
+        .as_ref()
+        .expect("verified run has certificates");
     let v = validator.validate(certs, &report.levels, &bounds, 50, 0xC0FFEE);
     println!(
         "\naveraged model, {} trajectories: monotone V: {}, reached AI: {}, locked: {}",

@@ -11,8 +11,8 @@ use cppll::hybrid::{HybridSystem, Jump, Mode};
 use cppll::pll::{PllModelBuilder, PllOrder, UncertaintySelection};
 use cppll::poly::Polynomial;
 use cppll::verify::{
-    CheckpointConfig, CheckpointError, CrashMode, FaultInjector, FaultPlan,
-    InevitabilityVerifier, PipelineOptions, Region, VerifyError,
+    CheckpointConfig, CheckpointError, CrashMode, FaultInjector, FaultPlan, InevitabilityVerifier,
+    PipelineOptions, Region, VerifyError,
 };
 
 /// Planar two-mode switched system from `toy_inevitability.rs` — cheap
@@ -128,8 +128,7 @@ fn crashed_toy_run_resumes_and_completes() {
         let sys = sys.clone();
         let dir = dir.clone();
         std::thread::spawn(move || {
-            let verifier =
-                InevitabilityVerifier::new(&sys, toy_boundary(), Region::ball(2, 2.0));
+            let verifier = InevitabilityVerifier::new(&sys, toy_boundary(), Region::ball(2, 2.0));
             let mut opt = PipelineOptions::degree(2);
             opt.checkpoint = Some(CheckpointConfig::new("toy").with_dir(&dir));
             opt.resilience.fault = Some(Arc::new(FaultInjector::new(
@@ -141,7 +140,10 @@ fn crashed_toy_run_resumes_and_completes() {
     };
     assert!(crashed.is_err(), "injected crash should panic the run");
     let journal = dir.join("toy/journal.jsonl");
-    assert!(journal.exists(), "crashed run must leave its journal behind");
+    assert!(
+        journal.exists(),
+        "crashed run must leave its journal behind"
+    );
 
     let verifier = InevitabilityVerifier::new(&sys, toy_boundary(), Region::ball(2, 2.0));
     let plain = verifier

@@ -39,13 +39,7 @@ fn third_order_pll_inevitability_nominal_degree4() {
         .as_ref()
         .expect("verified run has certificates");
     let validator = Validator::new(model.system());
-    let v = validator.validate(
-        certs,
-        &report.levels,
-        &[0.7, 0.7, 0.9],
-        12,
-        42,
-    );
+    let v = validator.validate(certs, &report.levels, &[0.7, 0.7, 0.9], 12, 42);
     assert_eq!(v.trials, 12);
     assert_eq!(
         v.locked, v.trials,

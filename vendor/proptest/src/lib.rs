@@ -144,13 +144,16 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!(
-                    concat!("assertion failed: ", stringify!($left), " != ",
-                            stringify!($right), "\n  both: {:?}"),
-                    l
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                concat!(
+                    "assertion failed: ",
+                    stringify!($left),
+                    " != ",
+                    stringify!($right),
+                    "\n  both: {:?}"
                 ),
-            ));
+                l
+            )));
         }
     }};
 }
