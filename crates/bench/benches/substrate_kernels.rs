@@ -171,6 +171,80 @@ fn write_kernel_report() {
     }
 }
 
+/// Trace-overhead guard for the telemetry subsystem: solving a fixed SDP
+/// with an `iter`-level tracer attached must cost at most 5% wall-clock
+/// over the untraced solve, and must not perturb the numerics by a single
+/// bit (the tracer only *reads* already-computed iterate statistics). The
+/// problem is sized so per-iteration linear algebra dominates the one
+/// telemetry instant per iteration, and best-of timing over repeated
+/// batches damps machine noise.
+fn assert_trace_overhead_bounded() {
+    use cppll_verify::{TraceLevel, Tracer};
+
+    // theta(C_40): 41 equality constraints on one 40×40 PSD block.
+    let n = 40usize;
+    let mut prob = SdpProblem::new();
+    let blk = prob.add_psd_block(n);
+    for r in 0..n {
+        for c in r..n {
+            prob.set_cost_entry(blk, r, c, -1.0);
+        }
+    }
+    let t = prob.add_constraint(1.0);
+    for i in 0..n {
+        prob.set_entry(t, blk, i, i, 1.0);
+    }
+    for i in 0..n {
+        let e = prob.add_constraint(0.0);
+        prob.set_entry(e, blk, i, (i + 1) % n, 1.0);
+    }
+
+    let reps = 7;
+    let batch = 3;
+    let untraced_obj = prob.solve(&SolverOptions::default()).primal_objective;
+    let untraced = best_of(reps, || {
+        for _ in 0..batch {
+            black_box(prob.solve(&SolverOptions::default()).primal_objective);
+        }
+    });
+    let mut traced_obj = f64::NAN;
+    let mut iteration_events = 0usize;
+    let traced = best_of(reps, || {
+        let tracer = Tracer::new(TraceLevel::Iter);
+        let opt = SolverOptions {
+            trace: Some(tracer.clone()),
+            ..SolverOptions::default()
+        };
+        for _ in 0..batch {
+            traced_obj = black_box(prob.solve(&opt).primal_objective);
+        }
+        iteration_events = tracer.event_count();
+    });
+    assert_eq!(
+        untraced_obj.to_bits(),
+        traced_obj.to_bits(),
+        "iter-level tracing perturbed the solve: {untraced_obj:?} vs {traced_obj:?}"
+    );
+    assert!(
+        iteration_events > 0,
+        "iter-level tracer recorded no events on a converging solve"
+    );
+    let overhead = traced / untraced - 1.0;
+    assert!(
+        overhead <= 0.05,
+        "iter-level tracing overhead {:.1}% exceeds the 5% budget \
+         (untraced {:.3}ms, traced {:.3}ms per batch)",
+        overhead * 100.0,
+        untraced * 1e3,
+        traced * 1e3
+    );
+    println!(
+        "[trace overhead: {:+.2}% at level=iter ({} events/batch, budget 5%)]",
+        overhead * 100.0,
+        iteration_events
+    );
+}
+
 /// Timing assertion for the one-pass grlex `monomials_up_to`: enumerating a
 /// deg-10 basis in 7 variables (19 448 monomials) must stay comfortably
 /// sub-second, and the single pass must agree with degree-by-degree
@@ -203,5 +277,6 @@ criterion_group!(benches, bench);
 fn main() {
     benches();
     write_kernel_report();
+    assert_trace_overhead_bounded();
     assert_monomial_enumeration_fast();
 }

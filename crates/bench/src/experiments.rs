@@ -8,8 +8,9 @@ use cppll_pll::{
 use cppll_poly::Polynomial;
 use cppll_sdp::SolveTimings;
 use cppll_verify::{
-    CertificateScheme, InevitabilityVerifier, LyapunovOptions, LyapunovSynthesizer,
-    PipelineOptions, ReductionStats, Region, ResilienceConfig, RobustEncoding, VerificationReport,
+    CertificateScheme, EventKind, InevitabilityVerifier, LyapunovOptions, LyapunovSynthesizer,
+    PipelineOptions, ReductionStats, Region, ResilienceConfig, RobustEncoding, TraceLevel,
+    Tracer, VerificationReport,
 };
 
 use crate::contour::{trace_sublevel_boundary, Curve};
@@ -584,6 +585,31 @@ pub struct BenchSdpRow {
     pub reduction: ReductionStats,
 }
 
+/// Trace-overhead measurement for `BENCH_SDP.json`: the toy pipeline run
+/// untraced and again at `iter` level, with event statistics and the two
+/// result digests (which must agree — tracing never touches the numerics).
+#[derive(Debug, Clone)]
+pub struct BenchTelemetry {
+    /// Recording level of the traced run.
+    pub trace_level: String,
+    /// Total events recorded by the traced run.
+    pub events: usize,
+    /// Spans opened.
+    pub spans: usize,
+    /// Per-interior-point-iteration instants.
+    pub iteration_events: usize,
+    /// Counter totals (retries, warm-start hits, …), sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Wall-clock of the untraced run.
+    pub untraced_seconds: f64,
+    /// Wall-clock of the `iter`-traced run.
+    pub traced_seconds: f64,
+    /// Result digest of the untraced run.
+    pub digest_untraced: String,
+    /// Result digest of the traced run.
+    pub digest_traced: String,
+}
+
 /// The SDP hot-path benchmark: where solver time goes on a toy hybrid
 /// system and on the third-order PLL.
 #[derive(Debug, Clone)]
@@ -592,6 +618,8 @@ pub struct BenchSdp {
     pub threads: usize,
     /// One row per benchmark problem.
     pub rows: Vec<BenchSdpRow>,
+    /// Trace-overhead measurement on the toy problem.
+    pub telemetry: BenchTelemetry,
 }
 
 /// The two-mode planar spiral from the toy inevitability test: both modes
@@ -639,9 +667,46 @@ pub fn bench_sdp(quick: bool) -> BenchSdp {
         boundary.push(&Polynomial::constant(2, 3.0) + &xi);
     }
     let verifier = InevitabilityVerifier::new(&sys, boundary, Region::ball(2, 2.0));
+    let t0 = std::time::Instant::now();
     let toy = verifier
         .verify(&PipelineOptions::degree(2))
         .expect("toy system verifies");
+    let untraced_seconds = t0.elapsed().as_secs_f64();
+
+    // Same problem again with full iteration-level telemetry: the digests
+    // must agree (tracing never touches the numerics) and the wall-clock
+    // delta is the trace overhead on a pipeline dominated by small solves.
+    let tracer = Tracer::new(TraceLevel::Iter);
+    let mut traced_opt = PipelineOptions::degree(2);
+    traced_opt.trace = Some(tracer.clone());
+    let t0 = std::time::Instant::now();
+    let toy_traced = verifier
+        .verify(&traced_opt)
+        .expect("toy system verifies traced");
+    let traced_seconds = t0.elapsed().as_secs_f64();
+    let events = tracer.events();
+    let telemetry = BenchTelemetry {
+        trace_level: TraceLevel::Iter.as_str().into(),
+        events: events.len(),
+        spans: events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Begin { .. }))
+            .count(),
+        iteration_events: events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Instant { .. }) && e.name() == "iteration")
+            .count(),
+        counters: tracer
+            .counter_totals()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        untraced_seconds,
+        traced_seconds,
+        digest_untraced: toy.result_digest(),
+        digest_traced: toy_traced.result_digest(),
+    };
+
     let (_, r3) = run_pipeline(PllOrder::Third, quick);
     BenchSdp {
         threads: cppll_par::current_threads(),
@@ -649,6 +714,7 @@ pub fn bench_sdp(quick: bool) -> BenchSdp {
             bench_sdp_row("toy_two_mode_spiral", &toy),
             bench_sdp_row("pll_third_order", &r3),
         ],
+        telemetry,
     }
 }
 
@@ -735,11 +801,32 @@ impl ToJson for BenchSdpRow {
     }
 }
 
+impl ToJson for BenchTelemetry {
+    fn to_json(&self) -> Value {
+        let mut counters = ObjectBuilder::new();
+        for (name, total) in &self.counters {
+            counters = counters.field(name, *total);
+        }
+        ObjectBuilder::new()
+            .field("trace_level", &self.trace_level)
+            .field("events", self.events)
+            .field("spans", self.spans)
+            .field("iteration_events", self.iteration_events)
+            .field("counters", counters.build())
+            .field("untraced_seconds", self.untraced_seconds)
+            .field("traced_seconds", self.traced_seconds)
+            .field("digest_untraced", &self.digest_untraced)
+            .field("digest_traced", &self.digest_traced)
+            .build()
+    }
+}
+
 impl ToJson for BenchSdp {
     fn to_json(&self) -> Value {
         ObjectBuilder::new()
             .field("threads", self.threads)
             .field("rows", &self.rows)
+            .field("telemetry", self.telemetry.to_json())
             .build()
     }
 }

@@ -30,16 +30,27 @@
 //! --no-reduce              solve the unreduced SDPs (skip Newton-polytope
 //!                          basis pruning and sign-symmetry block splitting)
 //! ```
+//!
+//! Tracing flags (both `verify` and `pll`):
+//!
+//! ```text
+//! --trace-level <level>    off | stage | solve | iter (default off; tracing
+//!                          never changes results — digests are identical at
+//!                          every level)
+//! --trace-out <dir>        write trace.jsonl, trace.chrome.json, and
+//!                          metrics.prom under <dir> (implies
+//!                          --trace-level solve unless one is given)
+//! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cppll_cli::{run_inevitability_tuned, SystemSpec};
+use cppll_cli::{run_inevitability_traced, SystemSpec};
 use cppll_pll::{PllModelBuilder, PllOrder};
 use cppll_verify::{
-    CheckpointConfig, CrashMode, FaultInjector, FaultPlan, InevitabilityVerifier, PipelineOptions,
-    ReductionOptions, ResilienceConfig, VerificationReport,
+    CheckpointConfig, CrashMode, EventKind, FaultInjector, FaultPlan, InevitabilityVerifier,
+    PipelineOptions, ReductionOptions, ResilienceConfig, TraceLevel, Tracer, VerificationReport,
 };
 
 const EXAMPLE_SPEC: &str = r#"{
@@ -100,6 +111,64 @@ fn print_report(report: &VerificationReport) {
     }
 }
 
+/// Tracing-related command-line options.
+#[derive(Default)]
+struct TraceFlags {
+    out: Option<String>,
+    level: Option<TraceLevel>,
+}
+
+impl TraceFlags {
+    /// The effective recording level: an explicit `--trace-level` wins;
+    /// `--trace-out` alone defaults to `solve`.
+    fn effective_level(&self) -> TraceLevel {
+        match self.level {
+            Some(l) => l,
+            None if self.out.is_some() => TraceLevel::Solve,
+            None => TraceLevel::Off,
+        }
+    }
+
+    /// The tracer these flags describe, `None` when tracing is off.
+    fn tracer(&self) -> Option<Tracer> {
+        match self.effective_level() {
+            TraceLevel::Off => None,
+            level => Some(Tracer::new(level)),
+        }
+    }
+}
+
+/// Prints the `telemetry:` report block and writes the trace files when
+/// `--trace-out` was given.
+fn emit_telemetry(tracer: Option<&Tracer>, out: Option<&str>) {
+    let Some(t) = tracer else { return };
+    let events = t.events();
+    let spans = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Begin { .. }))
+        .count();
+    let iterations = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Instant { .. }) && e.name() == "iteration")
+        .count();
+    println!("telemetry:");
+    println!("  level: {}", t.level().as_str());
+    println!("  events: {} ({} spans, {} solver iterations)", events.len(), spans, iterations);
+    for (name, total) in t.counter_totals() {
+        println!("  {name}: {total}");
+    }
+    if let Some(dir) = out {
+        match t.write_all(std::path::Path::new(dir)) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("  wrote {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("cannot write trace files under {dir}: {e}"),
+        }
+    }
+}
+
 /// Durability-related command-line options.
 #[derive(Default)]
 struct DurabilityFlags {
@@ -145,6 +214,7 @@ struct ParsedArgs {
     resilience: ResilienceConfig,
     durability: DurabilityFlags,
     reduction: ReductionOptions,
+    trace: TraceFlags,
 }
 
 /// Extracts every `--flag value` pair from `args`, returning the remaining
@@ -164,6 +234,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut config = ResilienceConfig::default();
     let mut durability = DurabilityFlags::default();
     let mut reduction = ReductionOptions::default();
+    let mut trace = TraceFlags::default();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -207,6 +278,13 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
                 durability.inject_crash = Some((stage.to_string(), nth));
             }
             "--no-reduce" => reduction = ReductionOptions::none(),
+            "--trace-out" => trace.out = Some(value_of("--trace-out")?.to_string()),
+            "--trace-level" => {
+                let v = value_of("--trace-level")?;
+                trace.level = Some(TraceLevel::parse(v).ok_or_else(|| {
+                    format!("--trace-level: expected off|stage|solve|iter, got {v}")
+                })?);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}"));
             }
@@ -218,6 +296,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
         resilience: config,
         durability,
         reduction,
+        trace,
     })
 }
 
@@ -228,6 +307,7 @@ fn main() -> ExitCode {
         mut resilience,
         durability,
         reduction,
+        trace,
     } = match parse_flags(&raw) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -243,6 +323,7 @@ fn main() -> ExitCode {
         }
     };
     durability.arm(&mut resilience);
+    let tracer = trace.tracer();
     match args.first().map(String::as_str) {
         Some("schema") => {
             println!("{EXAMPLE_SPEC}");
@@ -267,9 +348,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match run_inevitability_tuned(&spec, resilience, checkpoint, reduction) {
+            match run_inevitability_traced(&spec, resilience, checkpoint, reduction, tracer.clone())
+            {
                 Ok(report) => {
                     print_report(&report);
+                    emit_telemetry(tracer.as_ref(), trace.out.as_deref());
                     if report.verdict.is_verified() {
                         ExitCode::SUCCESS
                     } else {
@@ -300,9 +383,11 @@ fn main() -> ExitCode {
             opt.resilience = resilience;
             opt.checkpoint = checkpoint;
             opt.reduction = reduction;
+            opt.trace = tracer.clone();
             match verifier.verify(&opt) {
                 Ok(report) => {
                     print_report(&report);
+                    emit_telemetry(tracer.as_ref(), trace.out.as_deref());
                     if report.verdict.is_verified() {
                         ExitCode::SUCCESS
                     } else {
@@ -338,7 +423,12 @@ fn main() -> ExitCode {
                  \n\
                  reduction flags (verify, pll):\n\
                  \x20 --no-reduce              solve the unreduced SDPs (skip basis pruning\n\
-                 \x20                          and symmetry block splitting)"
+                 \x20                          and symmetry block splitting)\n\
+                 \n\
+                 tracing flags (verify, pll):\n\
+                 \x20 --trace-level <level>    off | stage | solve | iter (default off)\n\
+                 \x20 --trace-out <dir>        write trace.jsonl, trace.chrome.json and\n\
+                 \x20                          metrics.prom under <dir> (implies solve level)"
             );
             ExitCode::FAILURE
         }

@@ -450,6 +450,23 @@ pub fn run_inevitability_tuned(
     checkpoint: Option<cppll_verify::CheckpointConfig>,
     reduction: cppll_verify::ReductionOptions,
 ) -> Result<VerificationReport, SpecError> {
+    run_inevitability_traced(spec, resilience, checkpoint, reduction, None)
+}
+
+/// Like [`run_inevitability_tuned`], with an optional trace sink recording
+/// stage spans, supervisor attempts, and solver telemetry for the run (the
+/// CLI's `--trace-level` / `--trace-out`).
+///
+/// # Errors
+///
+/// Exactly as [`run_inevitability_checkpointed`].
+pub fn run_inevitability_traced(
+    spec: &SystemSpec,
+    resilience: cppll_verify::ResilienceConfig,
+    checkpoint: Option<cppll_verify::CheckpointConfig>,
+    reduction: cppll_verify::ReductionOptions,
+    trace: Option<cppll_verify::Tracer>,
+) -> Result<VerificationReport, SpecError> {
     if spec.initial_radii.len() != spec.states {
         return Err(SpecError::Invalid {
             message: "initial_radii must have one entry per state".into(),
@@ -463,6 +480,7 @@ pub fn run_inevitability_tuned(
     opt.resilience = resilience;
     opt.checkpoint = checkpoint;
     opt.reduction = reduction;
+    opt.trace = trace;
     verifier.verify(&opt).map_err(SpecError::Verify)
 }
 

@@ -61,6 +61,13 @@ pub use cppll_sdp::{CrashMode, FaultInjector, FaultKind, FaultPlan};
 // can toggle `--no-reduce` without depending on `cppll-sos` directly.
 pub use cppll_sos::{ReductionOptions, ReductionStats};
 
+// Tracing plumbing, re-exported so front-ends and tests can build a
+// tracer / recorder without depending on `cppll-trace` directly.
+pub use cppll_trace::{
+    check_lane_monotonic, match_span_tree, span_forest, Event, EventKind, FieldValue, SpanNode,
+    TraceLevel, TraceRecorder, Tracer,
+};
+
 /// Errors surfaced by the verification pipeline.
 #[derive(Debug)]
 pub enum VerifyError {

@@ -10,6 +10,7 @@ use cppll_sos::{
     check_inclusion, check_inclusion_seeded, InclusionOptions, LedgerStats, ReductionOptions,
     ReductionStats, SolveLedger,
 };
+use cppll_trace::{TraceLevel, Tracer};
 
 use crate::advection::{Advection, AdvectionOptions};
 use crate::checkpoint::{
@@ -57,6 +58,12 @@ pub struct PipelineOptions {
     /// and the next SDP solves are warm-started from the journaled
     /// iterates.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Optional trace sink for the run. At [`TraceLevel::Stage`] the
+    /// pipeline emits one span per stage (plus `advection_step` spans and
+    /// `stage_replayed` markers on resume); deeper levels add supervisor
+    /// and solver detail. Tracing never touches the numerics, so the
+    /// result digest is identical at every level.
+    pub trace: Option<Tracer>,
 }
 
 impl PipelineOptions {
@@ -75,6 +82,7 @@ impl PipelineOptions {
             reduction: ReductionOptions::default(),
             resilience: ResilienceConfig::default(),
             checkpoint: None,
+            trace: None,
         }
     }
 }
@@ -348,7 +356,16 @@ impl<'s> InevitabilityVerifier<'s> {
     pub fn verify(&self, opt: &PipelineOptions) -> Result<VerificationReport, VerifyError> {
         let ledger = SolveLedger::new();
         let run_deadline = opt.resilience.deadline.map(|d| Instant::now() + d);
-        let sos_res = opt.resilience.to_sos(run_deadline, &ledger);
+        let sos_res = opt
+            .resilience
+            .to_sos(run_deadline, &ledger, opt.trace.clone());
+        let _pipeline_span = opt.trace.as_ref().map(|t| {
+            t.span(
+                TraceLevel::Stage,
+                "pipeline",
+                format!("modes={}", self.system.modes().len()),
+            )
+        });
 
         // Checkpointing: open (or resume) the run journal before anything
         // solves. Resume absorbs the last journaled ledger snapshot so the
@@ -386,6 +403,25 @@ impl<'s> InevitabilityVerifier<'s> {
         opt.escape.sos.reduction = opt.reduction;
         let opt = &opt;
 
+        // Trace helpers: a span per pipeline stage, and a marker per stage
+        // replayed from the journal (the marker count mirrors
+        // `ResumeSummary.stages_replayed` — one per successful `take()`).
+        let stage_span = |name: &'static str| {
+            opt.trace
+                .as_ref()
+                .map(|t| t.span(TraceLevel::Stage, name, String::new()))
+        };
+        let replay_mark = |stage: &'static str| {
+            if let Some(t) = &opt.trace {
+                t.counter("stage_replayed", 1);
+                t.instant(
+                    TraceLevel::Stage,
+                    "stage_replayed",
+                    vec![("stage", stage.into())],
+                );
+            }
+        };
+
         let mut timings = Vec::new();
         let mut failures: Vec<FailureReport> = Vec::new();
         let empty_levels = || LevelSetResult {
@@ -396,6 +432,7 @@ impl<'s> InevitabilityVerifier<'s> {
 
         // ---- P1: attractive invariant --------------------------------
         opt.resilience.announce_stage(PipelineStage::Lyapunov);
+        let lyapunov_span = stage_span("lyapunov");
         let t0 = Instant::now();
         let mut replayed_certs: Option<LyapunovCertificates> = None;
         if let Some(c) = ckpt.as_mut() {
@@ -408,6 +445,7 @@ impl<'s> InevitabilityVerifier<'s> {
                     ..
                 }) = c.take()
                 {
+                    replay_mark("lyapunov");
                     replayed_certs = Some(LyapunovCertificates::from_parts(
                         vs, degree, epsilon, scheme,
                     ));
@@ -466,8 +504,10 @@ impl<'s> InevitabilityVerifier<'s> {
             name: "attractive invariant",
             seconds: t0.elapsed().as_secs_f64(),
         });
+        drop(lyapunov_span);
 
         opt.resilience.announce_stage(PipelineStage::LevelSet);
+        let levelset_span = stage_span("levelset");
         let failures_before_levels = ledger.stats().failures;
         let t0 = Instant::now();
         let mut replayed_levels: Option<LevelSetResult> = None;
@@ -480,6 +520,7 @@ impl<'s> InevitabilityVerifier<'s> {
                     ..
                 }) = c.take()
                 {
+                    replay_mark("levelset");
                     replayed_levels = Some(LevelSetResult {
                         level,
                         ai_polys,
@@ -508,6 +549,7 @@ impl<'s> InevitabilityVerifier<'s> {
             name: "max level curves",
             seconds: t0.elapsed().as_secs_f64(),
         });
+        drop(levelset_span);
         let Some(levels) = levels else {
             let failed = ledger.stats().failures - failures_before_levels;
             let verdict = if failed > 0 {
@@ -547,6 +589,7 @@ impl<'s> InevitabilityVerifier<'s> {
 
         // ---- P2: bounded advection (Algorithm 1, piecewise fronts) ----
         opt.resilience.announce_stage(PipelineStage::Advection);
+        let advection_span = stage_span("advection");
         let failures_before_advection = ledger.stats().failures;
         let t0 = Instant::now();
         let advector = Advection::new(self.system);
@@ -570,6 +613,10 @@ impl<'s> InevitabilityVerifier<'s> {
         // keep their historical solve trajectories.
         let mut warm: Vec<Option<SdpSolution>> = vec![None; nmodes];
         for k in 0..opt.max_advection_iters {
+            let _step_span = opt
+                .trace
+                .as_ref()
+                .map(|t| t.span(TraceLevel::Stage, "advection_step", format!("k={k}")));
             if let Some(c) = ckpt.as_mut() {
                 if matches!(c.peek(), Some(StageRecord::AdvectionStep { .. })) {
                     let Some(StageRecord::AdvectionStep {
@@ -584,6 +631,7 @@ impl<'s> InevitabilityVerifier<'s> {
                     else {
                         unreachable!("peek said AdvectionStep");
                     };
+                    replay_mark("advection");
                     if iter != k {
                         return Err(VerifyError::Checkpoint {
                             source: CheckpointError::Corrupt {
@@ -652,6 +700,7 @@ impl<'s> InevitabilityVerifier<'s> {
             name: "checking set inclusion",
             seconds: inclusion_seconds,
         });
+        drop(advection_span);
         let final_included = advection_ok;
         let advection_failures = ledger.stats().failures - failures_before_advection;
         if !final_included && advection_failures > 0 {
@@ -692,6 +741,7 @@ impl<'s> InevitabilityVerifier<'s> {
         // {frontᵢ ≤ 0} ∖ int(AI) ∩ Cᵢ. A grid emptiness test would not be a
         // certificate, so modes are never skipped without one of the two.
         opt.resilience.announce_stage(PipelineStage::Escape);
+        let _escape_span = stage_span("escape");
         let t0 = Instant::now();
         let n = self.system.nstates();
         let mut escapes = Vec::new();
@@ -708,6 +758,7 @@ impl<'s> InevitabilityVerifier<'s> {
                     else {
                         unreachable!("peek said Escape");
                     };
+                    replay_mark("escape");
                     if !included {
                         if let Some(cert) = certificate {
                             escapes.push(cert);

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use cppll_sdp::FaultInjector;
 use cppll_sos::{AttemptRecord, ResilienceOptions, RetryPolicy, SolveLedger};
+use cppll_trace::Tracer;
 
 /// The stages of Algorithm 1, as reported in failure reports and announced
 /// to the fault injector (`FaultInjector::set_stage`).
@@ -147,6 +148,7 @@ impl ResilienceConfig {
         &self,
         deadline: Option<Instant>,
         ledger: &SolveLedger,
+        tracer: Option<Tracer>,
     ) -> ResilienceOptions {
         ResilienceOptions {
             retry: RetryPolicy {
@@ -160,6 +162,7 @@ impl ResilienceConfig {
             iteration_budget: self.iteration_budget,
             fault: self.fault.clone(),
             ledger: Some(ledger.clone()),
+            tracer,
         }
     }
 }
@@ -185,7 +188,7 @@ mod tests {
         assert!(c.deadline.is_none());
         assert!(c.fault.is_none());
         let ledger = SolveLedger::new();
-        let sos = c.to_sos(None, &ledger);
+        let sos = c.to_sos(None, &ledger, None);
         assert_eq!(sos.retry.max_retries, DEFAULT_RETRIES);
         assert!(sos.deadline.is_none());
         assert!(sos.ledger.is_some());
@@ -194,7 +197,7 @@ mod tests {
     #[test]
     fn with_retries_threads_through_to_the_policy() {
         let c = ResilienceConfig::with_retries(3);
-        let sos = c.to_sos(None, &SolveLedger::new());
+        let sos = c.to_sos(None, &SolveLedger::new(), None);
         assert_eq!(sos.retry.max_retries, 3);
     }
 

@@ -6,6 +6,8 @@ use std::time::Instant;
 
 use cppll_linalg::{Cholesky, Matrix};
 
+use cppll_trace::{TraceLevel, Tracer};
+
 use crate::fault::{FaultInjector, FaultKind};
 use crate::problem::SdpProblem;
 use crate::solution::{SdpSolution, SdpStatus, SolveTimings};
@@ -48,6 +50,13 @@ pub struct SolverOptions {
     /// not match this problem or the saved iterate is non-finite. Seeding is
     /// deterministic: the same saved iterate always produces the same solve.
     pub warm_start: Option<SdpSolution>,
+    /// Optional trace sink. At [`TraceLevel::Solve`] the solve is wrapped
+    /// in an `sdp_solve` span; at [`TraceLevel::Iter`] every interior-point
+    /// iteration additionally emits an `iteration` instant with the
+    /// already-computed numeric state (μ, residual norms, step lengths,
+    /// per-stage times). Tracing only *reads* solver state, so results are
+    /// bit-identical at every level.
+    pub trace: Option<Tracer>,
 }
 
 impl Default for SolverOptions {
@@ -63,6 +72,7 @@ impl Default for SolverOptions {
             fault: None,
             threads: 0,
             warm_start: None,
+            trace: None,
         }
     }
 }
@@ -101,6 +111,14 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
     let nblocks = p.num_blocks();
     let nfree = p.num_free_vars();
     let n_tot: usize = p.total_psd_dim().max(1);
+
+    let _solve_span = opt.trace.as_ref().map(|t| {
+        t.span(
+            TraceLevel::Solve,
+            "sdp_solve",
+            format!("m={m} blocks={nblocks} free={nfree} threads={threads}"),
+        )
+    });
 
     // Degenerate corner: nothing to optimise.
     if m == 0 && nblocks == 0 {
@@ -204,6 +222,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
 
     for iter in 0..opt.max_iterations {
         iterations = iter;
+        let tm_iter = tm;
         // ---- Residuals -------------------------------------------------
         let stage_start = Instant::now();
         let av = p.constraint_values(&it.x, &it.u);
@@ -273,6 +292,9 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         // ---- Injected faults and deadline -------------------------------
         if iter == 0 {
             if let Some(kind) = injected {
+                if let Some(t) = &opt.trace {
+                    t.counter("fault_injected", 1);
+                }
                 return finish(it, kind.status(), last, iter, tm, solve_start, warm_started);
             }
         }
@@ -507,6 +529,43 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         }
         for (y, dy) in it.y.iter_mut().zip(&dir.dy) {
             *y += ad * dy;
+        }
+
+        // ---- Telemetry ----------------------------------------------------
+        // Strictly read-only: copies of already-computed values, emitted
+        // after the iterate update so the numerics above are untouched.
+        if let Some(t) = &opt.trace {
+            if t.enabled(TraceLevel::Iter) {
+                t.instant(
+                    TraceLevel::Iter,
+                    "iteration",
+                    vec![
+                        ("iter", (iter as u64).into()),
+                        ("mu", mu.into()),
+                        ("pinf", pinf.into()),
+                        ("dinf", dinf.into()),
+                        ("gap", gap.into()),
+                        ("sigma", sigma.into()),
+                        ("ap", ap.into()),
+                        ("ad", ad.into()),
+                        ("ap_aff", ap_aff.into()),
+                        ("ad_aff", ad_aff.into()),
+                        ("blocks", (nblocks as u64).into()),
+                        ("residuals_s", (tm.residuals - tm_iter.residuals).into()),
+                        (
+                            "factorizations_s",
+                            (tm.factorizations - tm_iter.factorizations).into(),
+                        ),
+                        (
+                            "schur_assembly_s",
+                            (tm.schur_assembly - tm_iter.schur_assembly).into(),
+                        ),
+                        ("kkt_factor_s", (tm.kkt_factor - tm_iter.kkt_factor).into()),
+                        ("kkt_solve_s", (tm.kkt_solve - tm_iter.kkt_solve).into()),
+                        ("line_search_s", (tm.line_search - tm_iter.line_search).into()),
+                    ],
+                );
+            }
         }
     }
 

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use cppll_linalg::Matrix;
 use cppll_poly::{monomials_up_to, prune_gram_basis, Monomial, Polynomial};
 use cppll_sdp::{BlockId, FreeVarId, SdpProblem, SdpSolution, SdpStatus, SolverOptions};
+use cppll_trace::TraceLevel;
 
 use crate::decomposition::SosDecomposition;
 use crate::expr::{GramVarId, PolyExpr, PolyOp, PolyVarId, ScalarVarId};
@@ -463,7 +464,24 @@ impl SosProgram {
         let mut attempts: Vec<AttemptRecord> = Vec::new();
         let max_attempts = policy.max_retries + 1;
 
+        let _sos_span = res.tracer.as_ref().map(|t| {
+            t.span(
+                TraceLevel::Solve,
+                "sos_solve",
+                format!(
+                    "constraints={} polys={} scalars={}",
+                    self.constraints.len(),
+                    self.polys.len(),
+                    self.num_scalars
+                ),
+            )
+        });
+
         for attempt in 0..max_attempts {
+            let _attempt_span = res
+                .tracer
+                .as_ref()
+                .map(|t| t.span(TraceLevel::Solve, "attempt", format!("attempt={attempt}")));
             let attempt_options = self.options_for_attempt(options, attempt);
             if let Some(fault) = &res.fault {
                 fault.set_attempt(attempt);
@@ -476,6 +494,11 @@ impl SosProgram {
             sol.timings.reduction = compiled.reduction_seconds;
             sol.timings.total += compiled.reduction_seconds;
             let sol = sol;
+            if sol.warm_started {
+                if let Some(t) = &res.tracer {
+                    t.counter("warm_start_hit", 1);
+                }
+            }
             if let Some(ledger) = &res.ledger {
                 // Stage timings are aggregated apart from the attempt log so
                 // the log stays byte-deterministic.
@@ -530,22 +553,34 @@ impl SosProgram {
                     let backoff = policy.planned_backoff_ms(attempt + 1);
                     record.planned_backoff_ms = backoff;
                     attempts.push(record);
-                    if policy.sleep && backoff > 0 {
-                        // The planned backoff counts against the pipeline
-                        // deadline: sleep only the time the deadline leaves,
-                        // and skip entirely once it has passed. The next
-                        // attempt then fails fast with DeadlineExceeded
-                        // instead of overshooting the budget in a sleep.
-                        let planned = std::time::Duration::from_millis(backoff);
-                        let capped = match res.deadline {
-                            Some(d) => d
-                                .saturating_duration_since(std::time::Instant::now())
-                                .min(planned),
-                            None => planned,
-                        };
-                        if !capped.is_zero() {
-                            std::thread::sleep(capped);
+                    // The planned backoff counts against the pipeline
+                    // deadline: sleep only the time the deadline leaves,
+                    // and skip entirely once it has passed. The next
+                    // attempt then fails fast with DeadlineExceeded
+                    // instead of overshooting the budget in a sleep.
+                    let planned = std::time::Duration::from_millis(backoff);
+                    let capped = match res.deadline {
+                        Some(d) => d
+                            .saturating_duration_since(std::time::Instant::now())
+                            .min(planned),
+                        None => planned,
+                    };
+                    if let Some(t) = &res.tracer {
+                        t.counter("retry", 1);
+                        if backoff > 0 {
+                            t.counter("backoff", 1);
                         }
+                        t.instant(
+                            TraceLevel::Solve,
+                            "backoff",
+                            vec![
+                                ("planned_ms", backoff.into()),
+                                ("clamped_ms", (capped.as_secs_f64() * 1e3).into()),
+                            ],
+                        );
+                    }
+                    if policy.sleep && !capped.is_zero() {
+                        std::thread::sleep(capped);
                     }
                 }
                 s => {
@@ -594,6 +629,7 @@ impl SosProgram {
         }
         opt.sdp.deadline = res.attempt_deadline();
         opt.sdp.fault = res.fault.clone();
+        opt.sdp.trace = res.tracer.clone();
         opt
     }
 

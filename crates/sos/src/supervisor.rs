@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cppll_sdp::{FaultInjector, SdpStatus, SolveTimings};
+use cppll_trace::Tracer;
 
 use crate::reduce::ReductionStats;
 
@@ -170,6 +171,11 @@ pub struct ResilienceOptions {
     pub fault: Option<Arc<FaultInjector>>,
     /// Shared ledger collecting attempt statistics across solves.
     pub ledger: Option<SolveLedger>,
+    /// Optional trace sink: the supervisor wraps each supervised solve in
+    /// an `sos_solve` span with one `attempt` span per attempt, counts
+    /// `retry` / `warm_start_hit`, emits `backoff` instants with the
+    /// deadline-clamped sleep, and forwards the tracer to the SDP solver.
+    pub tracer: Option<Tracer>,
 }
 
 impl ResilienceOptions {

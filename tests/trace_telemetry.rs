@@ -1,0 +1,352 @@
+//! Acceptance tests for the `cppll-trace` observability subsystem: the
+//! golden span-tree shape of a traced third-order PLL run, bit-identical
+//! results with tracing on vs off at every solver thread count, retry and
+//! backoff counters under injected faults, and replay events on resumed
+//! checkpointed runs. Tracing is read-only with respect to the numerics,
+//! so every test here also pins the result digest across trace levels.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cppll::hybrid::{HybridSystem, Jump, Mode};
+use cppll::pll::{PllModelBuilder, PllOrder};
+use cppll::poly::Polynomial;
+use cppll::sdp::{FaultInjector, FaultKind, FaultPlan, SdpProblem, SolverOptions};
+use cppll::verify::{
+    check_lane_monotonic, CheckpointConfig, CrashMode, EventKind, InevitabilityVerifier,
+    PipelineOptions, Region, TraceLevel, TraceRecorder, Tracer,
+};
+use cppll_trace::assert_span_tree;
+use proptest::prelude::*;
+
+/// The planar two-mode switched system from `toy_inevitability.rs` — cheap
+/// enough to run the pipeline several times per test.
+fn two_mode_spiral() -> HybridSystem {
+    let right = vec![
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], 1.0)]),
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], -1.0)]),
+    ];
+    let left = vec![
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], 0.5)]),
+        Polynomial::from_terms(2, &[(&[1, 0], -0.5), (&[0, 1], -1.0)]),
+    ];
+    let x = Polynomial::var(2, 0);
+    let m0 = Mode::new("right", right).with_flow_set(vec![x.clone()]);
+    let m1 = Mode::new("left", left).with_flow_set(vec![x.scale(-1.0)]);
+    let guard = vec![Polynomial::var(2, 0)];
+    let jumps = vec![
+        Jump::identity(0, 1).with_guard_eq(guard.clone()),
+        Jump::identity(1, 0).with_guard_eq(guard),
+    ];
+    HybridSystem::new(2, vec![m0, m1], jumps)
+}
+
+fn toy_boundary() -> Vec<Polynomial> {
+    let mut boundary = Vec::new();
+    for i in 0..2 {
+        let xi = Polynomial::var(2, i);
+        boundary.push(&Polynomial::constant(2, 3.0) - &xi);
+        boundary.push(&Polynomial::constant(2, 3.0) + &xi);
+    }
+    boundary
+}
+
+/// A fresh runs directory for one test, wiped before use.
+fn runs_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cppll-trace-tests").join(test);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The golden-trace regression: a third-order PLL run at `solve` level has
+/// the documented span-tree shape (pipeline → lyapunov → levelset →
+/// advection steps, escape only when advection does not suffice), carries
+/// no iteration instants, and its result digest is the same golden value
+/// whether tracing is on or off.
+#[test]
+fn golden_trace_third_order_pll_at_solve_level() {
+    const GOLDEN_DIGEST: &str = "c31e1167d4a9bf69";
+
+    let model = PllModelBuilder::new(PllOrder::Third).build();
+    let verifier = InevitabilityVerifier::for_pll(&model);
+
+    let untraced = verifier
+        .verify(&PipelineOptions::degree(4))
+        .expect("third-order PLL verifies");
+    assert!(untraced.verdict.is_verified());
+
+    let rec = TraceRecorder::new(TraceLevel::Solve);
+    let mut opt = PipelineOptions::degree(4);
+    opt.trace = Some(rec.tracer());
+    let traced = verifier.verify(&opt).expect("third-order PLL verifies traced");
+
+    assert_eq!(
+        untraced.result_digest(),
+        GOLDEN_DIGEST,
+        "untraced third-order digest drifted from the golden value"
+    );
+    assert_eq!(
+        traced.result_digest(),
+        GOLDEN_DIGEST,
+        "tracing must not change the result digest"
+    );
+
+    assert_span_tree!(
+        rec,
+        "pipeline\n\
+         \x20 lyapunov\n\
+         \x20   sos_solve+\n\
+         \x20     attempt+\n\
+         \x20       sdp_solve\n\
+         \x20 levelset\n\
+         \x20   sos_solve+\n\
+         \x20     attempt+\n\
+         \x20       sdp_solve\n\
+         \x20 advection\n\
+         \x20   advection_step+\n\
+         \x20     sos_solve*\n\
+         \x20       attempt+\n\
+         \x20         sdp_solve\n\
+         \x20 escape*\n\
+         \x20   sos_solve*\n\
+         \x20     attempt+\n\
+         \x20       sdp_solve"
+    );
+
+    // Solve level records solver spans but no per-iteration instants.
+    assert!(rec.spans_named("sdp_solve") > 0);
+    assert!(rec.instants_named("iteration").is_empty());
+    check_lane_monotonic(&rec.events()).expect("lane ordering invariant");
+}
+
+/// Fault-injection telemetry: a plan forcing exactly two retryable solver
+/// failures produces exactly two `retry` counter increments, and — with
+/// the pipeline deadline already expired — the planned exponential backoff
+/// (10 ms, then 20 ms) is clamped to the zero remaining budget in the
+/// emitted `backoff` instants (the PR-2 supervisor fix).
+#[test]
+fn two_retryable_faults_emit_two_retries_with_deadline_clamped_backoff() {
+    let sys = two_mode_spiral();
+    let verifier = InevitabilityVerifier::new(&sys, toy_boundary(), Region::ball(2, 2.0));
+
+    let rec = TraceRecorder::new(TraceLevel::Solve);
+    let injector = Arc::new(FaultInjector::new(
+        FaultPlan::new()
+            .fault_at_call(0, FaultKind::Stall)
+            .fault_at_call(1, FaultKind::Stall),
+    ));
+    let mut opt = PipelineOptions::degree(2);
+    opt.trace = Some(rec.tracer());
+    opt.resilience.retries = 2;
+    opt.resilience.deadline = Some(Duration::ZERO);
+    opt.resilience.fault = Some(injector.clone());
+
+    // Both faulted attempts are retried; the third attempt hits the expired
+    // deadline (not retryable) and the run degrades instead of erroring.
+    let report = verifier.verify(&opt).expect("degrades, does not error");
+    assert!(report.verdict.is_degraded(), "{:?}", report.verdict);
+    assert_eq!(injector.fired(), 2, "both planned faults must fire");
+
+    assert_eq!(rec.counter_total("retry"), 2);
+    assert_eq!(rec.counter_total("backoff"), 2);
+    assert_eq!(rec.counter_total("fault_injected"), 2);
+
+    let backoffs = rec.instants_named("backoff");
+    assert_eq!(backoffs.len(), 2, "one backoff instant per retry");
+    assert_eq!(backoffs[0].field_f64("planned_ms"), Some(10.0));
+    assert_eq!(backoffs[1].field_f64("planned_ms"), Some(20.0));
+    for b in &backoffs {
+        assert_eq!(
+            b.field_f64("clamped_ms"),
+            Some(0.0),
+            "an expired deadline must clamp the planned backoff to zero"
+        );
+    }
+}
+
+/// Checkpoint/resume telemetry: a run resumed after a mid-advection crash
+/// emits one `stage_replayed` event per journal-replayed stage — matching
+/// `ResumeSummary::stages_replayed` exactly — and never re-emits solver
+/// spans or iteration instants for those replayed stages.
+#[test]
+fn resumed_run_emits_stage_replayed_events_and_no_solver_events_for_replayed_stages() {
+    let dir = runs_dir("resume-trace");
+    let sys = two_mode_spiral();
+
+    // Crash (panic) at the first advection inclusion solve: the journal
+    // keeps the Lyapunov and level-set stages.
+    let crashed = {
+        let sys = sys.clone();
+        let dir = dir.clone();
+        std::thread::spawn(move || {
+            let verifier = InevitabilityVerifier::new(&sys, toy_boundary(), Region::ball(2, 2.0));
+            let mut opt = PipelineOptions::degree(2);
+            opt.checkpoint = Some(CheckpointConfig::new("toy").with_dir(&dir));
+            opt.resilience.fault = Some(Arc::new(FaultInjector::new(
+                FaultPlan::default().crash_at_stage_solve("advection", 0, CrashMode::Panic),
+            )));
+            let _ = verifier.verify(&opt);
+        })
+        .join()
+    };
+    assert!(crashed.is_err(), "injected crash should panic the run");
+
+    let verifier = InevitabilityVerifier::new(&sys, toy_boundary(), Region::ball(2, 2.0));
+    let plain = verifier
+        .verify(&PipelineOptions::degree(2))
+        .expect("toy verifies");
+
+    let rec = TraceRecorder::new(TraceLevel::Iter);
+    let mut opt = PipelineOptions::degree(2);
+    opt.trace = Some(rec.tracer());
+    opt.checkpoint = Some(CheckpointConfig::new("toy").with_dir(&dir).resuming());
+    let resumed = verifier.verify(&opt).expect("resume completes the run");
+
+    assert!(resumed.verdict.is_verified());
+    assert_eq!(
+        resumed.result_digest(),
+        plain.result_digest(),
+        "iter-level tracing must not change the resumed result"
+    );
+    assert!(resumed.resume.stages_replayed >= 2, "{:?}", resumed.resume);
+
+    // One counter increment and one instant per replayed stage.
+    assert_eq!(
+        rec.counter_total("stage_replayed") as usize,
+        resumed.resume.stages_replayed
+    );
+    assert_eq!(
+        rec.instants_named("stage_replayed").len(),
+        resumed.resume.stages_replayed
+    );
+
+    // Replayed stages never re-emit solver work: their stage spans contain
+    // no child spans at all, while the freshly-run advection stage does.
+    let forest = rec.span_tree();
+    assert_eq!(forest.len(), 1, "one pipeline root span");
+    let pipeline = &forest[0];
+    for stage in &pipeline.children {
+        match stage.name.as_str() {
+            "lyapunov" | "levelset" => assert!(
+                stage.children.is_empty(),
+                "replayed stage '{}' re-emitted solver spans: {:?}",
+                stage.name,
+                stage.children.iter().map(|c| &c.name).collect::<Vec<_>>()
+            ),
+            "advection" => assert!(
+                !stage.children.is_empty(),
+                "fresh advection stage should carry solver work"
+            ),
+            _ => {}
+        }
+    }
+    // The fresh tail did run SDP solves at iteration granularity.
+    assert!(!rec.instants_named("iteration").is_empty());
+}
+
+/// A strictly feasible SDP: minimise `tr X` over a 5×5 block with fixed
+/// diagonal and one fixed off-diagonal entry.
+fn proptest_problem(diag: &[f64], off: f64) -> SdpProblem {
+    let mut p = SdpProblem::new();
+    let b = p.add_psd_block(diag.len());
+    p.set_block_cost_identity(b, 1.0);
+    for (k, &d) in diag.iter().enumerate() {
+        let c = p.add_constraint(d);
+        p.set_entry(c, b, k, k, 1.0);
+    }
+    let c = p.add_constraint(off);
+    p.set_entry(c, b, 0, 1, 1.0);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For 1/2/4/8 solver threads: the traced solve is bit-identical to
+    /// the untraced one, the JSONL export is well-formed line by line,
+    /// and event ordering is monotonic within each lane and each span.
+    #[test]
+    fn traced_solves_are_bit_identical_across_thread_counts(
+        diag in prop::collection::vec(0.6f64..2.0, 5),
+        off in -0.2f64..0.2,
+    ) {
+        for threads in [1usize, 2, 4, 8] {
+            let opts = SolverOptions { threads, ..SolverOptions::default() };
+            let untraced = proptest_problem(&diag, off).solve(&opts);
+            prop_assert!(untraced.is_ok(), "baseline solve failed: {untraced}");
+
+            let tracer = Tracer::new(TraceLevel::Iter);
+            let mut topts = SolverOptions { threads, ..SolverOptions::default() };
+            topts.trace = Some(tracer.clone());
+            let traced = proptest_problem(&diag, off).solve(&topts);
+
+            // Bit-identical numerics: tracing only reads computed values.
+            prop_assert_eq!(traced.status, untraced.status);
+            prop_assert_eq!(traced.iterations, untraced.iterations);
+            prop_assert_eq!(
+                traced.primal_objective.to_bits(),
+                untraced.primal_objective.to_bits(),
+                "objective differs at {} threads", threads
+            );
+            prop_assert_eq!(
+                traced.dual_objective.to_bits(),
+                untraced.dual_objective.to_bits()
+            );
+            for (a, b) in traced.y.iter().zip(&untraced.y) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (xa, xb) in traced.x.iter().zip(&untraced.x) {
+                for (a, b) in xa.as_slice().iter().zip(xb.as_slice()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+
+            // Well-formed JSONL: every line parses and carries the schema.
+            let jsonl = tracer.to_jsonl();
+            prop_assert!(!jsonl.is_empty(), "iter-level trace must record events");
+            for line in jsonl.lines() {
+                let v = cppll_json::parse(line).expect("well-formed JSONL line");
+                prop_assert!(v.get("ts_ns").is_some());
+                prop_assert!(v.get("tid").is_some());
+                prop_assert!(v.get("seq").is_some());
+                let ty = v.get("type").and_then(|t| t.as_str()).unwrap_or("");
+                prop_assert!(
+                    matches!(ty, "begin" | "end" | "instant" | "counter"),
+                    "unknown event type {:?}", ty
+                );
+            }
+
+            // Monotonic ordering within each lane, and within each span:
+            // a span's end never precedes its begin, instants land between.
+            let events = tracer.events();
+            prop_assert!(check_lane_monotonic(&events).is_ok());
+            let mut open = std::collections::BTreeMap::new();
+            for e in &events {
+                match &e.kind {
+                    EventKind::Begin { span, .. } => {
+                        open.insert(*span, e.ts_ns);
+                    }
+                    EventKind::End { span, .. } => {
+                        let t0 = open.remove(span).expect("end matches an open span");
+                        prop_assert!(e.ts_ns >= t0, "span ended before it began");
+                    }
+                    EventKind::Instant { span: Some(s), .. } => {
+                        let t0 = open.get(s).expect("instant inside an open span");
+                        prop_assert!(e.ts_ns >= *t0);
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert!(open.is_empty(), "unclosed spans: {:?}", open);
+            for e in &events {
+                if matches!(e.kind, EventKind::Instant { .. }) && e.name() == "iteration" {
+                    prop_assert!(
+                        e.field_f64("iter").is_some(),
+                        "iteration instants must carry the iter field"
+                    );
+                }
+            }
+        }
+    }
+}
