@@ -36,15 +36,33 @@ pub fn bench_sdp_json_path() -> PathBuf {
 /// then renames it over the target. A crash mid-write leaves either the old
 /// file or the new one, never a truncated hybrid (rename is atomic on POSIX
 /// within a filesystem, and the temp file lives next to its target).
+///
+/// Durable against power loss, not just process crashes: the temp file is
+/// fsynced before the rename (so the data reaches disk before the name
+/// does) and the parent directory is fsynced after (so the rename itself is
+/// journaled). Without the directory sync a power cut can forget the
+/// rename, resurrecting the old file — or worse, an empty one.
 pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    use std::io::Write;
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        // Directory fsync is a POSIX idiom; tolerate filesystems (or
+        // platforms) that refuse to open or sync a directory.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Read-merge-write of one top-level section of `BENCH_SDP.json`: the
@@ -71,4 +89,26 @@ pub fn merge_bench_sdp(
         None => members.push((section.to_string(), value)),
     }
     write_atomic(path, &Value::Object(members).to_pretty_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("cppll-bench-tests/atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("out.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(
+            !PathBuf::from(tmp).exists(),
+            "the temp file must not outlive the rename"
+        );
+    }
 }

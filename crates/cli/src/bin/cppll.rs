@@ -21,7 +21,33 @@
 //! --run-id <id>            journal completed stages under target/runs/<id>
 //! --resume <id>            resume a journaled run, replaying finished stages
 //! --runs-dir <dir>         base directory for run journals (default target/runs)
+//! --durability <mode>      fast | safe — safe fsyncs every journal append
 //! --inject-crash <stage>:<n>  exit(3) at the n-th solve of a stage (testing)
+//! --inject-stall <stage>:<n>  hang forever at the n-th solve of a stage (testing)
+//! ```
+//!
+//! Validation flags (both `verify` and `pll`):
+//!
+//! ```text
+//! --validate <trials>      after verifying, Monte-Carlo check the certified
+//!                          claims on <trials> simulated trajectories; exit 2
+//!                          when a certified claim is violated
+//! ```
+//!
+//! Isolation flags (both `verify` and `pll`):
+//!
+//! ```text
+//! --isolate                re-run this command in a supervised worker process
+//!                          with heartbeat, watchdog, and kill-and-resume
+//! --watchdog <secs>        kill the worker when its stdout is silent this long
+//! --stall-timeout <secs>   kill the worker when its journal stops advancing
+//! --heartbeat <ms>         worker heartbeat interval (default 500)
+//! --max-rss <mb>           kill the worker when its RSS exceeds this ceiling
+//! --max-restarts <n>       restarts before giving up (default 3)
+//! --chaos-kill-after <n>   chaos test: kill the worker after n heartbeats,
+//!                          doubling the allowance after every kill
+//! --chaos-corrupt-tail <bytes>  chaos test: chop bytes off the journal tail
+//!                          after every chaos kill
 //! ```
 //!
 //! Reduction flags (both `verify` and `pll`):
@@ -42,16 +68,23 @@
 //!                          --trace-level solve unless one is given)
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cppll_cli::{run_inevitability_traced, SystemSpec};
+use cppll_cli::{run_inevitability_validated, SystemSpec};
+use cppll_harness::{run_supervised, ChaosPlan, HarnessOptions, HeartbeatEmitter, WorkerSpec};
 use cppll_pll::{PllModelBuilder, PllOrder};
 use cppll_verify::{
-    CheckpointConfig, CrashMode, EventKind, FaultInjector, FaultPlan, InevitabilityVerifier,
-    PipelineOptions, ReductionOptions, ResilienceConfig, TraceLevel, Tracer, VerificationReport,
+    CheckpointConfig, CrashMode, Durability, EventKind, FaultInjector, FaultPlan,
+    InevitabilityVerifier, PipelineOptions, ReductionOptions, ResilienceConfig, TraceLevel,
+    Tracer, ValidationReport, VerificationReport,
 };
+
+/// Seed of the `--validate` Monte-Carlo sampler: fixed, so validation runs
+/// are reproducible.
+const VALIDATE_SEED: u64 = 42;
 
 const EXAMPLE_SPEC: &str = r#"{
   "states": 2,
@@ -108,6 +141,41 @@ fn print_report(report: &VerificationReport) {
             report.resume.stages_fresh,
             report.resume.warm_started_solves,
         );
+        if report.resume.journal_recovered_records > 0 {
+            println!(
+                "  journal self-healed: {} torn record(s) dropped on open",
+                report.resume.journal_recovered_records
+            );
+        }
+    }
+}
+
+/// Prints the Monte-Carlo validation block.
+fn print_validation(v: &ValidationReport) {
+    println!("validation ({} trials, seed {VALIDATE_SEED}):", v.trials);
+    println!("  certificate monotone:   {}/{}", v.monotone, v.trials);
+    println!("  reached invariant:      {}/{}", v.reached_ai, v.trials);
+    println!("  phase-locked:           {}/{}", v.locked, v.trials);
+    println!("  worst increase:         {:.3e}", v.worst_increase);
+    println!(
+        "  verdict: {}",
+        if v.all_passed() {
+            "all certified claims held"
+        } else {
+            "CERTIFIED CLAIM VIOLATED"
+        }
+    );
+}
+
+/// Exit code for a completed run: `0` only when the pipeline verified the
+/// claim *and* any requested Monte-Carlo validation upheld it; `2` when
+/// the verdict is not-verified or a certified claim was violated.
+fn verdict_exit(report: &VerificationReport, validation: Option<&ValidationReport>) -> ExitCode {
+    let validated = validation.is_none_or(ValidationReport::all_passed);
+    if report.verdict.is_verified() && validated {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     }
 }
 
@@ -175,7 +243,9 @@ struct DurabilityFlags {
     run_id: Option<String>,
     resume: Option<String>,
     runs_dir: Option<String>,
+    durability: Option<Durability>,
     inject_crash: Option<(String, usize)>,
+    inject_stall: Option<(String, usize)>,
 }
 
 impl DurabilityFlags {
@@ -190,22 +260,54 @@ impl DurabilityFlags {
             (None, None) => None,
             (Some(_), Some(_)) => unreachable!(),
         };
-        Ok(config.map(|c| match &self.runs_dir {
-            Some(dir) => c.with_dir(dir.clone()),
-            None => c,
+        Ok(config.map(|c| {
+            let c = match &self.runs_dir {
+                Some(dir) => c.with_dir(dir.clone()),
+                None => c,
+            };
+            match self.durability {
+                Some(d) => c.with_durability(d),
+                None => c,
+            }
         }))
     }
 
-    /// Installs the crash injector on `config` when `--inject-crash` was
-    /// given. The process exits with code 3 at the requested solve, leaving
-    /// the journal behind for `--resume`.
+    /// Installs the fault injector on `config` when `--inject-crash` or
+    /// `--inject-stall` was given. A crash exits with code 3 at the
+    /// requested solve; a stall hangs forever there (only the harness stall
+    /// watchdog can recover it). Both leave the journal behind for
+    /// `--resume`.
     fn arm(&self, config: &mut ResilienceConfig) {
+        let mut plan = FaultPlan::default();
+        let mut armed = false;
         if let Some((stage, nth)) = &self.inject_crash {
-            let plan =
-                FaultPlan::default().crash_at_stage_solve(stage.clone(), *nth, CrashMode::Exit(3));
+            plan = plan.crash_at_stage_solve(stage.clone(), *nth, CrashMode::Exit(3));
+            armed = true;
+        }
+        if let Some((stage, nth)) = &self.inject_stall {
+            plan = plan.crash_at_stage_solve(stage.clone(), *nth, CrashMode::Hang);
+            armed = true;
+        }
+        if armed {
             config.fault = Some(Arc::new(FaultInjector::new(plan)));
         }
     }
+}
+
+/// Isolation / supervision command-line options.
+#[derive(Default)]
+struct HarnessFlags {
+    isolate: bool,
+    watchdog: Option<Duration>,
+    stall_timeout: Option<Duration>,
+    heartbeat_ms: Option<u64>,
+    max_rss_mb: Option<u64>,
+    max_restarts: Option<usize>,
+    chaos_kill_after: Option<u64>,
+    chaos_corrupt_tail: Option<u64>,
+    /// Hidden worker-side flag: emit heartbeats at this interval. Set by
+    /// the supervisor on the worker command line, never by hand.
+    worker_heartbeat_ms: Option<u64>,
 }
 
 /// Parsed command line: positionals plus every flag group.
@@ -215,6 +317,8 @@ struct ParsedArgs {
     durability: DurabilityFlags,
     reduction: ReductionOptions,
     trace: TraceFlags,
+    harness: HarnessFlags,
+    validate: Option<usize>,
 }
 
 /// Extracts every `--flag value` pair from `args`, returning the remaining
@@ -231,10 +335,24 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
         }
         Ok(Duration::from_secs_f64(secs))
     }
+    fn stage_solve(flag: &str, v: &str) -> Result<(String, usize), String> {
+        let (stage, nth) = v
+            .rsplit_once(':')
+            .ok_or_else(|| format!("{flag}: expected <stage>:<n>, got {v}"))?;
+        let nth: usize = nth
+            .parse()
+            .map_err(|_| format!("{flag}: not a solve index: {nth}"))?;
+        Ok((stage.to_string(), nth))
+    }
+    fn count<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+        v.parse().map_err(|_| format!("{flag}: not a count: {v}"))
+    }
     let mut config = ResilienceConfig::default();
     let mut durability = DurabilityFlags::default();
     let mut reduction = ReductionOptions::default();
     let mut trace = TraceFlags::default();
+    let mut harness = HarnessFlags::default();
+    let mut validate = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -267,15 +385,52 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
             "--run-id" => durability.run_id = Some(value_of("--run-id")?.to_string()),
             "--resume" => durability.resume = Some(value_of("--resume")?.to_string()),
             "--runs-dir" => durability.runs_dir = Some(value_of("--runs-dir")?.to_string()),
+            "--durability" => {
+                let v = value_of("--durability")?;
+                durability.durability = Some(Durability::parse(v).ok_or_else(|| {
+                    format!("--durability: expected fast|safe, got {v}")
+                })?);
+            }
             "--inject-crash" => {
-                let v = value_of("--inject-crash")?;
-                let (stage, nth) = v
-                    .rsplit_once(':')
-                    .ok_or_else(|| format!("--inject-crash: expected <stage>:<n>, got {v}"))?;
-                let nth: usize = nth
-                    .parse()
-                    .map_err(|_| format!("--inject-crash: not a solve index: {nth}"))?;
-                durability.inject_crash = Some((stage.to_string(), nth));
+                durability.inject_crash =
+                    Some(stage_solve("--inject-crash", value_of("--inject-crash")?)?);
+            }
+            "--inject-stall" => {
+                durability.inject_stall =
+                    Some(stage_solve("--inject-stall", value_of("--inject-stall")?)?);
+            }
+            "--validate" => {
+                validate = Some(count("--validate", value_of("--validate")?)?);
+            }
+            "--isolate" => harness.isolate = true,
+            "--watchdog" => {
+                harness.watchdog = Some(seconds("--watchdog", value_of("--watchdog")?)?);
+            }
+            "--stall-timeout" => {
+                harness.stall_timeout =
+                    Some(seconds("--stall-timeout", value_of("--stall-timeout")?)?);
+            }
+            "--heartbeat" => {
+                harness.heartbeat_ms = Some(count("--heartbeat", value_of("--heartbeat")?)?);
+            }
+            "--max-rss" => {
+                harness.max_rss_mb = Some(count("--max-rss", value_of("--max-rss")?)?);
+            }
+            "--max-restarts" => {
+                harness.max_restarts =
+                    Some(count("--max-restarts", value_of("--max-restarts")?)?);
+            }
+            "--chaos-kill-after" => {
+                harness.chaos_kill_after =
+                    Some(count("--chaos-kill-after", value_of("--chaos-kill-after")?)?);
+            }
+            "--chaos-corrupt-tail" => {
+                harness.chaos_corrupt_tail =
+                    Some(count("--chaos-corrupt-tail", value_of("--chaos-corrupt-tail")?)?);
+            }
+            "--worker-heartbeat" => {
+                harness.worker_heartbeat_ms =
+                    Some(count("--worker-heartbeat", value_of("--worker-heartbeat")?)?);
             }
             "--no-reduce" => reduction = ReductionOptions::none(),
             "--trace-out" => trace.out = Some(value_of("--trace-out")?.to_string()),
@@ -297,24 +452,165 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
         durability,
         reduction,
         trace,
+        harness,
+        validate,
     })
+}
+
+/// Flags that belong to the supervisor only and must be stripped from the
+/// worker's command line. `true` means the flag takes a value.
+const SUPERVISOR_FLAGS: &[(&str, bool)] = &[
+    ("--isolate", false),
+    ("--watchdog", true),
+    ("--stall-timeout", true),
+    ("--heartbeat", true),
+    ("--max-rss", true),
+    ("--max-restarts", true),
+    ("--chaos-kill-after", true),
+    ("--chaos-corrupt-tail", true),
+];
+
+/// Flags stripped from restart (resume) command lines: an injected fault
+/// simulates a one-time environmental failure — replaying it on every
+/// resume would turn a chaos test into a livelock.
+const ONE_SHOT_FLAGS: &[(&str, bool)] = &[("--inject-crash", true), ("--inject-stall", true)];
+
+/// Removes `drop` flags (and their values) from an argument list.
+fn strip_flags(args: &[String], drop: &[(&str, bool)]) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match drop.iter().find(|(name, _)| name == arg) {
+            Some((_, true)) => {
+                let _ = it.next();
+            }
+            Some((_, false)) => {}
+            None => out.push(arg.clone()),
+        }
+    }
+    out
+}
+
+/// Runs this same command line in a supervised worker process
+/// (`--isolate`): heartbeat liveness watchdog, journal-mtime stall
+/// detection, RSS ceiling, and kill-and-resume through the run journal.
+fn supervise(raw: &[String], parsed: &ParsedArgs) -> ExitCode {
+    let program = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("--isolate: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let h = &parsed.harness;
+    let d = &parsed.durability;
+
+    // The worker needs a journal for resume to mean anything; synthesize a
+    // run id when the user did not name one.
+    let mut worker_args = strip_flags(raw, SUPERVISOR_FLAGS);
+    let run_id = match (&d.run_id, &d.resume) {
+        (Some(id), _) | (_, Some(id)) => id.clone(),
+        (None, None) => {
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0);
+            let id = format!("isolate-{}-{t}", std::process::id());
+            worker_args.push("--run-id".to_string());
+            worker_args.push(id.clone());
+            id
+        }
+    };
+    let heartbeat_ms = h.heartbeat_ms.unwrap_or(500);
+    worker_args.push("--worker-heartbeat".to_string());
+    worker_args.push(heartbeat_ms.to_string());
+
+    // Restarts resume the journal and drop one-shot fault injections.
+    let mut resume_args = Vec::with_capacity(worker_args.len());
+    let mut it = strip_flags(&worker_args, ONE_SHOT_FLAGS).into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--run-id" {
+            resume_args.push("--resume".to_string());
+            if let Some(v) = it.next() {
+                resume_args.push(v);
+            }
+        } else {
+            resume_args.push(arg);
+        }
+    }
+
+    let runs_dir = d.runs_dir.clone().unwrap_or_else(|| "target/runs".to_string());
+    let journal = PathBuf::from(&runs_dir).join(&run_id).join("journal.jsonl");
+
+    let spec = WorkerSpec {
+        program,
+        initial_args: worker_args,
+        resume_args,
+        envs: Vec::new(),
+    };
+    let tracer = parsed.trace.tracer();
+    let opt = HarnessOptions {
+        watchdog: h.watchdog.unwrap_or(Duration::from_secs(30)),
+        stall_timeout: h.stall_timeout,
+        progress_file: Some(journal.clone()),
+        max_rss_kb: h.max_rss_mb.map(|mb| mb.saturating_mul(1024)),
+        max_restarts: h.max_restarts.unwrap_or(3),
+        chaos: h.chaos_kill_after.map(|n| ChaosPlan {
+            kill_after_heartbeats: n,
+            growth: 2,
+            corrupt_tail: h.chaos_corrupt_tail.map(|bytes| (journal.clone(), bytes)),
+        }),
+        tracer: tracer.clone(),
+        forward_output: true,
+    };
+    match run_supervised(&spec, &opt) {
+        Ok(report) => {
+            let reasons: Vec<&str> = report.kills.iter().map(|k| k.name()).collect();
+            println!(
+                "harness: worker exit {} after {} restart(s), {} kill(s) [{}], \
+                 {} heartbeat(s), run {run_id}",
+                report.exit_code,
+                report.restarts,
+                report.kills.len(),
+                reasons.join(", "),
+                report.heartbeats,
+            );
+            emit_telemetry(tracer.as_ref(), None);
+            ExitCode::from(report.exit_code.clamp(0, 255) as u8)
+        }
+        Err(e) => {
+            eprintln!("harness: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let ParsedArgs {
-        positional: args,
-        mut resilience,
-        durability,
-        reduction,
-        trace,
-    } = match parse_flags(&raw) {
+    let parsed = match parse_flags(&raw) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    if parsed.harness.isolate {
+        return supervise(&raw, &parsed);
+    }
+    // Supervised worker: heartbeat for the life of the process.
+    let _heartbeat = parsed
+        .harness
+        .worker_heartbeat_ms
+        .map(|ms| HeartbeatEmitter::start(Duration::from_millis(ms.max(1))));
+    let ParsedArgs {
+        positional: args,
+        mut resilience,
+        durability,
+        reduction,
+        trace,
+        validate,
+        ..
+    } = parsed;
     let checkpoint = match durability.checkpoint() {
         Ok(c) => c,
         Err(e) => {
@@ -348,16 +644,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match run_inevitability_traced(&spec, resilience, checkpoint, reduction, tracer.clone())
-            {
-                Ok(report) => {
+            match run_inevitability_validated(
+                &spec,
+                resilience,
+                checkpoint,
+                reduction,
+                tracer.clone(),
+                validate.map(|trials| (trials, VALIDATE_SEED)),
+            ) {
+                Ok((report, validation)) => {
                     print_report(&report);
-                    emit_telemetry(tracer.as_ref(), trace.out.as_deref());
-                    if report.verdict.is_verified() {
-                        ExitCode::SUCCESS
-                    } else {
-                        ExitCode::from(2)
+                    if let Some(v) = &validation {
+                        print_validation(v);
                     }
+                    emit_telemetry(tracer.as_ref(), trace.out.as_deref());
+                    verdict_exit(&report, validation.as_ref())
                 }
                 Err(e) => {
                     eprintln!("{e}");
@@ -387,12 +688,13 @@ fn main() -> ExitCode {
             match verifier.verify(&opt) {
                 Ok(report) => {
                     print_report(&report);
-                    emit_telemetry(tracer.as_ref(), trace.out.as_deref());
-                    if report.verdict.is_verified() {
-                        ExitCode::SUCCESS
-                    } else {
-                        ExitCode::from(2)
+                    let validation = validate
+                        .and_then(|trials| verifier.validate(&report, trials, VALIDATE_SEED));
+                    if let Some(v) = &validation {
+                        print_validation(v);
                     }
+                    emit_telemetry(tracer.as_ref(), trace.out.as_deref());
+                    verdict_exit(&report, validation.as_ref())
                 }
                 Err(e) => {
                     eprintln!("{e}");
@@ -419,7 +721,24 @@ fn main() -> ExitCode {
                  \x20 --run-id <id>            journal completed stages under target/runs/<id>\n\
                  \x20 --resume <id>            resume a journaled run, replaying finished stages\n\
                  \x20 --runs-dir <dir>         base directory for run journals (default target/runs)\n\
+                 \x20 --durability <mode>      fast | safe (safe fsyncs every journal append)\n\
                  \x20 --inject-crash <stage>:<n>  exit(3) at the n-th solve of a stage (testing)\n\
+                 \x20 --inject-stall <stage>:<n>  hang at the n-th solve of a stage (testing)\n\
+                 \n\
+                 validation flags (verify, pll):\n\
+                 \x20 --validate <trials>      Monte-Carlo check certified claims after verifying;\n\
+                 \x20                          exit 2 when a certified claim is violated\n\
+                 \n\
+                 isolation flags (verify, pll):\n\
+                 \x20 --isolate                re-run supervised: heartbeat watchdog, stall\n\
+                 \x20                          detection, RSS ceiling, kill-and-resume\n\
+                 \x20 --watchdog <secs>        kill worker when stdout is silent this long\n\
+                 \x20 --stall-timeout <secs>   kill worker when its journal stops advancing\n\
+                 \x20 --heartbeat <ms>         worker heartbeat interval (default 500)\n\
+                 \x20 --max-rss <mb>           kill worker above this RSS ceiling\n\
+                 \x20 --max-restarts <n>       restarts before giving up (default 3)\n\
+                 \x20 --chaos-kill-after <n>   chaos: kill after n heartbeats (then doubles)\n\
+                 \x20 --chaos-corrupt-tail <b> chaos: chop b bytes off the journal after kills\n\
                  \n\
                  reduction flags (verify, pll):\n\
                  \x20 --no-reduce              solve the unreduced SDPs (skip basis pruning\n\

@@ -34,6 +34,6 @@ mod spec;
 pub use parse::{parse_polynomial, ParsePolynomialError};
 pub use spec::{
     run_inevitability, run_inevitability_checkpointed, run_inevitability_traced,
-    run_inevitability_tuned, run_inevitability_with, JumpSpec, ModeSpec, ParamSpec, SpecError,
-    SystemSpec,
+    run_inevitability_tuned, run_inevitability_validated, run_inevitability_with, JumpSpec,
+    ModeSpec, ParamSpec, SpecError, SystemSpec,
 };

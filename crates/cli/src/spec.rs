@@ -467,6 +467,27 @@ pub fn run_inevitability_traced(
     reduction: cppll_verify::ReductionOptions,
     trace: Option<cppll_verify::Tracer>,
 ) -> Result<VerificationReport, SpecError> {
+    run_inevitability_validated(spec, resilience, checkpoint, reduction, trace, None)
+        .map(|(report, _)| report)
+}
+
+/// Like [`run_inevitability_traced`], optionally following the pipeline
+/// with a Monte-Carlo validation pass of `(trials, seed)` sampled
+/// trajectories against the certified claims (the CLI's `--validate`).
+/// The validation report is `None` when validation was not requested or
+/// the run produced no certificates to validate.
+///
+/// # Errors
+///
+/// Exactly as [`run_inevitability_checkpointed`].
+pub fn run_inevitability_validated(
+    spec: &SystemSpec,
+    resilience: cppll_verify::ResilienceConfig,
+    checkpoint: Option<cppll_verify::CheckpointConfig>,
+    reduction: cppll_verify::ReductionOptions,
+    trace: Option<cppll_verify::Tracer>,
+    validate: Option<(usize, u64)>,
+) -> Result<(VerificationReport, Option<cppll_verify::ValidationReport>), SpecError> {
     if spec.initial_radii.len() != spec.states {
         return Err(SpecError::Invalid {
             message: "initial_radii must have one entry per state".into(),
@@ -481,7 +502,10 @@ pub fn run_inevitability_traced(
     opt.checkpoint = checkpoint;
     opt.reduction = reduction;
     opt.trace = trace;
-    verifier.verify(&opt).map_err(SpecError::Verify)
+    let report = verifier.verify(&opt).map_err(SpecError::Verify)?;
+    let validation =
+        validate.and_then(|(trials, seed)| verifier.validate(&report, trials, seed));
+    Ok((report, validation))
 }
 
 #[cfg(test)]

@@ -39,7 +39,8 @@ pub mod validation;
 pub use advection::{Advection, AdvectionOptions, AdvectionStep};
 pub use barrier::{BarrierCertificate, BarrierOptions, BarrierSynthesizer};
 pub use checkpoint::{
-    CheckpointConfig, CheckpointError, LedgerSnapshot, ResumeSummary, RunJournal, StageRecord,
+    CheckpointConfig, CheckpointError, Durability, JournalRecovery, LedgerSnapshot, ResumeSummary,
+    RunJournal, StageRecord,
 };
 pub use escape::{EscapeCertificate, EscapeOptions, EscapeSynthesizer};
 pub use exactify::{exactify_certificates, ExactificationReport, ExactifyError, ExactifyOptions};
@@ -52,10 +53,11 @@ pub use pipeline::{
 };
 pub use region::Region;
 pub use resilience::{FailureReport, PipelineStage, ResilienceConfig};
+pub use validation::{Sampler, ValidationReport, Validator};
 
 // Fault-injection plumbing, re-exported so front-ends (CLI, CI smoke jobs)
 // can build crash plans without depending on `cppll-sdp` directly.
-pub use cppll_sdp::{CrashMode, FaultInjector, FaultKind, FaultPlan};
+pub use cppll_sdp::{CrashMode, FaultInjector, FaultKind, FaultPlan, JournalFault};
 
 // Problem-size reduction knobs and statistics, re-exported so front-ends
 // can toggle `--no-reduce` without depending on `cppll-sos` directly.

@@ -373,7 +373,20 @@ impl<'s> InevitabilityVerifier<'s> {
         let mut ckpt: Option<Checkpointer> = match &opt.checkpoint {
             Some(cfg) => {
                 let fp = checkpoint::fingerprint(self.system, &self.boundary, &self.initial, opt);
-                let c = Checkpointer::open(cfg, fp)?;
+                let c = Checkpointer::open(cfg, fp, opt.resilience.fault.clone())?;
+                if c.recovery.recovered() {
+                    if let Some(t) = &opt.trace {
+                        t.counter("journal_recovered", 1);
+                        t.instant(
+                            TraceLevel::Stage,
+                            "journal_recovered",
+                            vec![
+                                ("dropped_records", c.recovery.dropped_records.into()),
+                                ("dropped_bytes", c.recovery.dropped_bytes.into()),
+                            ],
+                        );
+                    }
+                }
                 if let Some(snap) = c.prior_snapshot() {
                     ledger.absorb_prior(&snap.stats, &snap.timings, &snap.reduction);
                 }
@@ -864,9 +877,10 @@ impl<'s> InevitabilityVerifier<'s> {
         })
     }
 
-    /// Error-sampling box half-widths: the initial region's coordinate
-    /// extents (found by axis probing of the level polynomial), inflated.
-    fn default_error_box(&self) -> Vec<f64> {
+    /// Coordinate extents of the initial region, found by axis probing of
+    /// its level polynomial. Shared by the advection error box and the
+    /// Monte-Carlo validation sampling box.
+    fn initial_extents(&self) -> Vec<f64> {
         let n = self.system.nstates();
         let p = self.initial.level();
         (0..n)
@@ -882,9 +896,32 @@ impl<'s> InevitabilityVerifier<'s> {
                         extent = t;
                     }
                 }
-                1.25 * extent
+                extent
             })
             .collect()
+    }
+
+    /// Error-sampling box half-widths: the initial region's coordinate
+    /// extents, inflated.
+    fn default_error_box(&self) -> Vec<f64> {
+        self.initial_extents().into_iter().map(|e| 1.25 * e).collect()
+    }
+
+    /// Monte-Carlo validation of a report's certified claims: samples
+    /// `trials` initial states across the initial region's extents,
+    /// simulates the hybrid system, and checks certificate monotonicity,
+    /// AI entry, and final lock against the certificates the report
+    /// carries. Returns `None` when the report holds no certificates to
+    /// validate (a degraded run).
+    pub fn validate(
+        &self,
+        report: &VerificationReport,
+        trials: usize,
+        seed: u64,
+    ) -> Option<crate::validation::ValidationReport> {
+        let certs = report.certificates.as_ref()?;
+        let validator = crate::validation::Validator::new(self.system);
+        Some(validator.validate(certs, &report.levels, &self.initial_extents(), trials, seed))
     }
 
     /// [`Self::pieces_inside_ai`] with a per-mode warm-start chain: each

@@ -34,6 +34,19 @@ impl ValidationReport {
     }
 }
 
+impl cppll_json::ToJson for ValidationReport {
+    fn to_json(&self) -> cppll_json::Value {
+        cppll_json::ObjectBuilder::new()
+            .field("trials", self.trials)
+            .field("monotone", self.monotone)
+            .field("reached_ai", self.reached_ai)
+            .field("locked", self.locked)
+            .field("worst_increase", self.worst_increase)
+            .field("all_passed", self.all_passed())
+            .build()
+    }
+}
+
 /// Deterministic xorshift sampler (no external RNG dependency; reproducible
 /// validation runs).
 #[derive(Debug, Clone)]

@@ -1,0 +1,36 @@
+//! Process isolation for verification jobs: run the pipeline in a
+//! supervised child *worker* process so that a crashing, hanging, or
+//! memory-exploding solve never takes the caller down with it.
+//!
+//! The contract between supervisor and worker is deliberately primitive —
+//! newline-framed text on the worker's stdout ([`protocol`]) — because the
+//! whole point is to keep working when the worker is in an arbitrarily bad
+//! state. Three independent failure detectors run in the supervisor
+//! ([`supervisor`]):
+//!
+//! * **liveness watchdog** — no stdout line (heartbeat or output) within
+//!   the watchdog window. Catches wedged or `SIGSTOP`ped workers.
+//! * **stall timeout** — the worker's *progress file* (its run journal)
+//!   has not been touched within the stall window. Catches a worker whose
+//!   heartbeat thread is happily beating while its solve thread hangs
+//!   forever: heartbeats prove the process is alive, journal appends prove
+//!   it is *working*.
+//! * **RSS ceiling** — the worker self-reports its resident set in every
+//!   heartbeat ([`rss`]); exceeding the ceiling gets it killed before the
+//!   kernel OOM killer picks a victim at random.
+//!
+//! Any abnormal exit (signal death, crash exit code, or a harness kill) is
+//! answered by restarting the worker with *resume* arguments; the
+//! `cppll-core::checkpoint` journal guarantees the restarted worker
+//! replays its predecessor's completed stages bit-identically. Exit codes
+//! 0/1/2 are the worker's verdict vocabulary and end the supervision loop.
+
+pub mod protocol;
+pub mod rss;
+pub mod supervisor;
+
+pub use protocol::{heartbeat_line, parse_line, HeartbeatEmitter, WorkerLine, HEARTBEAT_PREFIX};
+pub use rss::current_rss_kb;
+pub use supervisor::{
+    run_supervised, ChaosPlan, HarnessError, HarnessOptions, HarnessReport, KillReason, WorkerSpec,
+};

@@ -1,0 +1,154 @@
+//! The supervisor↔worker wire protocol: newline-framed text on stdout.
+//!
+//! A worker periodically prints heartbeat lines
+//!
+//! ```text
+//! @cppll-hb seq=<n> rss_kb=<r>
+//! ```
+//!
+//! interleaved with its ordinary output. Rust's `println!` takes the
+//! stdout lock per call, so heartbeat lines and report lines never shear
+//! into each other even though they come from different threads. The
+//! supervisor classifies each line as heartbeat or passthrough output;
+//! anything that fails to parse as a heartbeat *is* output — a garbled
+//! worker must never be able to crash its supervisor.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::rss::current_rss_kb;
+
+/// Prefix marking a heartbeat line.
+pub const HEARTBEAT_PREFIX: &str = "@cppll-hb ";
+
+/// One line read from a worker's stdout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerLine {
+    /// A parsed heartbeat.
+    Heartbeat {
+        /// Monotone heartbeat sequence number (0-based).
+        seq: u64,
+        /// Worker's self-reported resident set size in KiB (0 when the
+        /// worker could not measure it).
+        rss_kb: u64,
+    },
+    /// Any other line: the worker's ordinary output, forwarded verbatim.
+    Output(String),
+}
+
+/// Renders a heartbeat line (without trailing newline).
+pub fn heartbeat_line(seq: u64, rss_kb: u64) -> String {
+    format!("{HEARTBEAT_PREFIX}seq={seq} rss_kb={rss_kb}")
+}
+
+/// Classifies one worker stdout line.
+pub fn parse_line(line: &str) -> WorkerLine {
+    let Some(rest) = line.strip_prefix(HEARTBEAT_PREFIX) else {
+        return WorkerLine::Output(line.to_string());
+    };
+    let mut seq = None;
+    let mut rss = None;
+    for token in rest.split_ascii_whitespace() {
+        if let Some(v) = token.strip_prefix("seq=") {
+            seq = v.parse::<u64>().ok();
+        } else if let Some(v) = token.strip_prefix("rss_kb=") {
+            rss = v.parse::<u64>().ok();
+        }
+    }
+    match (seq, rss) {
+        (Some(seq), Some(rss_kb)) => WorkerLine::Heartbeat { seq, rss_kb },
+        // A malformed heartbeat is treated as output, not an error.
+        _ => WorkerLine::Output(line.to_string()),
+    }
+}
+
+/// Worker-side heartbeat thread: prints a heartbeat to stdout every
+/// `interval` until dropped. Spawned by the CLI when it runs as a
+/// supervised worker (`--worker-heartbeat <ms>`).
+#[derive(Debug)]
+pub struct HeartbeatEmitter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatEmitter {
+    /// Starts emitting heartbeats every `interval`.
+    pub fn start(interval: Duration) -> HeartbeatEmitter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cppll-heartbeat".to_string())
+            .spawn(move || {
+                let mut seq = 0u64;
+                while !stop2.load(Ordering::Relaxed) {
+                    println!("{}", heartbeat_line(seq, current_rss_kb().unwrap_or(0)));
+                    seq += 1;
+                    // Sleep in small slices so drop() does not block for a
+                    // full interval.
+                    let mut left = interval;
+                    while !stop2.load(Ordering::Relaxed) && !left.is_zero() {
+                        let slice = left.min(Duration::from_millis(25));
+                        std::thread::sleep(slice);
+                        left = left.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn heartbeat thread");
+        HeartbeatEmitter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for HeartbeatEmitter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeats_round_trip() {
+        let line = heartbeat_line(17, 204_800);
+        assert_eq!(
+            parse_line(&line),
+            WorkerLine::Heartbeat {
+                seq: 17,
+                rss_kb: 204_800
+            }
+        );
+    }
+
+    #[test]
+    fn ordinary_output_passes_through() {
+        assert_eq!(
+            parse_line("verdict: inevitable"),
+            WorkerLine::Output("verdict: inevitable".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_heartbeats_degrade_to_output() {
+        let garbled = format!("{HEARTBEAT_PREFIX}seq=banana rss_kb=12");
+        assert_eq!(parse_line(&garbled), WorkerLine::Output(garbled.clone()));
+        let partial = format!("{HEARTBEAT_PREFIX}seq=3");
+        assert_eq!(parse_line(&partial), WorkerLine::Output(partial.clone()));
+    }
+
+    #[test]
+    fn emitter_prints_and_stops() {
+        // Smoke test: the emitter thread starts and joins cleanly. (Its
+        // stdout goes to the test runner's captured stream.)
+        let e = HeartbeatEmitter::start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(e);
+    }
+}

@@ -1,0 +1,37 @@
+//! Resident-set-size self-measurement for workers.
+//!
+//! The supervisor enforces the memory ceiling from the worker's
+//! *self-reported* RSS (carried in every heartbeat) rather than polling
+//! `/proc/<pid>` itself: the value travels over the same channel as
+//! liveness, needs no extra permissions, and a worker too broken to report
+//! is killed by the watchdog anyway.
+
+/// Current resident set size of this process in KiB, from
+/// `/proc/self/status` (`VmRSS`). `None` off Linux or when procfs is
+/// unavailable.
+pub fn current_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb = rest
+                .split_ascii_whitespace()
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())?;
+            return Some(kb);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = current_rss_kb().expect("procfs available on linux");
+            assert!(rss > 0, "a running process has pages resident");
+        }
+    }
+}

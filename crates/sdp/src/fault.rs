@@ -55,6 +55,45 @@ pub enum CrashMode {
     /// `std::process::exit` with this code. Used by the CLI's
     /// `--inject-crash` flag so CI can kill and resume a real process.
     Exit(i32),
+    /// Hang forever: the solving thread enters an infinite sleep loop and
+    /// never returns. Only meaningful inside a supervised worker process —
+    /// the `cppll-harness` watchdog must detect the stall and SIGKILL the
+    /// worker. Never use in-process: the test would hang with it.
+    Hang,
+}
+
+impl CrashMode {
+    /// Executes the crash. Never returns except for the unreachable
+    /// fall-through the compiler needs.
+    fn execute(self, context: &str) -> ! {
+        match self {
+            CrashMode::Panic => panic!("injected crash: {context}"),
+            CrashMode::Exit(code) => std::process::exit(code),
+            CrashMode::Hang => loop {
+                std::thread::sleep(std::time::Duration::from_secs(1));
+            },
+        }
+    }
+}
+
+/// A fault injected into a *journal append* rather than an SDP solve:
+/// storage failing underneath the checkpoint layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFault {
+    /// The append fails with `ENOSPC` (disk full) before writing anything.
+    /// The journal on disk stays exactly as it was — valid — and the
+    /// pipeline surfaces a checkpoint I/O error.
+    Enospc,
+    /// A torn write: only the first `keep_bytes` bytes of the framed record
+    /// reach the disk, then the process dies per `then` — the simulation of
+    /// power loss mid-append. Resume must recover by truncating the torn
+    /// tail.
+    TornWrite {
+        /// Bytes of the framed line actually written.
+        keep_bytes: usize,
+        /// How the process dies after the partial write.
+        then: CrashMode,
+    },
 }
 
 /// Declarative schedule of which solves fail and how.
@@ -83,6 +122,8 @@ pub struct FaultPlan {
     /// Crash the process when the `nth` (0-based) solve within the named
     /// pipeline stage starts.
     crash_at_stage: Vec<(String, usize, CrashMode)>,
+    /// Inject a storage fault into the `nth` (0-based) journal append.
+    journal_at_append: BTreeMap<usize, JournalFault>,
 }
 
 impl FaultPlan {
@@ -151,6 +192,15 @@ impl FaultPlan {
         self.crash_at_stage.push((stage.into(), nth, mode));
         self
     }
+
+    /// Injects a storage fault into the `nth` (0-based) journal append.
+    /// Appends are counted across the whole run, from the first stage record
+    /// written after the header.
+    #[must_use]
+    pub fn fault_journal_append(mut self, nth: usize, fault: JournalFault) -> Self {
+        self.journal_at_append.insert(nth, fault);
+        self
+    }
 }
 
 #[derive(Debug, Default)]
@@ -168,6 +218,8 @@ struct InjectorState {
     seen_stages: BTreeSet<String>,
     /// Per-stage solve counters (crash-at-stage-solve bookkeeping).
     stage_calls: BTreeMap<String, usize>,
+    /// Journal appends observed so far.
+    journal_appends: usize,
 }
 
 /// Shared, thread-safe fault source polled once per SDP solve.
@@ -223,12 +275,9 @@ impl FaultInjector {
             // test harness does not leave the injector's mutex poisoned while
             // the guard unwinds.
             drop(st);
-            match mode {
-                CrashMode::Panic => panic!(
-                    "injected crash at solve call {index} (stage '{stage}', stage solve {stage_index})"
-                ),
-                CrashMode::Exit(code) => std::process::exit(code),
-            }
+            mode.execute(&format!(
+                "solve call {index} (stage '{stage}', stage solve {stage_index})"
+            ));
         }
 
         if let Some(budget) = self.plan.budget {
@@ -256,6 +305,23 @@ impl FaultInjector {
             st.fired += 1;
         }
         kind
+    }
+
+    /// Called by the checkpoint layer before each journal append: decides
+    /// whether this append suffers an injected storage fault. Panic- and
+    /// exit-mode torn writes are executed by the caller *after* the partial
+    /// write, so the fault is returned rather than acted on here.
+    pub fn poll_journal_append(&self) -> Option<JournalFault> {
+        let mut st = self.state.lock().expect("injector lock");
+        let index = st.journal_appends;
+        st.journal_appends += 1;
+        self.plan.journal_at_append.get(&index).copied()
+    }
+
+    /// Executes the death half of a torn write, after the caller has
+    /// persisted the partial record. Never returns.
+    pub fn die(mode: CrashMode, context: &str) -> ! {
+        mode.execute(context)
     }
 
     /// Total solves observed.
@@ -370,6 +436,33 @@ mod tests {
         assert_eq!(inj.poll(), None); // stage solve 1
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.poll()));
         assert!(err.is_err(), "third advection solve should crash");
+    }
+
+    #[test]
+    fn journal_append_faults_fire_on_the_indexed_append() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .fault_journal_append(1, JournalFault::Enospc)
+                .fault_journal_append(
+                    3,
+                    JournalFault::TornWrite {
+                        keep_bytes: 7,
+                        then: CrashMode::Panic,
+                    },
+                ),
+        );
+        assert_eq!(inj.poll_journal_append(), None);
+        assert_eq!(inj.poll_journal_append(), Some(JournalFault::Enospc));
+        assert_eq!(inj.poll_journal_append(), None);
+        assert_eq!(
+            inj.poll_journal_append(),
+            Some(JournalFault::TornWrite {
+                keep_bytes: 7,
+                then: CrashMode::Panic,
+            })
+        );
+        // Journal appends do not advance the solve-call counter.
+        assert_eq!(inj.calls(), 0);
     }
 
     #[test]

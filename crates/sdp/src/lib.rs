@@ -55,7 +55,7 @@ mod solution;
 mod solver;
 mod sparse;
 
-pub use fault::{CrashMode, FaultInjector, FaultKind, FaultPlan};
+pub use fault::{CrashMode, FaultInjector, FaultKind, FaultPlan, JournalFault};
 pub use problem::{BlockId, ConstraintId, FreeVarId, SdpProblem};
 pub use solution::{SdpSolution, SdpStatus, SolveTimings};
 pub use solver::SolverOptions;

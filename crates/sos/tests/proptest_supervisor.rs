@@ -64,6 +64,83 @@ fn supervised_run(
     (ok, ledger.log_lines())
 }
 
+/// An expired pipeline deadline clamps the planned backoff sleep to zero:
+/// the retry must still happen (and be counted) immediately, without
+/// serving a multi-second sleep the budget no longer allows.
+#[test]
+fn expired_deadline_clamps_backoff_sleep_to_zero_but_still_retries() {
+    use std::time::{Duration, Instant};
+
+    let p = Polynomial::from_terms(
+        2,
+        &[
+            (&[2, 0], 1.0),
+            (&[1, 1], -2.0),
+            (&[0, 2], 1.0),
+            (&[0, 0], 1.0),
+        ],
+    );
+    let mut prog = SosProgram::new(2);
+    prog.require_sos(p.into());
+
+    let recorder = cppll_trace::TraceRecorder::new(cppll_trace::TraceLevel::Solve);
+    let ledger = SolveLedger::new();
+    let options = SosOptions {
+        resilience: ResilienceOptions {
+            retry: RetryPolicy {
+                max_retries: 1,
+                // A backoff the test would feel if it were actually slept.
+                backoff_base_ms: 60_000,
+                // Force the production sleep path (cfg(test) defaults it
+                // off); the clamp is what keeps this test fast.
+                sleep: true,
+                ..RetryPolicy::default()
+            },
+            // The deadline has already passed when the backoff is planned.
+            deadline: Some(Instant::now() - Duration::from_millis(10)),
+            fault: Some(Arc::new(FaultInjector::new(
+                FaultPlan::new().fault_at_call(0, FaultKind::Stall),
+            ))),
+            ledger: Some(ledger.clone()),
+            tracer: Some(recorder.tracer()),
+            ..ResilienceOptions::default()
+        },
+        ..SosOptions::default()
+    };
+
+    let started = Instant::now();
+    let _ = prog.solve(&options);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "an expired deadline must clamp the 60s planned backoff to zero, \
+         took {:?}",
+        started.elapsed()
+    );
+
+    // The retry still happened and was counted.
+    let stats = ledger.stats();
+    assert_eq!(stats.attempts, 2, "faulted attempt plus one retry");
+    assert_eq!(stats.retries, 1);
+    assert_eq!(recorder.counter_total("retry"), 1);
+    assert_eq!(recorder.counter_total("backoff"), 1);
+
+    // The backoff instant records the full plan and the zero clamp.
+    let backoffs = recorder.instants_named("backoff");
+    assert_eq!(backoffs.len(), 1);
+    assert_eq!(backoffs[0].field_f64("planned_ms"), Some(60_000.0));
+    assert_eq!(backoffs[0].field_f64("clamped_ms"), Some(0.0));
+
+    // The attempt log still plans the full backoff — the clamp is a
+    // runtime budget decision, not a change to the deterministic plan.
+    let log = ledger.log_lines();
+    assert_eq!(log.len(), 2);
+    assert!(
+        log[0].ends_with("backoff_ms=60000"),
+        "first attempt plans the full backoff: {}",
+        log[0]
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

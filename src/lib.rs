@@ -40,6 +40,8 @@
 //! harness regenerating every table and figure of the paper.
 
 pub use cppll_exact as exact;
+pub use cppll_harness as harness;
+pub use cppll_par as par;
 pub use cppll_hybrid as hybrid;
 pub use cppll_linalg as linalg;
 pub use cppll_pll as pll;
