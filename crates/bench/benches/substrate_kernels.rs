@@ -9,7 +9,7 @@ use cppll_hybrid::Simulator;
 use cppll_linalg::Matrix;
 use cppll_pll::{cyclic_automaton, PllOrder, TableOneParams};
 use cppll_poly::{monomials_up_to, Polynomial};
-use cppll_sdp::{SdpProblem, SolverOptions};
+use cppll_sdp::{assemble_schur_dense_for_tests, assemble_schur_for_tests, SdpProblem, SolverOptions};
 
 fn spd(n: usize) -> Matrix {
     let mut a = Matrix::zeros(n, n);
@@ -38,6 +38,58 @@ fn dense_poly(nvars: usize, deg: u32) -> Polynomial {
         p.add_term(m, 1.0 / (k as f64 + 1.0));
     }
     p
+}
+
+/// A structured multi-block SDP mirroring the solver's SOS workload: several
+/// Gram blocks, each touched by a band of sparse coefficient-matching
+/// constraints. Returns the problem plus SPD iterate pairs for the Schur
+/// assembly benchmarks.
+fn schur_fixture(blocks: usize, n: usize, cons_per_block: usize) -> (SdpProblem, Vec<Matrix>, Vec<Matrix>) {
+    let mut p = SdpProblem::new();
+    let ids: Vec<_> = (0..blocks).map(|_| p.add_psd_block(n)).collect();
+    for b in &ids {
+        p.set_block_cost_identity(*b, 1.0);
+    }
+    for (j, b) in ids.iter().enumerate() {
+        for k in 0..cons_per_block {
+            let c = p.add_constraint(1.0 + k as f64 / 8.0);
+            // Sparse support: a short diagonal band starting at a varying row.
+            let r0 = (k * 3) % n;
+            p.set_entry(c, *b, r0, r0, 2.0);
+            if r0 + 1 < n {
+                p.set_entry(c, *b, r0, r0 + 1, 0.5 + j as f64 / 16.0);
+            }
+        }
+    }
+    let x: Vec<Matrix> = (0..blocks).map(|_| spd(n)).collect();
+    let sm: Vec<Matrix> = (0..blocks).map(|_| spd(n)).collect();
+    (p, x, sm)
+}
+
+/// Block-diagonal quasidefinite matrix with a dense arrowhead tail — the
+/// shape of the solver's KKT systems, where the zero-multiplier skip in the
+/// packed LDLᵀ does its work.
+fn kkt_fixture(blocks: usize, nb: usize, tail: usize) -> Matrix {
+    let n = blocks * nb + tail;
+    let mut a = Matrix::zeros(n, n);
+    for b in 0..blocks {
+        let lo = b * nb;
+        let blk = spd(nb);
+        for r in 0..nb {
+            for c in 0..nb {
+                a[(lo + r, lo + c)] = blk[(r, c)];
+            }
+        }
+    }
+    for i in blocks * nb..n {
+        for j in 0..blocks * nb {
+            let v = ((i * 37 + j * 11) % 17) as f64 / 17.0 - 0.5;
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+        a[(i, i)] = -(1.0 + (i % 7) as f64);
+    }
+    a
 }
 
 fn bench(c: &mut Criterion) {
@@ -112,6 +164,29 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    let mut g = c.benchmark_group("schur");
+    let (p, x, sm) = schur_fixture(12, 24, 20);
+    g.bench_function("assemble_sparse_12x24", |b| {
+        b.iter(|| black_box(assemble_schur_for_tests(black_box(&p), &x, &sm, 1)))
+    });
+    g.bench_function("assemble_dense_12x24", |b| {
+        b.iter(|| black_box(assemble_schur_dense_for_tests(black_box(&p), &x, &sm, 1)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ldlt");
+    let kkt = kkt_fixture(8, 40, 24);
+    g.bench_function("packed_serial_344", |b| {
+        b.iter(|| black_box(cppll_linalg::Ldlt::new(black_box(&kkt), 1e-12).unwrap()))
+    });
+    g.bench_function("packed_parallel_344", |b| {
+        b.iter(|| black_box(cppll_linalg::Ldlt::new_parallel(black_box(&kkt), 1e-12, 0).unwrap()))
+    });
+    g.bench_function("reference_344", |b| {
+        b.iter(|| black_box(cppll_linalg::Ldlt::new_reference(black_box(&kkt), 1e-12).unwrap()))
+    });
+    g.finish();
 }
 
 /// Best-of-`reps` wall-clock seconds of `f`.
@@ -162,6 +237,82 @@ fn write_kernel_report() {
             best_of(reps, || {
                 black_box(cppll_linalg::Cholesky::new_unblocked(black_box(&a)).unwrap());
             }),
+        )
+        .build();
+
+    // Sparse-vs-dense Schur assembly and the packed LDLᵀ kernels, with a
+    // bit-identity guard: the sparse/parallel paths must reproduce their
+    // references exactly, or the timing comparison is meaningless.
+    let (sp, sx, ss) = schur_fixture(12, 24, 20);
+    let sparse_m = assemble_schur_for_tests(&sp, &sx, &ss, 1);
+    let dense_m = assemble_schur_dense_for_tests(&sp, &sx, &ss, 1);
+    assert!(
+        sparse_m
+            .as_slice()
+            .iter()
+            .zip(dense_m.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "sparse Schur assembly diverged from the dense reference"
+    );
+    let kkt = kkt_fixture(8, 40, 24);
+    let serial_f = cppll_linalg::Ldlt::new(&kkt, 1e-12).unwrap();
+    let reference_f = cppll_linalg::Ldlt::new_reference(&kkt, 1e-12).unwrap();
+    assert_eq!(serial_f.inertia(), reference_f.inertia());
+    let probe: Vec<f64> = (0..kkt.nrows()).map(|i| (i as f64).sin()).collect();
+    assert!(
+        serial_f
+            .solve(&probe)
+            .iter()
+            .zip(reference_f.solve(&probe))
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "packed LDLT solve diverged from the reference"
+    );
+    let report = ObjectBuilder::new()
+        .field("base", report)
+        .field(
+            "schur",
+            ObjectBuilder::new()
+                .field("blocks", 12usize)
+                .field("block_dim", 24usize)
+                .field("constraints", 12usize * 20)
+                .field(
+                    "assemble_sparse_seconds",
+                    best_of(reps, || {
+                        black_box(assemble_schur_for_tests(&sp, &sx, &ss, 1));
+                    }),
+                )
+                .field(
+                    "assemble_dense_seconds",
+                    best_of(reps, || {
+                        black_box(assemble_schur_dense_for_tests(&sp, &sx, &ss, 1));
+                    }),
+                )
+                .build(),
+        )
+        .field(
+            "ldlt",
+            ObjectBuilder::new()
+                .field("dim", kkt.nrows())
+                .field("lower_nonzeros", serial_f.lower_nonzeros())
+                .field(
+                    "packed_serial_seconds",
+                    best_of(reps, || {
+                        black_box(cppll_linalg::Ldlt::new(&kkt, 1e-12).unwrap());
+                    }),
+                )
+                .field(
+                    "packed_parallel_seconds",
+                    best_of(reps, || {
+                        black_box(cppll_linalg::Ldlt::new_parallel(&kkt, 1e-12, 0).unwrap());
+                    }),
+                )
+                .field(
+                    "reference_seconds",
+                    best_of(reps, || {
+                        black_box(cppll_linalg::Ldlt::new_reference(&kkt, 1e-12).unwrap());
+                    }),
+                )
+                .build(),
         )
         .build();
     let path = cppll_bench::bench_sdp_json_path();

@@ -81,6 +81,45 @@ fn print_advection(fig: &AdvectionFigure) {
     }
 }
 
+/// Compares the freshly measured third-order pipeline wall-clock against the
+/// committed baseline snapshot (`benchmarks/bench_baseline.json`). Returns an
+/// error string when the measurement exceeds the allowed regression budget;
+/// `Ok(None)` when no baseline is committed for this configuration.
+fn check_bench_regression(rows: &[experiments::BenchSdpRow], quick: bool) -> Result<Option<String>, String> {
+    const PROBLEM: &str = "pll_third_order";
+    const BUDGET: f64 = 1.25; // fail CI on a >25% wall-clock regression
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks/bench_baseline.json");
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => return Ok(None), // no committed baseline: nothing to guard
+    };
+    let doc = cppll_json::parse(&text).map_err(|e| format!("unparseable baseline {}: {e:?}", path.display()))?;
+    let section = if quick { "quick" } else { "full" };
+    let Some(entry) = doc.get(section).and_then(|s| s.get(PROBLEM)) else {
+        return Ok(None); // baseline does not cover this configuration
+    };
+    let baseline = entry
+        .get("total_seconds")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("baseline {} lacks {section}.{PROBLEM}.total_seconds", path.display()))?;
+    let row = rows
+        .iter()
+        .find(|r| r.problem == PROBLEM)
+        .ok_or_else(|| format!("bench rows lack {PROBLEM}"))?;
+    let measured = row.timings.total;
+    let ratio = measured / baseline;
+    if ratio > BUDGET {
+        return Err(format!(
+            "{PROBLEM} regressed: {measured:.2}s vs baseline {baseline:.2}s \
+             ({ratio:.2}x > {BUDGET:.2}x budget, section {section})"
+        ));
+    }
+    Ok(Some(format!(
+        "{PROBLEM}: {measured:.2}s vs baseline {baseline:.2}s ({ratio:.2}x, budget {BUDGET:.2}x)"
+    )))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -193,6 +232,14 @@ fn main() {
         match cppll_bench::merge_bench_sdp(&path, "pipeline", b.to_json()) {
             Ok(()) => println!("  [saved {}]", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        match check_bench_regression(&b.rows, quick) {
+            Ok(Some(line)) => println!("  [regression guard] {line}"),
+            Ok(None) => println!("  [regression guard] no committed baseline for this configuration"),
+            Err(msg) => {
+                eprintln!("error: [regression guard] {msg}");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -708,11 +708,13 @@ pub fn bench_sdp(quick: bool) -> BenchSdp {
     };
 
     let (_, r3) = run_pipeline(PllOrder::Third, quick);
+    let (_, r4) = run_pipeline(PllOrder::Fourth, quick);
     BenchSdp {
         threads: cppll_par::current_threads(),
         rows: vec![
             bench_sdp_row("toy_two_mode_spiral", &toy),
             bench_sdp_row("pll_third_order", &r3),
+            bench_sdp_row("pll_fourth_order", &r4),
         ],
         telemetry,
     }
@@ -796,6 +798,7 @@ impl ToJson for BenchSdpRow {
             .field("attempts", self.attempts)
             .field("stages", stages.build())
             .field("total_seconds", self.timings.total)
+            .field("schur_pairs_skipped", self.timings.schur_pairs_skipped)
             .field("reduction", self.reduction.to_json())
             .build()
     }

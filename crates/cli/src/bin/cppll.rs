@@ -13,6 +13,7 @@
 //! --solve-timeout <secs>   wall-clock budget per solve attempt
 //! --deadline <secs>        wall-clock budget for the whole pipeline
 //! --threads <n>            SDP solver worker threads (0 = auto, default 0)
+//! --kkt-mode <mode>        KKT LDLT kernel: auto | schur | augmented (default auto)
 //! ```
 //!
 //! Durability flags (both `verify` and `pll`):
@@ -382,6 +383,13 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
                     .map_err(|_| format!("--threads: not a count: {v}"))?;
                 cppll_par::set_threads(n);
             }
+            "--kkt-mode" => {
+                let v = value_of("--kkt-mode")?;
+                let mode = cppll_sdp::KktMode::parse(v).ok_or_else(|| {
+                    format!("--kkt-mode: expected auto|schur|augmented, got {v}")
+                })?;
+                cppll_sdp::set_default_kkt_mode(mode);
+            }
             "--run-id" => durability.run_id = Some(value_of("--run-id")?.to_string()),
             "--resume" => durability.resume = Some(value_of("--resume")?.to_string()),
             "--runs-dir" => durability.runs_dir = Some(value_of("--runs-dir")?.to_string()),
@@ -716,6 +724,8 @@ fn main() -> ExitCode {
                  \x20 --solve-timeout <secs>   wall-clock budget per solve attempt\n\
                  \x20 --deadline <secs>        wall-clock budget for the whole pipeline\n\
                  \x20 --threads <n>            SDP solver worker threads (0 = auto)\n\
+                 \x20 --kkt-mode <mode>        KKT LDLT kernel: auto | schur | augmented\n\
+                 \x20                          (bit-identical results; wall-clock only)\n\
                  \n\
                  durability flags (verify, pll):\n\
                  \x20 --run-id <id>            journal completed stages under target/runs/<id>\n\

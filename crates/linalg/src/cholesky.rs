@@ -163,27 +163,54 @@ impl Cholesky {
 
     /// Solves `A x = b` in place.
     ///
+    /// Both sweeps are column-oriented: per target entry the subtractions
+    /// still happen in ascending column order with the division last, so the
+    /// result is bit-identical to the textbook row walk — but every inner
+    /// loop now reads one contiguous column slice of `L`.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the factored dimension.
     pub fn solve_in_place(&self, x: &mut [f64]) {
+        self.solve_in_place_from(x, 0);
+    }
+
+    /// Solves `A x = b` in place when the leading `first` entries of `b` are
+    /// exactly `+0.0`: the forward sweep starts at column `first`, skipping
+    /// work that provably produces the unchanged prefix. The backward sweep
+    /// is full — `Lᵀ` spreads trailing entries upward into the prefix.
+    ///
+    /// Correctness contract (the sparse-RHS Schur path guarantees it by
+    /// zero-filling its workspaces): `x[..first]` must be `+0.0` bit
+    /// patterns and `x` must contain no `-0.0`. Then every skipped forward
+    /// operation is a no-op down to the sign of zero: prefix targets only
+    /// ever subtract `±0.0` from `+0.0` (stays `+0.0`), divide `+0.0` by a
+    /// positive pivot (stays `+0.0`), and suffix targets skip `±0.0` terms
+    /// while still holding their non-`-0.0` initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the factored dimension.
+    pub fn solve_in_place_from(&self, x: &mut [f64], first: usize) {
         let n = self.dim();
         assert_eq!(x.len(), n, "rhs length must equal matrix dimension");
         // L y = b
-        for i in 0..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.l[(i, j)] * x[j];
+        for j in first..n {
+            let col = self.l.col(j);
+            let xj = x[j] / col[j];
+            x[j] = xj;
+            for i in (j + 1)..n {
+                x[i] -= col[i] * xj;
             }
-            x[i] = acc / self.l[(i, i)];
         }
         // Lᵀ x = y
         for i in (0..n).rev() {
+            let col = self.l.col(i);
             let mut acc = x[i];
             for j in (i + 1)..n {
-                acc -= self.l[(j, i)] * x[j];
+                acc -= col[j] * x[j];
             }
-            x[i] = acc / self.l[(i, i)];
+            x[i] = acc / col[i];
         }
     }
 
@@ -213,17 +240,28 @@ impl Cholesky {
     ///
     /// Panics if `b.len()` differs from the factored dimension.
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.dim();
-        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
         let mut x = b.to_vec();
-        for i in 0..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.l[(i, j)] * x[j];
-            }
-            x[i] = acc / self.l[(i, i)];
-        }
+        self.solve_lower_in_place(&mut x);
         x
+    }
+
+    /// Solves `L y = b` in place (column-oriented forward sweep; see
+    /// [`Cholesky::solve_in_place`] for the bit-identity argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the factored dimension.
+    pub fn solve_lower_in_place(&self, x: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "rhs length must equal matrix dimension");
+        for j in 0..n {
+            let col = self.l.col(j);
+            let xj = x[j] / col[j];
+            x[j] = xj;
+            for i in (j + 1)..n {
+                x[i] -= col[i] * xj;
+            }
+        }
     }
 
     /// Solves `L Z = B` (lower-triangular, matrix right-hand side).
@@ -236,14 +274,7 @@ impl Cholesky {
         assert_eq!(b.nrows(), n, "rhs rows must equal matrix dimension");
         let mut out = b.clone();
         for c in 0..b.ncols() {
-            let col = out.col_mut(c);
-            for i in 0..n {
-                let mut acc = col[i];
-                for j in 0..i {
-                    acc -= self.l[(i, j)] * col[j];
-                }
-                col[i] = acc / self.l[(i, i)];
-            }
+            self.solve_lower_in_place(out.col_mut(c));
         }
         out
     }
@@ -329,6 +360,54 @@ mod tests {
         let e = w.symmetric_eigen();
         assert!(e.min_eigenvalue() < 0.0);
         assert!(e.max_eigenvalue() > 0.0);
+    }
+
+    #[test]
+    fn column_oriented_solve_matches_row_walk_bitwise() {
+        let a = spd3();
+        let ch = a.cholesky().unwrap();
+        let b = [0.125, -3.5, 2.75];
+        let got = ch.solve(&b);
+        // Textbook row-walk reference.
+        let n = 3;
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= ch.l()[(i, j)] * x[j];
+            }
+            x[i] = acc / ch.l()[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= ch.l()[(j, i)] * x[j];
+            }
+            x[i] = acc / ch.l()[(i, i)];
+        }
+        for (u, v) in got.iter().zip(&x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn restricted_forward_solve_matches_full_bitwise() {
+        // 5×5 SPD with a RHS whose leading two entries are exactly +0.0.
+        let mut a = Matrix::identity(5);
+        for r in 0..5 {
+            for c in 0..5 {
+                a[(r, c)] += 0.25 / ((r + c + 1) as f64);
+            }
+        }
+        let ch = a.cholesky().unwrap();
+        let b = [0.0, 0.0, 1.5, -2.0, 0.75];
+        let mut full = b.to_vec();
+        ch.solve_in_place(&mut full);
+        let mut skip = b.to_vec();
+        ch.solve_in_place_from(&mut skip, 2);
+        for (u, v) in full.iter().zip(&skip) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
     }
 
     #[test]

@@ -11,6 +11,20 @@ use crate::{FactorError, Matrix};
 /// the central path) are nudged by `reg` with the sign they were drifting
 /// towards, which is the standard static-regularisation safeguard.
 ///
+/// # Sparsity
+///
+/// The Schur complement of a multi-identity SOS program is block-diagonal —
+/// constraints from different identities never share a Gram block — so the
+/// KKT matrix (and, without pivoting, its factor) is mostly structural
+/// zeros. Every kernel here skips an update term whenever its *multiplier*
+/// `L[c,k]` is exactly zero, which turns the dense-storage factorisation
+/// into an effectively sparse one, and the factor keeps a compressed-column
+/// map of `L`'s nonzeros so [`Ldlt::solve`] walks only those. All three
+/// kernels ([`Ldlt::new`], [`Ldlt::new_parallel`], [`Ldlt::new_reference`])
+/// share the same skip rule and the same per-entry operation order, so they
+/// are bit-identical to each other by construction — including the signs of
+/// zeros — for every input and thread count.
+///
 /// # Examples
 ///
 /// ```
@@ -31,7 +45,21 @@ pub struct Ldlt {
     ld: Matrix,
     /// Number of pivots that required regularisation.
     regularised: usize,
+    /// Compressed-column structure of the strictly-lower nonzeros of `L`:
+    /// `row_idx[col_ptr[j]..col_ptr[j+1]]` are the rows `i > j` with
+    /// `L[i,j] != 0`, and `vals` holds the matching entries contiguously.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    vals: Vec<f64>,
+    /// The diagonal of `D`, pulled out for a contiguous divide pass.
+    diag: Vec<f64>,
 }
+
+/// Panel width of the blocked kernels. The trailing update applies whole
+/// panels, so the per-entry update order is "panels ascending, columns
+/// within a panel ascending" — the same ascending-`k` order as the
+/// unblocked reference.
+const NB: usize = 48;
 
 impl Ldlt {
     /// Factors a symmetric matrix; only the lower triangle is read.
@@ -45,6 +73,24 @@ impl Ldlt {
     /// Returns [`FactorError::DimensionMismatch`] for non-square input, and
     /// [`FactorError::Singular`] when a pivot vanishes and `reg == 0`.
     pub fn new(a: &Matrix, reg: f64) -> Result<Self, FactorError> {
+        Self::factor_blocked(a, reg, 1)
+    }
+
+    /// Factors with the packed, parallel trailing update: panel columns are
+    /// copied into a contiguous buffer once per panel and the trailing
+    /// columns are distributed over `threads` workers (0 = process
+    /// default). Each trailing column is updated by exactly one worker with
+    /// the same per-entry operation sequence as [`Ldlt::new`], so the
+    /// result is bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ldlt::new`].
+    pub fn new_parallel(a: &Matrix, reg: f64, threads: usize) -> Result<Self, FactorError> {
+        Self::factor_blocked(a, reg, cppll_par::resolve_threads(threads).max(1))
+    }
+
+    fn factor_blocked(a: &Matrix, reg: f64, threads: usize) -> Result<Self, FactorError> {
         if !a.is_square() {
             return Err(FactorError::DimensionMismatch {
                 context: "ldlt requires a square matrix",
@@ -62,12 +108,18 @@ impl Ldlt {
         // ([`Ldlt::new_reference`]) subtracts `(l_ik · l_jk) · d_k` terms in
         // ascending k; this version applies the very same sequence of
         // floating-point operations per entry (panels in order, columns
-        // within a panel in order, identical association), so pivots — and
-        // therefore the regularisation decisions — are bit-identical. The
-        // win is purely cache behaviour: the m×m KKT matrix is updated
-        // through contiguous column slices instead of strided row walks.
-        const NB: usize = 48;
+        // within a panel in order, identical association, identical skip
+        // rule), so pivots — and therefore the regularisation decisions —
+        // are bit-identical. The wins are cache behaviour (contiguous packed
+        // panels instead of strided row walks), the zero-multiplier skip
+        // (block-sparse KKT columns never touch foreign identities), and
+        // the parallel trailing update.
         let mut regularised = 0;
+        // Contiguous copy of the current panel's rows `j1..n` plus its
+        // pivots, rebuilt per panel; read-only during the trailing update so
+        // trailing columns can be updated in parallel.
+        let mut pack = vec![0.0f64; NB * n];
+        let mut pivots = [0.0f64; NB];
         for j0 in (0..n).step_by(NB) {
             let j1 = (j0 + NB).min(n);
             // Factor panel columns j0..j1, right-looking within the panel.
@@ -94,33 +146,56 @@ impl Ldlt {
                     let (head, tail) = dat.split_at_mut(c * n);
                     let lj = &head[j * n..j * n + n];
                     let ljc = lj[c];
+                    if ljc == 0.0 {
+                        continue;
+                    }
                     let cc = &mut tail[..n];
                     for i in c..n {
                         cc[i] -= lj[i] * ljc * d;
                     }
                 }
             }
-            // Trailing update with the whole panel while it is hot in cache.
+            if j1 == n {
+                break;
+            }
+            // Pack the panel's trailing rows (and pivots) contiguously, then
+            // update the trailing columns with the whole panel while it is
+            // hot in cache. Each trailing column's update sequence is
+            // independent of every other's, so the columns fan out across
+            // workers without changing a single operation.
+            let plen = n - j1;
+            for k in j0..j1 {
+                let src = ld.col(k);
+                pivots[k - j0] = src[k];
+                pack[(k - j0) * plen..(k - j0 + 1) * plen].copy_from_slice(&src[j1..n]);
+            }
+            let pack = &pack[..(j1 - j0) * plen];
+            let pivots = &pivots[..j1 - j0];
             let dat = ld.as_mut_slice();
-            for c in j1..n {
-                let (head, tail) = dat.split_at_mut(c * n);
-                let cc = &mut tail[..n];
-                for k in j0..j1 {
-                    let lk = &head[k * n..k * n + n];
-                    let lkc = lk[c];
-                    let dk = lk[k];
+            let tail_cols = &mut dat[j1 * n..];
+            cppll_par::parallel_fill_chunks(tail_cols, n, threads, |ci, cc| {
+                let c = j1 + ci;
+                for k in 0..(j1 - j0) {
+                    let lk = &pack[k * plen..(k + 1) * plen];
+                    let lkc = lk[c - j1];
+                    if lkc == 0.0 {
+                        continue;
+                    }
+                    let dk = pivots[k];
                     for i in c..n {
-                        cc[i] -= lk[i] * lkc * dk;
+                        cc[i] -= lk[i - j1] * lkc * dk;
                     }
                 }
-            }
+            });
         }
-        Ok(Ldlt { ld, regularised })
+        Ok(Self::finish(ld, regularised))
     }
 
     /// Reference (unblocked, left-looking) factorisation — the kernel the
-    /// blocked [`Ldlt::new`] is validated against in tests. Produces
-    /// bit-identical factors and regularisation counts.
+    /// blocked [`Ldlt::new`] and packed-parallel [`Ldlt::new_parallel`] are
+    /// validated against in tests. Shares their zero-multiplier skip rule,
+    /// so it produces bit-identical factors and regularisation counts for
+    /// every input, including adversarial signed zeros.
     ///
     /// # Errors
     ///
@@ -144,6 +219,9 @@ impl Ldlt {
             let mut d = ld[(j, j)];
             for k in 0..j {
                 let l = ld[(j, k)];
+                if l == 0.0 {
+                    continue;
+                }
                 d -= l * l * ld[(k, k)];
             }
             if d.abs() < reg {
@@ -157,12 +235,46 @@ impl Ldlt {
             for i in (j + 1)..n {
                 let mut v = ld[(i, j)];
                 for k in 0..j {
-                    v -= ld[(i, k)] * ld[(j, k)] * ld[(k, k)];
+                    let ljk = ld[(j, k)];
+                    if ljk == 0.0 {
+                        continue;
+                    }
+                    v -= ld[(i, k)] * ljk * ld[(k, k)];
                 }
                 ld[(i, j)] = v / d;
             }
         }
-        Ok(Ldlt { ld, regularised })
+        Ok(Self::finish(ld, regularised))
+    }
+
+    /// Builds the compressed-column view of the factor's strictly-lower
+    /// nonzeros; one O(n²) scan that every subsequent solve amortises.
+    fn finish(ld: Matrix, regularised: usize) -> Self {
+        let n = ld.nrows();
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::new();
+        let mut vals = Vec::new();
+        let mut diag = Vec::with_capacity(n);
+        col_ptr.push(0);
+        for j in 0..n {
+            let col = ld.col(j);
+            diag.push(col[j]);
+            for (i, &v) in col.iter().enumerate().take(n).skip(j + 1) {
+                if v != 0.0 {
+                    row_idx.push(i as u32);
+                    vals.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Ldlt {
+            ld,
+            regularised,
+            col_ptr,
+            row_idx,
+            vals,
+            diag,
+        }
     }
 
     /// Dimension of the factored matrix.
@@ -175,7 +287,18 @@ impl Ldlt {
         self.regularised
     }
 
-    /// Solves `A x = b`.
+    /// Number of stored strictly-lower nonzeros of `L` — the work a solve
+    /// actually performs (the dense count is `n(n-1)/2`).
+    pub fn lower_nonzeros(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Solves `A x = b`, walking only the stored nonzeros of `L`.
+    ///
+    /// The forward pass is column-oriented: per target entry the
+    /// subtractions still happen in ascending column order, so the result is
+    /// bit-identical to the textbook row walk; skipped terms have an exactly
+    /// zero multiplier.
     ///
     /// # Panics
     ///
@@ -185,22 +308,21 @@ impl Ldlt {
         assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
         let mut x = b.to_vec();
         // L y = b (unit diagonal)
-        for i in 0..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.ld[(i, j)] * x[j];
+        for j in 0..n {
+            let xj = x[j];
+            for t in self.col_ptr[j]..self.col_ptr[j + 1] {
+                x[self.row_idx[t] as usize] -= self.vals[t] * xj;
             }
-            x[i] = acc;
         }
         // D z = y
-        for i in 0..n {
-            x[i] /= self.ld[(i, i)];
+        for (xi, d) in x.iter_mut().zip(&self.diag) {
+            *xi /= d;
         }
         // Lᵀ x = z
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.ld[(j, i)] * x[j];
+            for t in self.col_ptr[i]..self.col_ptr[i + 1] {
+                acc -= self.vals[t] * x[self.row_idx[t] as usize];
             }
             x[i] = acc;
         }
@@ -269,5 +391,83 @@ mod tests {
     fn zero_reg_singular_errors() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
         assert!(matches!(a.ldlt(0.0), Err(FactorError::Singular { .. })));
+    }
+
+    #[test]
+    fn block_diagonal_factor_stays_sparse() {
+        // Two decoupled 3×3 diagonal-dominant blocks: L must keep the
+        // off-block zeros, and the solve must still be exact.
+        let n = 6;
+        let mut a = Matrix::zeros(n, n);
+        for blk in 0..2 {
+            let o = blk * 3;
+            for r in 0..3 {
+                for c in 0..3 {
+                    a[(o + r, o + c)] = if r == c { 4.0 } else { 1.0 };
+                }
+            }
+        }
+        let f = a.ldlt(0.0).unwrap();
+        // Dense strict lower would hold 15 entries; two 3×3 blocks hold 6.
+        assert_eq!(f.lower_nonzeros(), 6);
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = f.solve(&b);
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_factor_bit_identical_across_threads() {
+        // A quasidefinite matrix larger than one panel, with a zero block to
+        // exercise the skip rule.
+        let n = 97;
+        let mut a = Matrix::zeros(n, n);
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for c in 0..n {
+            for r in c..n {
+                // Decouple rows < 40 from rows >= 40 except through the
+                // trailing "free" rows, mimicking the KKT arrowhead.
+                let coupled = (r < 40) == (c < 40) || r >= 90;
+                if coupled {
+                    let v = rnd();
+                    a[(r, c)] = v;
+                    a[(c, r)] = v;
+                }
+            }
+        }
+        for i in 0..90 {
+            a[(i, i)] = 8.0 + rnd();
+        }
+        for i in 90..n {
+            a[(i, i)] = -1.0 - rnd().abs();
+        }
+        let serial = Ldlt::new(&a, 1e-12).unwrap();
+        let reference = Ldlt::new_reference(&a, 1e-12).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = Ldlt::new_parallel(&a, 1e-12, threads).unwrap();
+            assert_eq!(par.regularised_pivots(), serial.regularised_pivots());
+            for c in 0..n {
+                for r in c..n {
+                    assert_eq!(
+                        par.ld[(r, c)].to_bits(),
+                        serial.ld[(r, c)].to_bits(),
+                        "threads={threads} entry ({r},{c})"
+                    );
+                    assert_eq!(
+                        par.ld[(r, c)].to_bits(),
+                        reference.ld[(r, c)].to_bits(),
+                        "reference mismatch at ({r},{c})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -433,6 +433,17 @@ impl Matrix {
         Ldlt::new(self, reg)
     }
 
+    /// LDLᵀ factorisation with the packed, parallel trailing update
+    /// ([`Ldlt::new_parallel`]); bit-identical to [`Matrix::ldlt`] for every
+    /// thread count (`threads = 0` uses the process default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::DimensionMismatch`] for non-square input.
+    pub fn ldlt_parallel(&self, reg: f64, threads: usize) -> Result<Ldlt, FactorError> {
+        Ldlt::new_parallel(self, reg, threads)
+    }
+
     /// Symmetric eigendecomposition by the cyclic Jacobi method.
     ///
     /// The input is symmetrized (`(A + Aᵀ)/2`) before iteration.

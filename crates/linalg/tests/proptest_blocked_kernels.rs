@@ -138,6 +138,87 @@ proptest! {
     }
 
     #[test]
+    fn parallel_packed_ldlt_bit_identical_across_threads(
+        pool in data_pool(NMAX * NMAX),
+        rhs in data_pool(NMAX),
+        n in 1usize..NMAX,
+    ) {
+        // The packed parallel kernel must equal both the serial blocked
+        // kernel and the left-looking reference bit for bit at every thread
+        // count — dims deliberately cross the 48-column panel boundary.
+        let a = quasidefinite_from(&pool, n);
+        let reference = Ldlt::new_reference(&a, 1e-12).unwrap();
+        let serial = Ldlt::new(&a, 1e-12).unwrap();
+        let xr = reference.solve(&rhs[..n]);
+        prop_assert_eq!(serial.inertia(), reference.inertia());
+        for threads in [1usize, 2, 4, 8] {
+            let par = Ldlt::new_parallel(&a, 1e-12, threads).unwrap();
+            prop_assert_eq!(par.regularised_pivots(), reference.regularised_pivots());
+            prop_assert_eq!(par.inertia(), reference.inertia());
+            let xp = par.solve(&rhs[..n]);
+            for (u, v) in xp.iter().zip(&xr) {
+                prop_assert!(u.to_bits() == v.to_bits(),
+                    "parallel ldlt solve not bit-identical at n={n}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_packed_ldlt_exploits_block_sparsity(
+        pool in data_pool(NMAX * NMAX),
+        rhs in data_pool(NMAX),
+        nb in 1usize..10,
+        blocks in 2usize..5,
+        tail in 1usize..8,
+    ) {
+        // Block-diagonal quasidefinite KKT shape (independent SOS identities
+        // plus a free-variable tail): the zero-multiplier skip must leave
+        // results identical to the reference while the factor stays sparse.
+        let n = nb * blocks + tail;
+        let mut a = Matrix::zeros(n, n);
+        for b in 0..blocks {
+            let lo = b * nb;
+            for r in 0..nb {
+                for c in 0..nb {
+                    a[(lo + r, lo + c)] = pool[(b * nb * nb + r * nb + c) % pool.len()];
+                }
+            }
+        }
+        a.symmetrize();
+        for i in 0..n {
+            if i < nb * blocks {
+                a[(i, i)] += n as f64;
+            } else {
+                // Arrowhead coupling of the tail to every block.
+                for j in 0..nb * blocks {
+                    let v = pool[(i * 31 + j) % pool.len()];
+                    a[(i, j)] = v;
+                    a[(j, i)] = v;
+                }
+                a[(i, i)] = -(1.0 + (i as f64) / 8.0);
+            }
+        }
+        let reference = Ldlt::new_reference(&a, 1e-12).unwrap();
+        let xr = reference.solve(&rhs[..n]);
+        for threads in [1usize, 4] {
+            let par = Ldlt::new_parallel(&a, 1e-12, threads).unwrap();
+            prop_assert_eq!(par.inertia(), reference.inertia());
+            let xp = par.solve(&rhs[..n]);
+            for (u, v) in xp.iter().zip(&xr) {
+                prop_assert!(u.to_bits() == v.to_bits(),
+                    "block-sparse ldlt solve differs at n={n}, {threads} threads");
+            }
+        }
+        // Cross-block entries of L are exactly zero, so the packed factor
+        // stores far fewer than the dense strictly-lower count.
+        let dense_lower = n * (n - 1) / 2;
+        let sparse_bound = blocks * nb * (nb - 1) / 2 + tail * (n - 1);
+        let got = Ldlt::new(&a, 1e-12).unwrap().lower_nonzeros();
+        prop_assert!(got <= sparse_bound.min(dense_lower) + tail * tail,
+            "factor denser than block structure allows: {got}");
+    }
+
+    #[test]
     fn blocked_ldlt_regularises_like_reference(pool in data_pool(NMAX * NMAX),
                                                n in 2usize..32) {
         // Rank-deficient input forces the static-regularisation path.

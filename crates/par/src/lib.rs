@@ -135,6 +135,58 @@ where
     });
 }
 
+/// Splits `items` into consecutive chunks of exactly `chunk_len` elements
+/// (the final chunk may be short) and applies `f(chunk_index, chunk)` to
+/// each in parallel. This is the "fill a preallocated workspace" analogue
+/// of [`parallel_map`]: the caller owns one flat buffer partitioned into
+/// fixed-size slots — per-constraint Schur scratch matrices, per-column
+/// factor panels — and each worker writes only its own slots.
+///
+/// Chunk boundaries depend only on `chunk_len`, never on `threads`, so the
+/// writes `f` performs are bit-identical for every thread count whenever
+/// `f` itself is deterministic in `(chunk_index, chunk)`.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` while `items` is non-empty.
+pub fn parallel_fill_chunks<T, F>(items: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let nchunks = items.len().div_ceil(chunk_len);
+    let threads = resolve_threads(threads).min(nchunks);
+    let f = &f;
+    if threads <= 1 || nchunks < MIN_ITEMS_PER_FORK {
+        for (idx, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
+    // Hand each worker a contiguous run of whole chunks.
+    let per_worker = nchunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut next_chunk = 0;
+        while !rest.is_empty() {
+            let take = (per_worker * chunk_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let first = next_chunk;
+            scope.spawn(move || {
+                for (k, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(first + k, chunk);
+                }
+            });
+            next_chunk += per_worker;
+            rest = tail;
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +241,33 @@ mod tests {
             let want: Vec<usize> = (1..=17).collect();
             assert_eq!(items, want, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn fill_chunks_visits_every_chunk_once() {
+        for threads in [1, 2, 3, 8] {
+            // 3 full chunks of 4 plus a short tail of 2.
+            let mut items = vec![0usize; 14];
+            parallel_fill_chunks(&mut items, 4, threads, |idx, chunk| {
+                for (k, it) in chunk.iter_mut().enumerate() {
+                    *it = idx * 100 + k;
+                }
+            });
+            let want: Vec<usize> = (0..14).map(|i| (i / 4) * 100 + i % 4).collect();
+            assert_eq!(items, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fill_chunks_handles_degenerate_sizes() {
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_fill_chunks(&mut empty, 0, 4, |_, _| unreachable!());
+        let mut one = vec![0u8; 3];
+        parallel_fill_chunks(&mut one, 16, 4, |idx, chunk| {
+            assert_eq!((idx, chunk.len()), (0, 3));
+            chunk.fill(7);
+        });
+        assert_eq!(one, vec![7, 7, 7]);
     }
 
     #[test]

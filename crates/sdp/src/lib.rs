@@ -58,8 +58,8 @@ mod sparse;
 pub use fault::{CrashMode, FaultInjector, FaultKind, FaultPlan, JournalFault};
 pub use problem::{BlockId, ConstraintId, FreeVarId, SdpProblem};
 pub use solution::{SdpSolution, SdpStatus, SolveTimings};
-pub use solver::SolverOptions;
+pub use solver::{default_kkt_mode, set_default_kkt_mode, KktMode, SolverOptions};
 pub use sparse::SymSparse;
 
 #[doc(hidden)]
-pub use solver::assemble_schur_for_tests;
+pub use solver::{assemble_schur_dense_for_tests, assemble_schur_for_tests};

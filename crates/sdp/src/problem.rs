@@ -57,6 +57,10 @@ pub struct SdpProblem {
     pub(crate) a: Vec<Vec<(usize, SymSparse)>>,
     /// Free-variable coefficients: `bfree[i]` is a list of `(var, coef)`.
     pub(crate) bfree: Vec<Vec<(usize, f64)>>,
+    /// Whether all sparse data is already normalized (sorted, merged). Set
+    /// by [`SdpProblem::normalize`], cleared by every mutating builder call;
+    /// lets [`SdpProblem::solve`] skip the defensive clone-and-normalize.
+    pub(crate) normalized: bool,
 }
 
 impl Default for SdpProblem {
@@ -75,11 +79,13 @@ impl SdpProblem {
             b: Vec::new(),
             a: Vec::new(),
             bfree: Vec::new(),
+            normalized: false,
         }
     }
 
     /// Adds a PSD block of dimension `dim` and returns its id.
     pub fn add_psd_block(&mut self, dim: usize) -> BlockId {
+        self.normalized = false;
         self.block_dims.push(dim);
         self.costs.push(SymSparse::new(dim));
         BlockId(self.block_dims.len() - 1)
@@ -87,12 +93,14 @@ impl SdpProblem {
 
     /// Adds a free scalar variable with objective coefficient `cost`.
     pub fn add_free_var(&mut self, cost: f64) -> FreeVarId {
+        self.normalized = false;
         self.free_costs.push(cost);
         FreeVarId(self.free_costs.len() - 1)
     }
 
     /// Changes the objective coefficient of a free variable.
     pub fn set_free_cost(&mut self, v: FreeVarId, cost: f64) {
+        self.normalized = false;
         self.free_costs[v.0] = cost;
     }
 
@@ -100,6 +108,7 @@ impl SdpProblem {
     /// are filled afterwards with [`SdpProblem::set_entry`] /
     /// [`SdpProblem::set_free_coeff`].
     pub fn add_constraint(&mut self, rhs: f64) -> ConstraintId {
+        self.normalized = false;
         self.b.push(rhs);
         self.a.push(Vec::new());
         self.bfree.push(Vec::new());
@@ -113,6 +122,7 @@ impl SdpProblem {
     ///
     /// Panics if ids or indices are out of range.
     pub fn set_entry(&mut self, con: ConstraintId, blk: BlockId, r: usize, c: usize, v: f64) {
+        self.normalized = false;
         let dim = self.block_dims[blk.0];
         let row = &mut self.a[con.0];
         if let Some((_, m)) = row.iter_mut().find(|(bj, _)| *bj == blk.0) {
@@ -130,17 +140,20 @@ impl SdpProblem {
         if v == 0.0 {
             return;
         }
+        self.normalized = false;
         self.bfree[con.0].push((var.0, v));
     }
 
     /// Accumulates `v` into entry `(r, c)` of the objective matrix of block
     /// `blk`.
     pub fn set_cost_entry(&mut self, blk: BlockId, r: usize, c: usize, v: f64) {
+        self.normalized = false;
         self.costs[blk.0].add(r, c, v);
     }
 
     /// Sets the objective matrix of block `blk` to `s · I` (accumulating).
     pub fn set_block_cost_identity(&mut self, blk: BlockId, s: f64) {
+        self.normalized = false;
         for i in 0..self.block_dims[blk.0] {
             self.costs[blk.0].add(i, i, s);
         }
@@ -172,7 +185,15 @@ impl SdpProblem {
     }
 
     /// Normalizes all sparse data (sorts, merges duplicate adds).
-    pub(crate) fn normalize(&mut self) {
+    ///
+    /// Idempotent and cheap when already normalized; callers that build a
+    /// problem once and solve it repeatedly (the SOS attempt loop) call this
+    /// up front so each [`SdpProblem::solve`] skips its defensive
+    /// clone-and-normalize.
+    pub fn normalize(&mut self) {
+        if self.normalized {
+            return;
+        }
         for c in &mut self.costs {
             c.normalize();
         }
@@ -196,6 +217,7 @@ impl SdpProblem {
             merged.retain(|&(_, c)| c != 0.0);
             *row = merged;
         }
+        self.normalized = true;
     }
 
     /// Evaluates `Σⱼ⟨A_{ij}, Xⱼ⟩ + (Bu)_i` for all constraints.
@@ -218,6 +240,9 @@ impl SdpProblem {
     ///
     /// Never panics on solver trouble; inspect [`SdpSolution::status`].
     pub fn solve(&self, options: &SolverOptions) -> SdpSolution {
+        if self.normalized {
+            return solve(self, options);
+        }
         let mut p = self.clone();
         p.normalize();
         solve(&p, options)

@@ -73,6 +73,10 @@ pub struct SolveTimings {
     pub reduction: f64,
     /// Residual and convergence-metric evaluation.
     pub residuals: f64,
+    /// One-off symbolic analysis of the Schur/KKT sparsity (constraint
+    /// supports, active columns, interacting-pair structure) performed once
+    /// per solve before the iteration loop.
+    pub schur_symbolic: f64,
     /// Per-block Cholesky factorisations of `Xⱼ`, `Sⱼ` and `Sⱼ⁻¹`.
     pub factorizations: f64,
     /// Schur-complement assembly (the `T = S⁻¹AX` solves and pair products).
@@ -85,6 +89,12 @@ pub struct SolveTimings {
     pub line_search: f64,
     /// End-to-end wall clock of the solve call.
     pub total: f64,
+    /// Count of structurally-zero Schur entries `M_{ik}` (constraint pairs
+    /// sharing no PSD block) that the sparse assembly never evaluates, per
+    /// assembly pass. Not a timing, but it lives here because it is the
+    /// denominator-free "where did the win come from" statistic reported
+    /// alongside the stage clocks.
+    pub schur_pairs_skipped: u64,
 }
 
 impl SolveTimings {
@@ -94,20 +104,23 @@ impl SolveTimings {
     pub fn accumulate(&mut self, other: &SolveTimings) {
         self.reduction += other.reduction;
         self.residuals += other.residuals;
+        self.schur_symbolic += other.schur_symbolic;
         self.factorizations += other.factorizations;
         self.schur_assembly += other.schur_assembly;
         self.kkt_factor += other.kkt_factor;
         self.kkt_solve += other.kkt_solve;
         self.line_search += other.line_search;
         self.total += other.total;
+        self.schur_pairs_skipped += other.schur_pairs_skipped;
     }
 
     /// Stage names and totals in reporting order, excluding `total`.
-    pub fn stages(&self) -> [(&'static str, f64); 7] {
+    pub fn stages(&self) -> [(&'static str, f64); 8] {
         [
             ("reduction", self.reduction),
             ("residuals", self.residuals),
             ("factorizations", self.factorizations),
+            ("schur_symbolic", self.schur_symbolic),
             ("schur_assembly", self.schur_assembly),
             ("kkt_factor", self.kkt_factor),
             ("kkt_solve", self.kkt_solve),
@@ -133,6 +146,12 @@ impl SolveTimings {
             .map(|(name, secs)| format!("{name:<26} {}", fmt(*secs)))
             .collect();
         lines.push(format!("{:<26} {}", "total", fmt(self.total)));
+        // The skip counter rides along under the same padding so the CLI and
+        // bench reports show it next to the stages it explains.
+        lines.push(format!(
+            "{:<26} {:>12}",
+            "schur_pairs_skipped", self.schur_pairs_skipped
+        ));
         lines
     }
 }
@@ -241,12 +260,14 @@ impl cppll_json::ToJson for SolveTimings {
         cppll_json::ObjectBuilder::new()
             .field("reduction", self.reduction)
             .field("residuals", self.residuals)
+            .field("schur_symbolic", self.schur_symbolic)
             .field("factorizations", self.factorizations)
             .field("schur_assembly", self.schur_assembly)
             .field("kkt_factor", self.kkt_factor)
             .field("kkt_solve", self.kkt_solve)
             .field("line_search", self.line_search)
             .field("total", self.total)
+            .field("schur_pairs_skipped", self.schur_pairs_skipped as f64)
             .build()
     }
 }
@@ -259,12 +280,16 @@ impl cppll_json::FromJson for SolveTimings {
             // those fingerprints are stale anyway, but decode stays lenient.
             reduction: decode::optional(v, "reduction")?.unwrap_or(0.0),
             residuals: decode::required(v, "residuals")?,
+            // Absent in journals written before the sparse Schur path.
+            schur_symbolic: decode::optional(v, "schur_symbolic")?.unwrap_or(0.0),
             factorizations: decode::required(v, "factorizations")?,
             schur_assembly: decode::required(v, "schur_assembly")?,
             kkt_factor: decode::required(v, "kkt_factor")?,
             kkt_solve: decode::required(v, "kkt_solve")?,
             line_search: decode::required(v, "line_search")?,
             total: decode::required(v, "total")?,
+            schur_pairs_skipped: decode::optional(v, "schur_pairs_skipped")?
+                .map_or(0, |n: f64| n as u64),
         })
     }
 }

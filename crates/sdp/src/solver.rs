@@ -1,6 +1,7 @@
 //! Infeasible-start primal–dual interior-point method (HKM direction,
 //! Mehrotra predictor–corrector) for block SDPs with free variables.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -12,6 +13,92 @@ use crate::fault::{FaultInjector, FaultKind};
 use crate::problem::SdpProblem;
 use crate::solution::{SdpSolution, SdpStatus, SolveTimings};
 use crate::sparse::SymSparse;
+
+/// Which LDLᵀ kernel factors the quasidefinite KKT system
+/// `[[M, B], [Bᵀ, −δI]]`. Both kernels apply the identical sequence of
+/// floating-point operations (see `cppll_linalg::Ldlt`), so the choice
+/// affects wall-clock only — verdicts and digests are bit-identical across
+/// modes, and CI pins that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KktMode {
+    /// Decide per solve: the packed parallel kernel for KKT systems large
+    /// enough to amortise panel packing, the serial blocked kernel below
+    /// that.
+    Auto,
+    /// Serial cache-blocked kernel (`Ldlt::new`) — predictable for the small
+    /// Schur systems of toy problems.
+    Schur,
+    /// Packed, parallel, sparsity-skipping kernel (`Ldlt::new_parallel`) for
+    /// the augmented quasidefinite system of the flagship problems.
+    Augmented,
+}
+
+impl KktMode {
+    /// Stable machine-readable name (CLI `--kkt-mode` values).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KktMode::Auto => "auto",
+            KktMode::Schur => "schur",
+            KktMode::Augmented => "augmented",
+        }
+    }
+
+    /// Inverse of [`KktMode::as_str`].
+    pub fn parse(name: &str) -> Option<KktMode> {
+        Some(match name {
+            "auto" => KktMode::Auto,
+            "schur" => KktMode::Schur,
+            "augmented" => KktMode::Augmented,
+            _ => return None,
+        })
+    }
+}
+
+/// Process-wide default KKT mode (the CLI's `--kkt-mode` flag), mirroring
+/// `cppll_par::set_threads`: 0 = auto, 1 = schur, 2 = augmented.
+static DEFAULT_KKT_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default KKT factorisation mode.
+pub fn set_default_kkt_mode(mode: KktMode) {
+    let v = match mode {
+        KktMode::Auto => 0,
+        KktMode::Schur => 1,
+        KktMode::Augmented => 2,
+    };
+    DEFAULT_KKT_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The process-wide default KKT factorisation mode.
+pub fn default_kkt_mode() -> KktMode {
+    match DEFAULT_KKT_MODE.load(Ordering::Relaxed) {
+        1 => KktMode::Schur,
+        2 => KktMode::Augmented,
+        _ => KktMode::Auto,
+    }
+}
+
+/// KKT dimension at which `Auto` switches to the packed parallel kernel;
+/// below it, panel packing and worker fan-out cost more than they save.
+const KKT_AUTO_DIM: usize = 192;
+
+/// Resolves an options-level mode request against the process default and
+/// the `Auto` size heuristic into a concrete kernel choice.
+fn resolve_kkt_mode(requested: KktMode, kdim: usize) -> KktMode {
+    let mode = match requested {
+        KktMode::Auto => default_kkt_mode(),
+        m => m,
+    };
+    match mode {
+        KktMode::Auto => {
+            if kdim >= KKT_AUTO_DIM {
+                KktMode::Augmented
+            } else {
+                KktMode::Schur
+            }
+        }
+        m => m,
+    }
+}
 
 /// Tunable solver parameters.
 #[derive(Debug, Clone)]
@@ -50,6 +137,11 @@ pub struct SolverOptions {
     /// not match this problem or the saved iterate is non-finite. Seeding is
     /// deterministic: the same saved iterate always produces the same solve.
     pub warm_start: Option<SdpSolution>,
+    /// Which LDLᵀ kernel factors the KKT system. [`KktMode::Auto`] (the
+    /// default) defers to the process-wide default ([`set_default_kkt_mode`],
+    /// the CLI's `--kkt-mode`), falling back to a size heuristic. Both modes
+    /// are bit-identical; this is a wall-clock knob only.
+    pub kkt_mode: KktMode,
     /// Optional trace sink. At [`TraceLevel::Solve`] the solve is wrapped
     /// in an `sdp_solve` span; at [`TraceLevel::Iter`] every interior-point
     /// iteration additionally emits an `iteration` instant with the
@@ -72,6 +164,7 @@ impl Default for SolverOptions {
             fault: None,
             threads: 0,
             warm_start: None,
+            kkt_mode: KktMode::Auto,
             trace: None,
         }
     }
@@ -214,6 +307,21 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
     let mut kkt = Matrix::zeros(kdim, kdim);
     let mut corr_ws: Vec<Matrix> = p.block_dims.iter().map(|&n| Matrix::zeros(n, n)).collect();
     let mut h_ws: Vec<Matrix> = p.block_dims.iter().map(|&n| Matrix::zeros(n, n)).collect();
+    let mut num_ws: Vec<Matrix> = p.block_dims.iter().map(|&n| Matrix::zeros(n, n)).collect();
+
+    // Symbolic Schur analysis, once per solve: per-block active column
+    // unions, per-constraint leading-zero prefixes, flat workspace
+    // capacities, and the exact count of structurally-zero Schur pairs the
+    // assembly below never evaluates.
+    let stage_start = Instant::now();
+    let schur_sym = SchurSymbolic::build(p, &touching, m);
+    let mut schur_ws = SchurWorkspace::new(&schur_sym);
+    tm.schur_symbolic += stage_start.elapsed().as_secs_f64();
+    tm.schur_pairs_skipped = schur_sym.pairs_skipped;
+    let kkt_mode = resolve_kkt_mode(opt.kkt_mode, kdim);
+    if let Some(t) = &opt.trace {
+        t.counter("schur_pairs_skipped", schur_sym.pairs_skipped);
+    }
 
     // Fault injection (testing hook): decided once per solve, applied after
     // the first iteration's residuals are computed so the returned iterate
@@ -399,7 +507,16 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         // ---- Schur complement -------------------------------------------
         let stage_start = Instant::now();
         kkt.set_zero();
-        assemble_schur(p, &touching, &it.x, &work, threads, &mut kkt);
+        assemble_schur(
+            p,
+            &touching,
+            &schur_sym,
+            &it.x,
+            &work,
+            threads,
+            &mut schur_ws,
+            &mut kkt,
+        );
         for i in 0..m {
             kkt[(i, i)] += opt.schur_regularization * (1.0 + kkt[(i, i)].abs());
         }
@@ -415,7 +532,14 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
         }
         tm.schur_assembly += stage_start.elapsed().as_secs_f64();
         let stage_start = Instant::now();
-        let kkt_fact = match kkt.ldlt(opt.free_regularization.max(1e-13)) {
+        // Both kernels perform the identical floating-point operation
+        // sequence; the mode only picks serial-blocked vs packed-parallel.
+        let kkt_reg = opt.free_regularization.max(1e-13);
+        let kkt_fact = match kkt_mode {
+            KktMode::Augmented => kkt.ldlt_parallel(kkt_reg, threads),
+            _ => kkt.ldlt(kkt_reg),
+        };
+        let kkt_fact = match kkt_fact {
             Ok(f) => f,
             Err(_) => {
                 return finish(
@@ -451,6 +575,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             None,
             threads,
             &mut h_ws,
+            &mut num_ws,
         );
         tm.kkt_solve += stage_start.elapsed().as_secs_f64();
         let stage_start = Instant::now();
@@ -496,6 +621,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
             Some(&corr_ws),
             threads,
             &mut h_ws,
+            &mut num_ws,
         );
         tm.kkt_solve += stage_start.elapsed().as_secs_f64();
         let tau = if iter < 4 { opt.step_fraction } else { 0.98 };
@@ -563,6 +689,7 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
                         ("kkt_factor_s", (tm.kkt_factor - tm_iter.kkt_factor).into()),
                         ("kkt_solve_s", (tm.kkt_solve - tm_iter.kkt_solve).into()),
                         ("line_search_s", (tm.line_search - tm_iter.line_search).into()),
+                        ("schur_pairs_skipped", tm.schur_pairs_skipped.into()),
                     ],
                 );
             }
@@ -573,37 +700,162 @@ pub(crate) fn solve(p: &SdpProblem, opt: &SolverOptions) -> SdpSolution {
     finish(it, status, last, iterations, tm, solve_start, warm_started)
 }
 
+/// Per-solve symbolic analysis of the Schur assembly.
+///
+/// Computed once from the constraint supports (the iterate values never
+/// change the structure): for each block, the sorted union of the touching
+/// constraints' supports — the only columns of `T = S⁻¹AX` the pair
+/// products ever read — and each constraint's first structurally-nonzero
+/// row, below which a forward substitution against `A_{ij} Xⱼ` only moves
+/// zeros. Also sizes the flat per-block workspaces and counts, exactly, the
+/// structurally-zero Schur pairs `(i, k)` that share no block and are
+/// therefore never evaluated.
+struct SchurSymbolic {
+    /// Per block: sorted union of the supports of all touching constraints.
+    active_cols: Vec<Vec<usize>>,
+    /// Per block, per touching constraint: first structurally-nonzero row
+    /// of `A_{ij}` (the block dimension when the matrix is empty).
+    first_rows: Vec<Vec<usize>>,
+    /// Capacity of the flat `T` workspace: `max_j |cons_j| · n_j²`.
+    ts_cap: usize,
+    /// Capacity of the flat pair-product buffer: `max_j C(|cons_j|+1, 2)`.
+    rows_cap: usize,
+    /// `C(m+1, 2)` minus the number of distinct interacting pairs: the
+    /// Schur entries provably zero by structure, skipped per assembly pass.
+    pairs_skipped: u64,
+}
+
+impl SchurSymbolic {
+    fn build(p: &SdpProblem, touching: &[Vec<usize>], m: usize) -> SchurSymbolic {
+        let nblocks = touching.len();
+        let mut active_cols = vec![Vec::new(); nblocks];
+        let mut first_rows = vec![Vec::new(); nblocks];
+        let mut ts_cap = 0usize;
+        let mut rows_cap = 0usize;
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (j, cons) in touching.iter().enumerate() {
+            if cons.is_empty() {
+                continue;
+            }
+            let n = p.block_dims[j];
+            let mut union: Vec<usize> = Vec::new();
+            let mut firsts = Vec::with_capacity(cons.len());
+            for &i in cons {
+                let a_ij = constraint_block(p, i, j);
+                union.extend(a_ij.support());
+                firsts.push(a_ij.min_support().unwrap_or(n));
+            }
+            union.sort_unstable();
+            union.dedup();
+            for (a, &ia) in cons.iter().enumerate() {
+                for &ib in &cons[..=a] {
+                    pairs.push((ia as u32, ib as u32));
+                }
+            }
+            ts_cap = ts_cap.max(cons.len() * n * n);
+            rows_cap = rows_cap.max(cons.len() * (cons.len() + 1) / 2);
+            active_cols[j] = union;
+            first_rows[j] = firsts;
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let total = (m as u64) * (m as u64 + 1) / 2;
+        SchurSymbolic {
+            active_cols,
+            first_rows,
+            ts_cap,
+            rows_cap,
+            pairs_skipped: total - pairs.len() as u64,
+        }
+    }
+}
+
+/// Flat, iteration-persistent scratch for [`assemble_schur`]: one buffer of
+/// column-major `n×n` slots for the `T` matrices and one triangular buffer
+/// for the pair products, sized once from the symbolic analysis.
+struct SchurWorkspace {
+    ts: Vec<f64>,
+    rows: Vec<f64>,
+}
+
+impl SchurWorkspace {
+    fn new(sym: &SchurSymbolic) -> SchurWorkspace {
+        SchurWorkspace {
+            ts: vec![0.0; sym.ts_cap],
+            rows: vec![0.0; sym.rows_cap],
+        }
+    }
+}
+
 /// Assembles the `m × m` Schur-complement part `M_{ik} = Σⱼ tr(A_{ij} Sⱼ⁻¹
 /// A_{kj} Xⱼ)` into the top-left corner of `kkt` (which the caller has
 /// zeroed).
 ///
-/// Parallel and bit-deterministic: the per-constraint `T = S⁻¹AX` solves and
-/// the pair products are pure functions of their indices computed on worker
-/// threads, while the accumulation into `kkt` runs on the calling thread in
-/// fixed `(block, row, column)` order — so any thread count produces the
-/// same floating-point result as a serial run.
+/// Sparsity-exploiting: per block, `T = S⁻¹AX` is formed only at the active
+/// columns (the support union from the symbolic analysis — the only columns
+/// `dot_general` reads), each triangular solve starts at the constraint's
+/// first structurally-nonzero row, and both stages write into flat
+/// preallocated workspaces instead of per-iteration `Vec<Matrix>`
+/// allocations. Every computed value is bit-identical to the dense
+/// reference ([`assemble_schur_dense_for_tests`]): restricting *which*
+/// columns are computed changes no operation on the survivors, and the
+/// skipped forward-substitution prefix only ever moved `+0.0`s.
+///
+/// Parallel and bit-deterministic: workspace slots are pure functions of
+/// their chunk index, and the accumulation into `kkt` runs on the calling
+/// thread in fixed `(block, row, column)` order — so any thread count
+/// produces the same floating-point result as a serial run.
+#[allow(clippy::too_many_arguments)]
 fn assemble_schur(
     p: &SdpProblem,
     touching: &[Vec<usize>],
+    sym: &SchurSymbolic,
     x: &[Matrix],
     work: &[BlockWork],
     threads: usize,
+    ws: &mut SchurWorkspace,
     kkt: &mut Matrix,
 ) {
     for (j, cons) in touching.iter().enumerate() {
         if cons.is_empty() {
             continue;
         }
-        // T_{ij} = Sⱼ⁻¹ A_{ij} Xⱼ for every touching constraint.
-        let ts: Vec<Matrix> = cppll_par::parallel_map(cons.len(), threads, |k| {
+        let n = x[j].nrows();
+        let nn = n * n;
+        let active = &sym.active_cols[j][..];
+        let firsts = &sym.first_rows[j][..];
+        // T_{ij} = Sⱼ⁻¹ A_{ij} Xⱼ at the active columns only. Inactive
+        // columns of a slot keep stale values from earlier blocks; they are
+        // never read.
+        let ts = &mut ws.ts[..cons.len() * nn];
+        cppll_par::parallel_fill_chunks(ts, nn, threads, |k, chunk| {
             let a_ij = constraint_block(p, cons[k], j);
-            let ax = a_ij.mul_dense(&x[j]);
-            work[j].chol_s.solve_matrix(&ax)
+            a_ij.mul_dense_cols_into(&x[j], active, chunk);
+            let first = firsts[k];
+            for &c in active {
+                work[j]
+                    .chol_s
+                    .solve_in_place_from(&mut chunk[c * n..(c + 1) * n], first);
+            }
         });
-        // Lower-triangle pair products, one row of values per work item.
-        let rows: Vec<Vec<f64>> = cppll_par::parallel_map(cons.len(), threads, |idx| {
-            let a_ij = constraint_block(p, cons[idx], j);
-            ts[..=idx].iter().map(|t2| a_ij.dot_general(t2)).collect()
+        let ts = &ws.ts[..cons.len() * nn];
+        // Lower-triangle pair products into the flat triangular buffer,
+        // one variable-length row per constraint.
+        let npairs = cons.len() * (cons.len() + 1) / 2;
+        let mut rows: Vec<&mut [f64]> = Vec::with_capacity(cons.len());
+        let mut rest = &mut ws.rows[..npairs];
+        for idx in 0..cons.len() {
+            let (head, tail) = rest.split_at_mut(idx + 1);
+            rows.push(head);
+            rest = tail;
+        }
+        cppll_par::parallel_chunks_mut(&mut rows, threads, |lo, chunk| {
+            for (k, row) in chunk.iter_mut().enumerate() {
+                let a_ij = constraint_block(p, cons[lo + k], j);
+                for (t2, slot) in row.iter_mut().enumerate() {
+                    *slot = a_ij.dot_general_slice(&ts[t2 * nn..(t2 + 1) * nn]);
+                }
+            }
         });
         for (idx, row) in rows.iter().enumerate() {
             let i = cons[idx];
@@ -651,8 +903,70 @@ pub fn assemble_schur_for_tests(
             }
         })
         .collect();
+    let sym = SchurSymbolic::build(&p, &touching, m);
+    let mut ws = SchurWorkspace::new(&sym);
     let mut kkt = Matrix::zeros(m, m);
-    assemble_schur(&p, &touching, x, &work, threads, &mut kkt);
+    assemble_schur(&p, &touching, &sym, x, &work, threads, &mut ws, &mut kkt);
+    kkt
+}
+
+/// Testing hook: the pre-sparsity dense Schur assembly (full `mul_dense`,
+/// full-column triangular solves, per-call allocations), kept verbatim as
+/// the bit-exactness oracle for the sparse path. Not part of the public API.
+#[doc(hidden)]
+pub fn assemble_schur_dense_for_tests(
+    p: &SdpProblem,
+    x: &[Matrix],
+    s: &[Matrix],
+    threads: usize,
+) -> Matrix {
+    let mut p = p.clone();
+    p.normalize();
+    let m = p.num_constraints();
+    let nblocks = p.num_blocks();
+    let mut touching: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (i, row) in p.a.iter().enumerate() {
+        for (bj, _) in row {
+            touching[*bj].push(i);
+        }
+    }
+    let work: Vec<BlockWork> = (0..nblocks)
+        .map(|j| {
+            let chol_x = x[j].cholesky().expect("X block must be SPD");
+            let chol_s = s[j].cholesky().expect("S block must be SPD");
+            let s_inv = chol_s.inverse();
+            BlockWork {
+                chol_x,
+                chol_s,
+                s_inv,
+            }
+        })
+        .collect();
+    let mut kkt = Matrix::zeros(m, m);
+    for (j, cons) in touching.iter().enumerate() {
+        if cons.is_empty() {
+            continue;
+        }
+        let ts: Vec<Matrix> = cppll_par::parallel_map(cons.len(), threads, |k| {
+            let a_ij = constraint_block(&p, cons[k], j);
+            let ax = a_ij.mul_dense(&x[j]);
+            work[j].chol_s.solve_matrix(&ax)
+        });
+        let rows: Vec<Vec<f64>> = cppll_par::parallel_map(cons.len(), threads, |idx| {
+            let a_ij = constraint_block(&p, cons[idx], j);
+            ts[..=idx].iter().map(|t2| a_ij.dot_general(t2)).collect()
+        });
+        for (idx, row) in rows.iter().enumerate() {
+            let i = cons[idx];
+            for (k, &v) in row.iter().enumerate() {
+                let i2 = cons[k];
+                kkt[(i, i2)] += v;
+                if i != i2 {
+                    kkt[(i2, i)] += v;
+                }
+            }
+        }
+    }
     kkt
 }
 
@@ -847,19 +1161,23 @@ fn compute_direction(
     corr: Option<&[Matrix]>,
     threads: usize,
     h: &mut [Matrix],
+    num_ws: &mut [Matrix],
 ) -> Direction {
     let m = p.num_constraints();
     let nblocks = p.num_blocks();
     let nfree = p.num_free_vars();
 
     // Hⱼ = σμ Sⱼ⁻¹ − Xⱼ − (corrⱼ + Xⱼ Rdⱼ) Sⱼ⁻¹, written into the reusable
-    // workspace; each worker owns a disjoint chunk of blocks.
-    cppll_par::parallel_chunks_mut(h, threads, |lo, chunk| {
-        for (k, hj) in chunk.iter_mut().enumerate() {
+    // workspaces (`num_ws` holds the Xⱼ Rdⱼ numerator, hoisted out of the
+    // per-call allocation path); each worker owns a disjoint chunk of blocks.
+    let mut hn: Vec<(&mut Matrix, &mut Matrix)> =
+        h.iter_mut().zip(num_ws.iter_mut()).collect();
+    cppll_par::parallel_chunks_mut(&mut hn, threads, |lo, chunk| {
+        for (k, (hj, num)) in chunk.iter_mut().enumerate() {
             let j = lo + k;
-            let mut num = it.x[j].matmul(&rd[j]);
+            it.x[j].matmul_into(&rd[j], num);
             if let Some(c) = corr {
-                num = num.add(&c[j]);
+                num.axpy(1.0, &c[j]);
             }
             num.matmul_into(&work[j].s_inv, hj);
             for v in hj.as_mut_slice() {
@@ -871,6 +1189,7 @@ fn compute_direction(
             }
         }
     });
+    drop(hn);
 
     // RHS: r1ᵢ = rpᵢ − Σⱼ ⟨A_{ij}, Hⱼ⟩  (⟨·,·⟩ against the non-symmetric H).
     let mut rhs = vec![0.0; m + nfree];

@@ -8,7 +8,9 @@
 //! the sparse-aware assembly with a dense O(m²n³) reference to 1e-12.
 
 use cppll_linalg::Matrix;
-use cppll_sdp::{assemble_schur_for_tests, SdpProblem, SolverOptions, SymSparse};
+use cppll_sdp::{
+    assemble_schur_dense_for_tests, assemble_schur_for_tests, SdpProblem, SolverOptions, SymSparse,
+};
 use proptest::prelude::*;
 
 /// Random two-block SDP skeleton plus dense mirrors of its constraint
@@ -23,6 +25,13 @@ struct RandomSchur {
 }
 
 fn build_random(dims: &[usize], m: usize, pool: &[f64]) -> RandomSchur {
+    build_random_thresh(dims, m, pool, 0.5)
+}
+
+/// Like [`build_random`] but keeping only pool draws with `|v| >= thresh`,
+/// so high thresholds produce very sparse constraints — empty constraint
+/// blocks, sparse supports, late first nonzero rows.
+fn build_random_thresh(dims: &[usize], m: usize, pool: &[f64], thresh: f64) -> RandomSchur {
     let mut p = SdpProblem::new();
     let blocks: Vec<_> = dims.iter().map(|&n| p.add_psd_block(n)).collect();
     for bj in &blocks {
@@ -43,7 +52,7 @@ fn build_random(dims: &[usize], m: usize, pool: &[f64]) -> RandomSchur {
             for r in 0..n {
                 for s in r..n {
                     let v = next();
-                    if v.abs() < 0.5 {
+                    if v.abs() < thresh {
                         continue;
                     }
                     p.set_entry(c, blocks[j], r, s, v);
@@ -154,6 +163,34 @@ proptest! {
             let par = assemble_schur_for_tests(&rs.p, &x, &s, threads);
             prop_assert!(bits_equal(&serial, &par),
                 "Schur assembly differs between 1 and {threads} threads");
+        }
+    }
+
+    #[test]
+    fn sparse_schur_bit_identical_to_dense_reference(
+        pool in prop::collection::vec(-1.0f64..1.0, 256),
+        spd_pool in prop::collection::vec(-1.0f64..1.0, 128),
+        n1 in 2usize..7,
+        n2 in 1usize..6,
+        m in 1usize..9,
+        // Sweep sparsity from ~half-dense to nearly-empty constraints: the
+        // symbolic analysis must stay value-neutral at every density.
+        thresh in 0.3f64..0.95,
+    ) {
+        let dims = [n1, n2];
+        let rs = build_random_thresh(&dims, m, &pool, thresh);
+        let x: Vec<Matrix> = dims.iter().enumerate()
+            .map(|(j, &n)| spd(n, &spd_pool, 17 * j)).collect();
+        let s: Vec<Matrix> = dims.iter().enumerate()
+            .map(|(j, &n)| spd(n, &spd_pool, 31 * j + 7)).collect();
+        // The pre-sparsity assembly (full products, full-column solves) is
+        // the oracle: the sparse path must reproduce it bit for bit at
+        // every thread count, not merely to tolerance.
+        let want = assemble_schur_dense_for_tests(&rs.p, &x, &s, 1);
+        for threads in [1usize, 2, 4, 8] {
+            let got = assemble_schur_for_tests(&rs.p, &x, &s, threads);
+            prop_assert!(bits_equal(&got, &want),
+                "sparse assembly differs from dense reference at {threads} threads (thresh {thresh})");
         }
     }
 

@@ -794,6 +794,10 @@ impl SosProgram {
             }
         }
 
+        // Normalize once at compile time: SdpProblem::solve then skips its
+        // defensive clone-and-normalize on every retry attempt.
+        sdp.normalize();
+
         Compiled {
             sdp,
             layout: Layout {

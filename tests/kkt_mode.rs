@@ -1,0 +1,137 @@
+//! Cross-mode agreement for the KKT factorisation kernels.
+//!
+//! `--kkt-mode schur` (serial blocked LDLᵀ) and `--kkt-mode augmented`
+//! (packed parallel LDLᵀ) are required to be *bit-identical*, not merely
+//! numerically close: both kernels apply the same floating-point operation
+//! sequence and only differ in memory layout and scheduling. These tests pin
+//! that contract at the SDP level (objectives, multipliers, iterates) and at
+//! the pipeline level (verdict and result digest of a full toy run).
+
+use cppll::hybrid::{HybridSystem, Jump, Mode};
+use cppll::poly::Polynomial;
+use cppll::sdp::{set_default_kkt_mode, KktMode, SdpProblem, SolverOptions};
+use cppll::verify::{InevitabilityVerifier, PipelineOptions, Region};
+
+/// Planar two-mode switched system (same as `toy_inevitability.rs`).
+fn two_mode_spiral() -> HybridSystem {
+    let right = vec![
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], 1.0)]),
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], -1.0)]),
+    ];
+    let left = vec![
+        Polynomial::from_terms(2, &[(&[1, 0], -1.0), (&[0, 1], 0.5)]),
+        Polynomial::from_terms(2, &[(&[1, 0], -0.5), (&[0, 1], -1.0)]),
+    ];
+    let x = Polynomial::var(2, 0);
+    let m0 = Mode::new("right", right).with_flow_set(vec![x.clone()]);
+    let m1 = Mode::new("left", left).with_flow_set(vec![x.scale(-1.0)]);
+    let guard = vec![Polynomial::var(2, 0)];
+    let jumps = vec![
+        Jump::identity(0, 1).with_guard_eq(guard.clone()),
+        Jump::identity(1, 0).with_guard_eq(guard),
+    ];
+    HybridSystem::new(2, vec![m0, m1], jumps)
+}
+
+/// A small strictly-feasible SDP with free variables so both the Schur `M`
+/// block and the quasidefinite tail of the KKT system are exercised.
+fn toy_sdp() -> SdpProblem {
+    let mut p = SdpProblem::new();
+    let b = p.add_psd_block(4);
+    p.set_block_cost_identity(b, 1.0);
+    let u = p.add_free_var(0.5);
+    for k in 0..4 {
+        let c = p.add_constraint(1.0 + 0.25 * k as f64);
+        p.set_entry(c, b, k, k, 1.0);
+        if k % 2 == 0 {
+            p.set_free_coeff(c, u, 1.0);
+        }
+    }
+    let c = p.add_constraint(0.1);
+    p.set_entry(c, b, 0, 1, 1.0);
+    p
+}
+
+#[test]
+fn kkt_modes_agree_bitwise_on_toy_sdp() {
+    let solve = |mode: KktMode| {
+        let opts = SolverOptions {
+            kkt_mode: mode,
+            ..SolverOptions::default()
+        };
+        toy_sdp().solve(&opts)
+    };
+    let base = solve(KktMode::Schur);
+    assert!(base.is_ok(), "baseline solve failed: {base}");
+    for mode in [KktMode::Auto, KktMode::Augmented] {
+        let sol = solve(mode);
+        assert_eq!(sol.status, base.status, "status differs in {mode:?}");
+        assert_eq!(sol.iterations, base.iterations);
+        assert_eq!(
+            sol.primal_objective.to_bits(),
+            base.primal_objective.to_bits(),
+            "objective differs in {mode:?}"
+        );
+        assert_eq!(sol.dual_objective.to_bits(), base.dual_objective.to_bits());
+        for (a, b) in sol.y.iter().zip(&base.y) {
+            assert_eq!(a.to_bits(), b.to_bits(), "y differs in {mode:?}");
+        }
+        for (a, b) in sol.free.iter().zip(&base.free) {
+            assert_eq!(a.to_bits(), b.to_bits(), "free vars differ in {mode:?}");
+        }
+        for (xa, xb) in sol.x.iter().zip(&base.x) {
+            for (a, b) in xa.as_slice().iter().zip(xb.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "X differs in {mode:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn kkt_modes_agree_on_toy_pipeline_verdict_and_digest() {
+    let run = || {
+        let sys = two_mode_spiral();
+        let mut boundary = Vec::new();
+        for i in 0..2 {
+            let xi = Polynomial::var(2, i);
+            boundary.push(&Polynomial::constant(2, 3.0) - &xi);
+            boundary.push(&Polynomial::constant(2, 3.0) + &xi);
+        }
+        let verifier =
+            InevitabilityVerifier::new(&sys, boundary, Region::ball(2, 2.0));
+        verifier
+            .verify(&PipelineOptions::degree(2))
+            .expect("toy system verifies")
+    };
+
+    // The process-global default is what the CLI's --kkt-mode flag sets;
+    // drive the pipeline through it the same way.
+    set_default_kkt_mode(KktMode::Schur);
+    let schur = run();
+    set_default_kkt_mode(KktMode::Augmented);
+    let augmented = run();
+    set_default_kkt_mode(KktMode::Auto);
+
+    assert_eq!(
+        format!("{:?}", schur.verdict),
+        format!("{:?}", augmented.verdict)
+    );
+    assert_eq!(
+        schur.levels.level.to_bits(),
+        augmented.levels.level.to_bits(),
+        "invariant level differs between KKT modes"
+    );
+    assert_eq!(
+        schur.result_digest(),
+        augmented.result_digest(),
+        "result digest differs between KKT modes"
+    );
+}
+
+#[test]
+fn kkt_mode_parse_round_trips() {
+    for mode in [KktMode::Auto, KktMode::Schur, KktMode::Augmented] {
+        assert_eq!(KktMode::parse(mode.as_str()), Some(mode));
+    }
+    assert_eq!(KktMode::parse("dense"), None);
+}
