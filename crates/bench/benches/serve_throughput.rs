@@ -1,0 +1,95 @@
+//! Service-throughput bench for `cppll-serve`: an in-process daemon pushed
+//! through its real HTTP front door. Measures sustained jobs/second over a
+//! batch of distinct toy verification specs, and the latency of a
+//! certificate-cache hit (a repeat spec must be answered without touching a
+//! worker). Results merge into the `serve` section of `BENCH_SDP.json`.
+
+use std::time::{Duration, Instant};
+
+use cppll_json::ObjectBuilder;
+use cppll_serve::{client_request, ServeOptions, Server};
+
+const JOBS: usize = 96;
+const WORKERS: usize = 4;
+
+/// A one-state contracting toy spec; `seed` perturbs the initial radius so
+/// every job has a distinct problem fingerprint.
+fn toy_body(seed: usize) -> String {
+    format!(
+        concat!(
+            r#"{{"kind":"verify","spec":{{"states":1,"#,
+            r#""modes":[{{"name":"only","flow":["-1 x0"]}}],"#,
+            r#""boundary":["2 - 1 x0","2 + 1 x0"],"initial_radii":[{}]}}}}"#,
+        ),
+        1.0 + seed as f64 / 256.0
+    )
+}
+
+fn inflight(addr: &str) -> usize {
+    let (_, body) = client_request(addr, "GET", "/jobs", None).expect("GET /jobs");
+    body.split("\"inflight\":")
+        .nth(1)
+        .and_then(|s| s.split('}').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("inflight count in /jobs response")
+}
+
+fn main() {
+    let runs_dir = std::env::temp_dir().join("cppll-serve-bench");
+    let _ = std::fs::remove_dir_all(&runs_dir);
+    let server = Server::start(ServeOptions {
+        workers: WORKERS,
+        queue_capacity: JOBS + 8,
+        runs_dir,
+        ..ServeOptions::default()
+    })
+    .expect("daemon start");
+    let addr = server.addr().to_string();
+
+    // Sustained throughput: distinct specs, admission must never shed load
+    // (the queue is sized for the whole batch).
+    let started = Instant::now();
+    for seed in 0..JOBS {
+        let (status, body) =
+            client_request(&addr, "POST", "/jobs", Some(&toy_body(seed))).expect("POST /jobs");
+        assert_eq!(status, 202, "job {seed} not admitted: {body}");
+    }
+    let submitted = started.elapsed();
+    while inflight(&addr) > 0 {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let throughput = JOBS as f64 / wall;
+
+    // Cache hit: a repeat spec is answered 200 from the certificate cache.
+    let hit_started = Instant::now();
+    let (status, body) =
+        client_request(&addr, "POST", "/jobs", Some(&toy_body(0))).expect("repeat POST /jobs");
+    let hit = hit_started.elapsed().as_secs_f64();
+    assert_eq!(status, 200, "repeat spec must hit the cache: {body}");
+    assert!(body.contains("\"cached\":true"), "{body}");
+    assert!(hit < 1.0, "cache hit took {hit:.3}s — lookup regressed");
+
+    server.shutdown();
+    server.join();
+
+    println!(
+        "[serve: {JOBS} jobs on {WORKERS} workers in {wall:.2}s \
+         ({throughput:.1} jobs/s, submit burst {:.0}ms, cache hit {:.1}ms)]",
+        submitted.as_secs_f64() * 1e3,
+        hit * 1e3
+    );
+    let report = ObjectBuilder::new()
+        .field("jobs", JOBS)
+        .field("workers", WORKERS)
+        .field("wall_seconds", wall)
+        .field("jobs_per_second", throughput)
+        .field("submit_burst_seconds", submitted.as_secs_f64())
+        .field("cache_hit_seconds", hit)
+        .build();
+    let path = cppll_bench::bench_sdp_json_path();
+    match cppll_bench::merge_bench_sdp(&path, "serve", report) {
+        Ok(()) => println!("[saved serve timings to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -4,6 +4,10 @@
 //! cppll verify <system.json>     run the inevitability pipeline on a spec
 //! cppll pll <3|4> [degree]       run the built-in CP PLL benchmarks
 //! cppll schema                   print an annotated example spec
+//! cppll serve                    run the verification daemon (cppll-serve)
+//! cppll submit <spec|pll ...>    submit a job to a running daemon
+//! cppll status [job]             query a running daemon
+//! cppll runs gc                  apply retention GC to the runs directory
 //! ```
 //!
 //! Resilience flags (both `verify` and `pll`):
@@ -75,7 +79,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cppll_cli::{run_inevitability_validated, SystemSpec};
-use cppll_harness::{run_supervised, ChaosPlan, HarnessOptions, HeartbeatEmitter, WorkerSpec};
+use cppll_harness::{
+    run_supervised, ChaosPlan, HarnessError, HarnessOptions, HeartbeatEmitter, WorkerSpec,
+};
+use cppll_json::{ObjectBuilder, Value};
 use cppll_pll::{PllModelBuilder, PllOrder};
 use cppll_verify::{
     CheckpointConfig, CrashMode, Durability, EventKind, FaultInjector, FaultPlan,
@@ -311,6 +318,36 @@ struct HarnessFlags {
     worker_heartbeat_ms: Option<u64>,
 }
 
+/// Service command-line options (`serve`, `submit`, `status`, `runs gc`).
+#[derive(Default)]
+struct ServeFlags {
+    /// `serve`: bind address.
+    addr: Option<String>,
+    /// `serve`: worker threads.
+    workers: Option<usize>,
+    /// `serve`: job queue capacity.
+    queue_cap: Option<usize>,
+    /// `serve`: circuit-breaker threshold.
+    breaker_threshold: Option<u32>,
+    /// `serve`: seconds suggested in `Retry-After` on 429/503.
+    retry_after: Option<u64>,
+    /// `serve`/`runs gc`: retention max age in seconds.
+    gc_max_age_secs: Option<f64>,
+    /// `serve`/`runs gc`: retention keep-newest budget.
+    gc_keep: Option<usize>,
+    /// `serve`: disable the certificate cache.
+    no_cache: bool,
+    /// `submit`/`status`: daemon address to talk to.
+    server: Option<String>,
+    /// `submit`: poll until the job is terminal.
+    wait: bool,
+    /// `runs gc`: report without deleting.
+    dry_run: bool,
+}
+
+/// Default daemon bind/connect address.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7171";
+
 /// Parsed command line: positionals plus every flag group.
 struct ParsedArgs {
     positional: Vec<String>,
@@ -319,6 +356,7 @@ struct ParsedArgs {
     reduction: ReductionOptions,
     trace: TraceFlags,
     harness: HarnessFlags,
+    serve: ServeFlags,
     validate: Option<usize>,
 }
 
@@ -353,6 +391,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut reduction = ReductionOptions::default();
     let mut trace = TraceFlags::default();
     let mut harness = HarnessFlags::default();
+    let mut serve = ServeFlags::default();
     let mut validate = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -440,6 +479,29 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
                 harness.worker_heartbeat_ms =
                     Some(count("--worker-heartbeat", value_of("--worker-heartbeat")?)?);
             }
+            "--addr" => serve.addr = Some(value_of("--addr")?.to_string()),
+            "--workers" => serve.workers = Some(count("--workers", value_of("--workers")?)?),
+            "--queue-cap" => {
+                serve.queue_cap = Some(count("--queue-cap", value_of("--queue-cap")?)?);
+            }
+            "--breaker-threshold" => {
+                serve.breaker_threshold = Some(count(
+                    "--breaker-threshold",
+                    value_of("--breaker-threshold")?,
+                )?);
+            }
+            "--retry-after" => {
+                serve.retry_after = Some(count("--retry-after", value_of("--retry-after")?)?);
+            }
+            "--gc-max-age" => {
+                serve.gc_max_age_secs =
+                    Some(seconds("--gc-max-age", value_of("--gc-max-age")?)?.as_secs_f64());
+            }
+            "--gc-keep" => serve.gc_keep = Some(count("--gc-keep", value_of("--gc-keep")?)?),
+            "--no-cache" => serve.no_cache = true,
+            "--server" => serve.server = Some(value_of("--server")?.to_string()),
+            "--wait" => serve.wait = true,
+            "--dry-run" => serve.dry_run = true,
             "--no-reduce" => reduction = ReductionOptions::none(),
             "--trace-out" => trace.out = Some(value_of("--trace-out")?.to_string()),
             "--trace-level" => {
@@ -461,6 +523,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
         reduction,
         trace,
         harness,
+        serve,
         validate,
     })
 }
@@ -588,6 +651,280 @@ fn supervise(raw: &[String], parsed: &ParsedArgs) -> ExitCode {
         }
         Err(e) => {
             eprintln!("harness: {e}");
+            if let HarnessError::GaveUp { stderr_tail, .. } = &e {
+                for line in stderr_tail {
+                    eprintln!("harness: stderr| {line}");
+                }
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cppll serve` — run the verification daemon until SIGTERM/SIGINT or
+/// `POST /shutdown`, drain, and exit 0.
+fn cmd_serve(parsed: &ParsedArgs) -> ExitCode {
+    let program = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("serve: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let s = &parsed.serve;
+    let h = &parsed.harness;
+    let mut supervision = cppll_serve::WorkerSupervision::default();
+    if let Some(w) = h.watchdog {
+        supervision.watchdog = w;
+    }
+    supervision.stall_timeout = h.stall_timeout;
+    if let Some(ms) = h.heartbeat_ms {
+        supervision.heartbeat_ms = ms;
+    }
+    supervision.max_rss_mb = h.max_rss_mb;
+    if let Some(n) = h.max_restarts {
+        supervision.max_restarts = n;
+    }
+    let opt = cppll_serve::ServeOptions {
+        addr: s.addr.clone().unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string()),
+        workers: s.workers.unwrap_or(2),
+        queue_capacity: s.queue_cap.unwrap_or(64),
+        runs_dir: PathBuf::from(
+            parsed
+                .durability
+                .runs_dir
+                .clone()
+                .unwrap_or_else(|| "target/runs".to_string()),
+        ),
+        durability: parsed.durability.durability.unwrap_or_default(),
+        cache_enabled: !s.no_cache,
+        breaker_threshold: s.breaker_threshold.unwrap_or(3),
+        retry_after_secs: s.retry_after.unwrap_or(2),
+        runner: cppll_serve::JobRunner::Process { program },
+        supervision,
+        gc: cppll_serve::GcPolicy {
+            max_age: s.gc_max_age_secs.map(Duration::from_secs_f64),
+            keep: s.gc_keep,
+        },
+        tracer: parsed
+            .trace
+            .tracer()
+            .unwrap_or_else(|| Tracer::new(TraceLevel::Stage)),
+    };
+    cppll_serve::install_shutdown_handler();
+    let server = match cppll_serve::Server::start(opt) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serve: listening on {}", server.addr());
+    while !cppll_serve::shutdown_requested() && !server.is_draining() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("serve: draining (queued and running jobs finish first)");
+    server.shutdown();
+    server.join();
+    println!("serve: drained cleanly");
+    ExitCode::SUCCESS
+}
+
+/// Builds the job-request body for `cppll submit` from the command line:
+/// the spec (or PLL benchmark selector) plus the resilience and chaos
+/// flags, which flow into the worker's supervisor on the daemon side.
+fn submit_body(parsed: &ParsedArgs) -> Result<String, String> {
+    let args = &parsed.positional;
+    let mut b = match args.get(1).map(String::as_str) {
+        Some("pll") => {
+            let order: u64 = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or("usage: cppll submit pll <3|4> [degree]")?;
+            let degree: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+            ObjectBuilder::new()
+                .field("kind", "pll")
+                .field("order", order)
+                .field("degree", degree)
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let spec =
+                cppll_json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+            ObjectBuilder::new().field("kind", "verify").field("spec", spec)
+        }
+        None => {
+            return Err(
+                "usage: cppll submit <system.json> | cppll submit pll <3|4> [degree]".into(),
+            )
+        }
+    };
+    let r = &parsed.resilience;
+    if let Some(d) = r.deadline {
+        b = b.field("deadline_secs", d.as_secs_f64());
+    }
+    if let Some(t) = r.solve_timeout {
+        b = b.field("solve_timeout_secs", t.as_secs_f64());
+    }
+    if r.retries != ResilienceConfig::default().retries {
+        b = b.field("retries", r.retries as u64);
+    }
+    let h = &parsed.harness;
+    if let Some(n) = h.max_restarts {
+        b = b.field("max_restarts", n as u64);
+    }
+    if let Some(n) = h.chaos_kill_after {
+        b = b.field("chaos_kill_after", n);
+    }
+    if let Some(n) = h.chaos_corrupt_tail {
+        b = b.field("chaos_corrupt_tail", n);
+    }
+    Ok(b.build().to_compact_string())
+}
+
+/// Polls a submitted job until it is terminal; exit 0 verified, 2
+/// completed-but-not-verified, 1 failed.
+fn wait_for_job(addr: &str, id: u64) -> ExitCode {
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let Ok((status, text)) =
+            cppll_serve::client_request(addr, "GET", &format!("/jobs/{id}"), None)
+        else {
+            eprintln!("submit: lost contact with {addr}");
+            return ExitCode::FAILURE;
+        };
+        if status != 200 {
+            eprintln!("{text}");
+            return ExitCode::FAILURE;
+        }
+        let Ok(v) = cppll_json::parse(&text) else {
+            continue;
+        };
+        match v.get("state").and_then(Value::as_str) {
+            Some("completed") => {
+                println!("{text}");
+                return if v.get("verified").and_then(Value::as_bool) == Some(true) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(2)
+                };
+            }
+            Some("failed") => {
+                println!("{text}");
+                return ExitCode::FAILURE;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `cppll submit` — post one job to a running daemon.
+fn cmd_submit(parsed: &ParsedArgs) -> ExitCode {
+    let addr = parsed
+        .serve
+        .server
+        .clone()
+        .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string());
+    let body = match submit_body(parsed) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (status, text) = match cppll_serve::client_request(&addr, "POST", "/jobs", Some(&body)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("submit: cannot reach {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{text}");
+    match status {
+        // Cache hit: the response already carries the terminal record.
+        200 => ExitCode::SUCCESS,
+        202 if parsed.serve.wait => {
+            let id = cppll_json::parse(&text)
+                .ok()
+                .and_then(|v| v.get("id").and_then(Value::as_u64));
+            match id {
+                Some(id) => wait_for_job(&addr, id),
+                None => {
+                    eprintln!("submit: no job id in response");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        202 => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
+    }
+}
+
+/// `cppll status [job]` — query a running daemon (`/healthz` without an
+/// argument, `/jobs/<id>` with one).
+fn cmd_status(parsed: &ParsedArgs) -> ExitCode {
+    let addr = parsed
+        .serve
+        .server
+        .clone()
+        .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string());
+    let path = match parsed.positional.get(1) {
+        Some(job) => format!("/jobs/{job}"),
+        None => "/healthz".to_string(),
+    };
+    match cppll_serve::client_request(&addr, "GET", &path, None) {
+        Ok((200, text)) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok((status, text)) => {
+            eprintln!("status {status}: {text}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("status: cannot reach {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cppll runs gc` — apply a retention policy to the runs directory.
+fn cmd_runs_gc(parsed: &ParsedArgs) -> ExitCode {
+    if parsed.positional.get(1).map(String::as_str) != Some("gc") {
+        eprintln!("usage: cppll runs gc [--gc-max-age <secs>] [--gc-keep <n>] [--dry-run]");
+        return ExitCode::FAILURE;
+    }
+    let s = &parsed.serve;
+    let policy = cppll_serve::GcPolicy {
+        max_age: s.gc_max_age_secs.map(Duration::from_secs_f64),
+        keep: s.gc_keep,
+    };
+    if !policy.is_active() {
+        eprintln!("runs gc: give at least one of --gc-max-age <secs> / --gc-keep <n>");
+        return ExitCode::FAILURE;
+    }
+    let runs_dir = PathBuf::from(
+        parsed
+            .durability
+            .runs_dir
+            .clone()
+            .unwrap_or_else(|| "target/runs".to_string()),
+    );
+    match cppll_serve::gc_runs(&runs_dir, &policy, &std::collections::HashSet::new(), s.dry_run) {
+        Ok(r) => {
+            println!(
+                "runs gc{}: scanned {}, removed {}, kept {}, protected {}",
+                if s.dry_run { " (dry run)" } else { "" },
+                r.scanned,
+                r.removed,
+                r.kept,
+                r.protected,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("runs gc: {e}");
             ExitCode::FAILURE
         }
     }
@@ -604,6 +941,15 @@ fn main() -> ExitCode {
     };
     if parsed.harness.isolate {
         return supervise(&raw, &parsed);
+    }
+    // Service subcommands keep the full flag groups, so dispatch before
+    // the worker-oriented destructuring below.
+    match parsed.positional.first().map(String::as_str) {
+        Some("serve") => return cmd_serve(&parsed),
+        Some("submit") => return cmd_submit(&parsed),
+        Some("status") => return cmd_status(&parsed),
+        Some("runs") => return cmd_runs_gc(&parsed),
+        _ => {}
     }
     // Supervised worker: heartbeat for the life of the process.
     let _heartbeat = parsed
@@ -718,6 +1064,29 @@ fn main() -> ExitCode {
                  \x20 cppll verify <system.json>   verify a JSON system spec\n\
                  \x20 cppll pll <3|4> [degree]     run the CP PLL benchmarks\n\
                  \x20 cppll schema                 print an example spec\n\
+                 \x20 cppll serve                  run the verification daemon\n\
+                 \x20 cppll submit <spec|pll ...>  submit a job to a daemon\n\
+                 \x20 cppll status [job]           query a daemon\n\
+                 \x20 cppll runs gc                apply retention GC to runs/\n\
+                 \n\
+                 service flags (serve):\n\
+                 \x20 --addr <host:port>       bind address (default 127.0.0.1:7171)\n\
+                 \x20 --workers <n>            worker processes (default 2)\n\
+                 \x20 --queue-cap <n>          job queue capacity; beyond it, submissions\n\
+                 \x20                          get 429 + Retry-After (default 64)\n\
+                 \x20 --breaker-threshold <n>  worker-death failures before a spec is\n\
+                 \x20                          quarantined with 409 (default 3)\n\
+                 \x20 --retry-after <secs>     Retry-After hint on 429/503 (default 2)\n\
+                 \x20 --no-cache               disable the certificate cache\n\
+                 \x20 --gc-max-age <secs>      retention GC: drop runs older than this\n\
+                 \x20 --gc-keep <n>            retention GC: keep at most n newest runs\n\
+                 \n\
+                 service flags (submit, status):\n\
+                 \x20 --server <host:port>     daemon to talk to (default 127.0.0.1:7171)\n\
+                 \x20 --wait                   submit: poll until the job is terminal\n\
+                 \n\
+                 service flags (runs gc):\n\
+                 \x20 --dry-run                report what would be removed, remove nothing\n\
                  \n\
                  resilience flags (verify, pll):\n\
                  \x20 --retries <n>            retries per solve on transient failures (default 2)\n\

@@ -27,13 +27,15 @@
 //!
 //! See [`SystemSpec`] for every field and [`run_inevitability`] for the
 //! execution entry point used by the `cppll` binary.
+//!
+//! The spec parser and pipeline runners now live in `cppll-verify`
+//! ([`cppll_verify::spec`] / [`cppll_verify::parse`]) so that server-side
+//! front-ends (`cppll-serve`) can consume them without depending on the
+//! CLI; this crate re-exports them unchanged for compatibility.
 
-mod parse;
-mod spec;
-
-pub use parse::{parse_polynomial, ParsePolynomialError};
-pub use spec::{
+pub use cppll_verify::parse::{parse_polynomial, ParsePolynomialError};
+pub use cppll_verify::spec::{
     run_inevitability, run_inevitability_checkpointed, run_inevitability_traced,
-    run_inevitability_tuned, run_inevitability_validated, run_inevitability_with, JumpSpec,
-    ModeSpec, ParamSpec, SpecError, SystemSpec,
+    run_inevitability_tuned, run_inevitability_validated, run_inevitability_with,
+    spec_fingerprint, JumpSpec, ModeSpec, ParamSpec, SpecError, SystemSpec,
 };

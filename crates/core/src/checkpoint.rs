@@ -929,6 +929,162 @@ impl RunJournal {
     }
 }
 
+// ---- certificate cache ---------------------------------------------------
+
+/// One cached verification result, keyed by the problem fingerprint.
+///
+/// Stores only the *result summary* (digest, verdict), not certificates: a
+/// cache hit answers "this exact problem was already verified, here is the
+/// canonical digest" without replaying anything. The full journal remains in
+/// the run directory named by `run_id` for audits and replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Problem fingerprint (16 hex digits), duplicated into the entry body
+    /// so a misfiled entry is detected on lookup.
+    pub fingerprint: String,
+    /// Canonical result digest ([`VerificationReport::result_digest`]).
+    ///
+    /// [`VerificationReport::result_digest`]: crate::VerificationReport::result_digest
+    pub digest: String,
+    /// Whether the verdict certifies inevitability.
+    pub verified: bool,
+    /// Short verdict rendering (e.g. `"inevitable"`).
+    pub verdict: String,
+    /// Run id whose journal produced this result.
+    pub run_id: String,
+    /// Wall-clock seconds the producing run spent.
+    pub elapsed_secs: f64,
+}
+
+impl ToJson for CacheEntry {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("record", "certificate-cache")
+            .field("version", 1u64)
+            .field("fingerprint", &self.fingerprint)
+            .field("digest", &self.digest)
+            .field("verified", self.verified)
+            .field("verdict", &self.verdict)
+            .field("run_id", &self.run_id)
+            .field("elapsed_secs", self.elapsed_secs)
+            .build()
+    }
+}
+
+impl cppll_json::FromJson for CacheEntry {
+    fn from_json(v: &Value) -> Result<Self, DecodeError> {
+        let tag: String = decode::required(v, "record")?;
+        if tag != "certificate-cache" {
+            return Err(DecodeError::new(format!(
+                "expected certificate-cache record, found '{tag}'"
+            )));
+        }
+        Ok(CacheEntry {
+            fingerprint: decode::required(v, "fingerprint")?,
+            digest: decode::required(v, "digest")?,
+            verified: decode::required(v, "verified")?,
+            verdict: decode::required(v, "verdict")?,
+            run_id: decode::required(v, "run_id")?,
+            elapsed_secs: decode::required(v, "elapsed_secs")?,
+        })
+    }
+}
+
+/// Monotonic discriminator for cache temp-file names, so two publishers in
+/// the same process never share a temp path.
+static CACHE_TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Filesystem-backed cache of verification results keyed by problem
+/// fingerprint — one JSON file per fingerprint under a cache directory
+/// (conventionally `<runs-dir>/cache/`).
+///
+/// Concurrency model: publishers write a *uniquely named* temp file and
+/// `rename(2)` it over the entry. Renames are atomic, and two publishers of
+/// the same fingerprint are writing byte-identical result summaries (the
+/// digest is canonical), so last-write-wins leaves the entry bit-identical
+/// no matter how the race resolves. Readers either see a complete old entry,
+/// a complete new entry, or no entry — never a torn one.
+#[derive(Debug, Clone)]
+pub struct CertificateCache {
+    dir: PathBuf,
+    durability: Durability,
+}
+
+impl CertificateCache {
+    /// A cache rooted at `dir` (created lazily on first publish).
+    pub fn new(dir: impl Into<PathBuf>, durability: Durability) -> Self {
+        CertificateCache {
+            dir: dir.into(),
+            durability,
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry file a fingerprint maps to.
+    pub fn entry_path(&self, fp: u64) -> PathBuf {
+        self.dir.join(format!("{}.json", fingerprint_hex(fp)))
+    }
+
+    /// Looks up a fingerprint. Unreadable, unparseable, or misfiled entries
+    /// are treated as misses — the cache is advisory; the journals stay the
+    /// source of truth.
+    pub fn lookup(&self, fp: u64) -> Option<CacheEntry> {
+        let text = std::fs::read_to_string(self.entry_path(fp)).ok()?;
+        let v = cppll_json::parse(&text).ok()?;
+        let entry: CacheEntry = cppll_json::FromJson::from_json(&v).ok()?;
+        (entry.fingerprint == fingerprint_hex(fp)).then_some(entry)
+    }
+
+    /// Publishes an entry atomically (unique temp file + rename; with
+    /// [`Durability::Safe`] the temp file is fsynced before the rename and
+    /// the directory after it). An injected [`JournalFault::Enospc`] aborts
+    /// the publish before any byte reaches the entry path, leaving prior
+    /// entries untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failures (including the
+    /// injected `ENOSPC`).
+    pub fn publish(
+        &self,
+        fp: u64,
+        entry: &CacheEntry,
+        fault: Option<&FaultInjector>,
+    ) -> Result<(), CheckpointError> {
+        let path = self.entry_path(fp);
+        if let Some(JournalFault::Enospc) = fault.and_then(|f| f.poll_journal_append()) {
+            return Err(io_err(&path, std::io::Error::from_raw_os_error(28)));
+        }
+        std::fs::create_dir_all(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+        let seq = CACHE_TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            ".{}.{}-{}.tmp",
+            fingerprint_hex(fp),
+            std::process::id(),
+            seq
+        ));
+        let mut body = entry.to_json().to_compact_string();
+        body.push('\n');
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(body.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+            if self.durability == Durability::Safe {
+                f.sync_all().map_err(|e| io_err(&tmp, e))?;
+            }
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        if self.durability == Durability::Safe {
+            let d = std::fs::File::open(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+            d.sync_all().map_err(|e| io_err(&self.dir, e))?;
+        }
+        Ok(())
+    }
+}
+
 // ---- pipeline-facing cursor ---------------------------------------------
 
 /// How a checkpointed run went: replayed vs freshly computed stages and the
@@ -1321,5 +1477,114 @@ mod tests {
         let back: StageRecord =
             cppll_json::FromJson::from_json(&cppll_json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.to_json().to_compact_string(), text);
+    }
+
+    // ---- certificate cache ----------------------------------------------
+
+    fn cache_scratch(test: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cppll-cache-tests").join(test);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cache_entry(fp: u64, run_id: &str) -> CacheEntry {
+        CacheEntry {
+            fingerprint: fingerprint_hex(fp),
+            digest: "c31e1167d4a9bf69".into(),
+            verified: true,
+            verdict: "inevitable".into(),
+            run_id: run_id.into(),
+            elapsed_secs: 1.25,
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_and_misses_on_misfiled_entries() {
+        let cache = CertificateCache::new(cache_scratch("roundtrip"), Durability::Fast);
+        let fp = 0x1234_5678_9abc_def0u64;
+        assert!(cache.lookup(fp).is_none());
+        cache.publish(fp, &cache_entry(fp, "job-1"), None).unwrap();
+        let entry = cache.lookup(fp).unwrap();
+        assert_eq!(entry.digest, "c31e1167d4a9bf69");
+        assert!(entry.verified);
+        assert_eq!(entry.run_id, "job-1");
+
+        // An entry filed under the wrong fingerprint is a miss, not a lie.
+        let other = fp + 1;
+        std::fs::copy(cache.entry_path(fp), cache.entry_path(other)).unwrap();
+        assert!(cache.lookup(other).is_none());
+
+        // Corrupt JSON is a miss too.
+        std::fs::write(cache.entry_path(fp), "{broken").unwrap();
+        assert!(cache.lookup(fp).is_none());
+    }
+
+    #[test]
+    fn racing_publishes_of_the_same_fingerprint_end_bit_identical() {
+        for durability in [Durability::Fast, Durability::Safe] {
+            let cache = std::sync::Arc::new(CertificateCache::new(
+                cache_scratch(&format!("race-{}", durability.name())),
+                durability,
+            ));
+            let fp = 0xfeed_beef_0000_0001u64;
+            let workers: Vec<_> = (0..8)
+                .map(|i| {
+                    let cache = std::sync::Arc::clone(&cache);
+                    std::thread::spawn(move || {
+                        // Same fingerprint, same payload, different writers:
+                        // exactly the shape of two workers finishing the same
+                        // spec concurrently.
+                        for _ in 0..25 {
+                            cache
+                                .publish(fp, &cache_entry(fp, "job-racer"), None)
+                                .unwrap();
+                        }
+                        i
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            let entry = cache.lookup(fp).expect("entry must survive the race");
+            assert_eq!(
+                entry.to_json().to_compact_string(),
+                cache_entry(fp, "job-racer").to_json().to_compact_string(),
+                "last-write-wins of byte-identical entries must be bit-identical"
+            );
+            // No temp-file litter left behind.
+            let stray: Vec<_> = std::fs::read_dir(cache.dir())
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+                .collect();
+            assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        }
+    }
+
+    #[test]
+    fn enospc_mid_publish_leaves_prior_entry_intact() {
+        let cache = CertificateCache::new(cache_scratch("enospc"), Durability::Safe);
+        let fp = 0xdead_0000_0000_0002u64;
+        cache.publish(fp, &cache_entry(fp, "job-first"), None).unwrap();
+
+        let fault = FaultInjector::new(
+            cppll_sdp::FaultPlan::new().fault_journal_append(0, JournalFault::Enospc),
+        );
+        let second = cache_entry(fp, "job-second");
+        match cache.publish(fp, &second, Some(&fault)) {
+            Err(CheckpointError::Io { source, .. }) => {
+                assert_eq!(source.raw_os_error(), Some(28), "ENOSPC");
+            }
+            other => panic!("expected injected ENOSPC, got {other:?}"),
+        }
+
+        // The injected failure must not have touched the published entry.
+        let entry = cache.lookup(fp).unwrap();
+        assert_eq!(entry.run_id, "job-first");
+
+        // Once the fault clears, publishing works again.
+        cache.publish(fp, &second, Some(&fault)).unwrap();
+        assert_eq!(cache.lookup(fp).unwrap().run_id, "job-second");
     }
 }

@@ -31,17 +31,20 @@ pub mod escape;
 pub mod exactify;
 pub mod levelset;
 pub mod lyapunov;
+pub mod parse;
 pub mod pipeline;
 pub mod region;
 pub mod resilience;
+pub mod spec;
 pub mod validation;
 
 pub use advection::{Advection, AdvectionOptions, AdvectionStep};
 pub use barrier::{BarrierCertificate, BarrierOptions, BarrierSynthesizer};
 pub use checkpoint::{
-    CheckpointConfig, CheckpointError, Durability, JournalRecovery, LedgerSnapshot, ResumeSummary,
-    RunJournal, StageRecord,
+    CacheEntry, CertificateCache, CheckpointConfig, CheckpointError, Durability, JournalRecovery,
+    LedgerSnapshot, ResumeSummary, RunJournal, StageRecord,
 };
+pub use parse::{parse_polynomial, ParsePolynomialError};
 pub use escape::{EscapeCertificate, EscapeOptions, EscapeSynthesizer};
 pub use exactify::{exactify_certificates, ExactificationReport, ExactifyError, ExactifyOptions};
 pub use levelset::{LevelSetMaximizer, LevelSetOptions, LevelSetResult};
@@ -53,6 +56,11 @@ pub use pipeline::{
 };
 pub use region::Region;
 pub use resilience::{FailureReport, PipelineStage, ResilienceConfig};
+pub use spec::{
+    run_inevitability, run_inevitability_checkpointed, run_inevitability_traced,
+    run_inevitability_tuned, run_inevitability_validated, run_inevitability_with,
+    spec_fingerprint, JumpSpec, ModeSpec, ParamSpec, SpecError, SystemSpec,
+};
 pub use validation::{Sampler, ValidationReport, Validator};
 
 // Fault-injection plumbing, re-exported so front-ends (CLI, CI smoke jobs)

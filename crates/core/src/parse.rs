@@ -41,7 +41,7 @@ fn err(message: impl Into<String>) -> ParsePolynomialError {
 /// # Examples
 ///
 /// ```
-/// use cppll_cli::parse_polynomial;
+/// use cppll_verify::parse_polynomial;
 ///
 /// let p = parse_polynomial("-1 x0 + 2 x0^2 x1 - 0.5", 2).unwrap();
 /// assert_eq!(p.eval(&[1.0, 1.0]), 0.5);

@@ -336,6 +336,14 @@ impl<'s> InevitabilityVerifier<'s> {
         &self.initial
     }
 
+    /// The problem fingerprint a checkpointed run of this verifier would be
+    /// keyed by — stable across processes for identical problems and
+    /// math-relevant options, so callers (e.g. the `cppll-serve` certificate
+    /// cache) can deduplicate work before spending a solve.
+    pub fn problem_fingerprint(&self, opt: &PipelineOptions) -> u64 {
+        checkpoint::fingerprint(self.system, &self.boundary, &self.initial, opt)
+    }
+
     /// Runs the full pipeline.
     ///
     /// Every SOS/SDP solve is supervised per [`PipelineOptions::resilience`]

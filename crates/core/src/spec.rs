@@ -3,7 +3,7 @@
 use cppll_hybrid::{HybridSystem, Jump, Mode, ParamBox};
 use cppll_json::{ObjectBuilder, ToJson, Value};
 use cppll_poly::Polynomial;
-use cppll_verify::{InevitabilityVerifier, PipelineOptions, Region, VerificationReport};
+use crate::{InevitabilityVerifier, PipelineOptions, Region, VerificationReport};
 
 use crate::parse::{parse_polynomial, ParsePolynomialError};
 
@@ -275,7 +275,7 @@ pub enum SpecError {
         message: String,
     },
     /// The verification pipeline failed.
-    Verify(cppll_verify::VerifyError),
+    Verify(crate::VerifyError),
 }
 
 impl std::fmt::Display for SpecError {
@@ -399,7 +399,7 @@ impl SystemSpec {
 ///
 /// [`SpecError`] on malformed input or pipeline failure.
 pub fn run_inevitability(spec: &SystemSpec) -> Result<VerificationReport, SpecError> {
-    run_inevitability_with(spec, cppll_verify::ResilienceConfig::default())
+    run_inevitability_with(spec, crate::ResilienceConfig::default())
 }
 
 /// Like [`run_inevitability`], with an explicit resilience configuration
@@ -410,7 +410,7 @@ pub fn run_inevitability(spec: &SystemSpec) -> Result<VerificationReport, SpecEr
 /// [`SpecError`] on malformed input or pipeline failure.
 pub fn run_inevitability_with(
     spec: &SystemSpec,
-    resilience: cppll_verify::ResilienceConfig,
+    resilience: crate::ResilienceConfig,
 ) -> Result<VerificationReport, SpecError> {
     run_inevitability_checkpointed(spec, resilience, None)
 }
@@ -425,20 +425,20 @@ pub fn run_inevitability_with(
 /// I/O failures and stale/corrupt journals on resume.
 pub fn run_inevitability_checkpointed(
     spec: &SystemSpec,
-    resilience: cppll_verify::ResilienceConfig,
-    checkpoint: Option<cppll_verify::CheckpointConfig>,
+    resilience: crate::ResilienceConfig,
+    checkpoint: Option<crate::CheckpointConfig>,
 ) -> Result<VerificationReport, SpecError> {
     run_inevitability_tuned(
         spec,
         resilience,
         checkpoint,
-        cppll_verify::ReductionOptions::default(),
+        crate::ReductionOptions::default(),
     )
 }
 
 /// Like [`run_inevitability_checkpointed`], with explicit problem-size
 /// reduction options (the CLI's `--no-reduce` passes
-/// [`cppll_verify::ReductionOptions::none`] to reproduce the unreduced
+/// [`crate::ReductionOptions::none`] to reproduce the unreduced
 /// SDPs exactly).
 ///
 /// # Errors
@@ -446,9 +446,9 @@ pub fn run_inevitability_checkpointed(
 /// Exactly as [`run_inevitability_checkpointed`].
 pub fn run_inevitability_tuned(
     spec: &SystemSpec,
-    resilience: cppll_verify::ResilienceConfig,
-    checkpoint: Option<cppll_verify::CheckpointConfig>,
-    reduction: cppll_verify::ReductionOptions,
+    resilience: crate::ResilienceConfig,
+    checkpoint: Option<crate::CheckpointConfig>,
+    reduction: crate::ReductionOptions,
 ) -> Result<VerificationReport, SpecError> {
     run_inevitability_traced(spec, resilience, checkpoint, reduction, None)
 }
@@ -462,10 +462,10 @@ pub fn run_inevitability_tuned(
 /// Exactly as [`run_inevitability_checkpointed`].
 pub fn run_inevitability_traced(
     spec: &SystemSpec,
-    resilience: cppll_verify::ResilienceConfig,
-    checkpoint: Option<cppll_verify::CheckpointConfig>,
-    reduction: cppll_verify::ReductionOptions,
-    trace: Option<cppll_verify::Tracer>,
+    resilience: crate::ResilienceConfig,
+    checkpoint: Option<crate::CheckpointConfig>,
+    reduction: crate::ReductionOptions,
+    trace: Option<crate::Tracer>,
 ) -> Result<VerificationReport, SpecError> {
     run_inevitability_validated(spec, resilience, checkpoint, reduction, trace, None)
         .map(|(report, _)| report)
@@ -482,12 +482,12 @@ pub fn run_inevitability_traced(
 /// Exactly as [`run_inevitability_checkpointed`].
 pub fn run_inevitability_validated(
     spec: &SystemSpec,
-    resilience: cppll_verify::ResilienceConfig,
-    checkpoint: Option<cppll_verify::CheckpointConfig>,
-    reduction: cppll_verify::ReductionOptions,
-    trace: Option<cppll_verify::Tracer>,
+    resilience: crate::ResilienceConfig,
+    checkpoint: Option<crate::CheckpointConfig>,
+    reduction: crate::ReductionOptions,
+    trace: Option<crate::Tracer>,
     validate: Option<(usize, u64)>,
-) -> Result<(VerificationReport, Option<cppll_verify::ValidationReport>), SpecError> {
+) -> Result<(VerificationReport, Option<crate::ValidationReport>), SpecError> {
     if spec.initial_radii.len() != spec.states {
         return Err(SpecError::Invalid {
             message: "initial_radii must have one entry per state".into(),
@@ -506,6 +506,27 @@ pub fn run_inevitability_validated(
     let validation =
         validate.and_then(|(trials, seed)| verifier.validate(&report, trials, seed));
     Ok((report, validation))
+}
+
+/// Computes the problem fingerprint a checkpointed run of `spec` would be
+/// keyed by, without solving anything. Identical specs (and math-relevant
+/// options) always map to the same fingerprint, which is what the
+/// `cppll-serve` certificate cache and the run journals key on.
+///
+/// # Errors
+///
+/// [`SpecError`] on malformed input.
+pub fn spec_fingerprint(spec: &SystemSpec) -> Result<u64, SpecError> {
+    if spec.initial_radii.len() != spec.states {
+        return Err(SpecError::Invalid {
+            message: "initial_radii must have one entry per state".into(),
+        });
+    }
+    let system = spec.build_system()?;
+    let boundary = spec.build_boundary()?;
+    let initial = Region::ellipsoid(&spec.initial_radii);
+    let verifier = InevitabilityVerifier::new(&system, boundary, initial);
+    Ok(verifier.problem_fingerprint(&PipelineOptions::degree(spec.degree)))
 }
 
 #[cfg(test)]

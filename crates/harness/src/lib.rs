@@ -30,7 +30,7 @@ pub mod rss;
 pub mod supervisor;
 
 pub use protocol::{heartbeat_line, parse_line, HeartbeatEmitter, WorkerLine, HEARTBEAT_PREFIX};
-pub use rss::current_rss_kb;
+pub use rss::{current_rss_kb, rss_self_report_supported};
 pub use supervisor::{
     run_supervised, ChaosPlan, HarnessError, HarnessOptions, HarnessReport, KillReason, WorkerSpec,
 };

@@ -10,6 +10,9 @@
 /// `/proc/self/status` (`VmRSS`). `None` off Linux or when procfs is
 /// unavailable.
 pub fn current_rss_kb() -> Option<u64> {
+    if !rss_self_report_supported() {
+        return None;
+    }
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmRSS:") {
@@ -23,6 +26,13 @@ pub fn current_rss_kb() -> Option<u64> {
     None
 }
 
+/// Whether this platform supports RSS self-reporting at all. `--max-rss`
+/// ceilings are only enforceable where this is `true` (Linux, via procfs);
+/// elsewhere the supervisor warns once that the ceiling cannot fire.
+pub fn rss_self_report_supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -30,8 +40,16 @@ mod tests {
     #[test]
     fn rss_is_positive_on_linux() {
         if cfg!(target_os = "linux") {
+            assert!(rss_self_report_supported());
             let rss = current_rss_kb().expect("procfs available on linux");
             assert!(rss > 0, "a running process has pages resident");
+        }
+    }
+
+    #[test]
+    fn unsupported_platforms_report_none_consistently() {
+        if !rss_self_report_supported() {
+            assert_eq!(current_rss_kb(), None);
         }
     }
 }

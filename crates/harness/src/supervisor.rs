@@ -8,15 +8,26 @@
 //! [`WorkerSpec::resume_args`], up to [`HarnessOptions::max_restarts`].
 //! The checkpoint journal makes those restarts cheap and bit-exact.
 
+use std::collections::VecDeque;
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
 use cppll_trace::Tracer;
 
 use crate::protocol::{parse_line, WorkerLine};
+
+/// Lines of worker stderr retained per attempt. A panicking worker prints
+/// its message and backtrace head well within this; a worker spewing
+/// megabytes of diagnostics is bounded to the newest tail.
+const STDERR_TAIL_LINES: usize = 64;
+
+/// Longest stderr line retained verbatim; longer lines are truncated with a
+/// marker so one pathological line cannot blow the bounded buffer's memory.
+const STDERR_LINE_CAP: usize = 2048;
 
 /// How to launch (and relaunch) a worker process.
 #[derive(Debug, Clone)]
@@ -131,6 +142,10 @@ pub struct HarnessReport {
     pub heartbeats: u64,
     /// Output lines of the final (completed) attempt.
     pub output: Vec<String>,
+    /// Bounded tail of worker stderr from the most recent attempt that
+    /// wrote any — a dead worker's panic message survives here even when
+    /// a later attempt succeeded silently.
+    pub stderr_tail: Vec<String>,
 }
 
 /// Why supervision failed outright.
@@ -149,6 +164,9 @@ pub enum HarnessError {
         attempts: usize,
         /// Kills performed along the way.
         kills: Vec<KillReason>,
+        /// Bounded tail of the last attempt's stderr — the worker's dying
+        /// words, captured so they are never lost to interleaved output.
+        stderr_tail: Vec<String>,
     },
 }
 
@@ -158,12 +176,20 @@ impl std::fmt::Display for HarnessError {
             HarnessError::Spawn { program, source } => {
                 write!(f, "failed to spawn worker {}: {source}", program.display())
             }
-            HarnessError::GaveUp { attempts, kills } => {
+            HarnessError::GaveUp {
+                attempts,
+                kills,
+                stderr_tail,
+            } => {
                 write!(
                     f,
                     "worker failed to finish after {attempts} attempts ({} kills)",
                     kills.len()
-                )
+                )?;
+                if let Some(last) = stderr_tail.last() {
+                    write!(f, "; last stderr: {last}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -200,6 +226,26 @@ fn corrupt_tail(path: &Path, chop: u64) {
     }
 }
 
+/// Pushes a (length-capped) stderr line into a bounded ring buffer.
+fn push_stderr_line(ring: &Mutex<VecDeque<String>>, mut line: String) {
+    if line.len() > STDERR_LINE_CAP {
+        let mut cut = STDERR_LINE_CAP;
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        line.truncate(cut);
+        line.push_str(" …[truncated]");
+    }
+    let mut ring = ring.lock().unwrap();
+    if ring.len() == STDERR_TAIL_LINES {
+        ring.pop_front();
+    }
+    ring.push_back(line);
+}
+
+/// One-time process-wide latch for the "RSS ceiling unenforceable" warning.
+static RSS_WARNING_EMITTED: AtomicBool = AtomicBool::new(false);
+
 /// Runs a worker under supervision until it exits with a final code.
 ///
 /// # Errors
@@ -211,6 +257,23 @@ pub fn run_supervised(
     opt: &HarnessOptions,
 ) -> Result<HarnessReport, HarnessError> {
     let mut report = HarnessReport::default();
+    if opt.max_rss_kb.is_some()
+        && !crate::rss::rss_self_report_supported()
+        && !RSS_WARNING_EMITTED.swap(true, Ordering::Relaxed)
+    {
+        // The ceiling compares against the worker's *self-reported* RSS,
+        // which comes from /proc and is Linux-only: elsewhere the heartbeat
+        // reports 0 KiB and the limit can never fire. Say so once instead
+        // of silently not enforcing.
+        eprintln!(
+            "harness: warning: an RSS ceiling is configured but RSS \
+             self-reporting is unsupported on this platform (Linux-only); \
+             the ceiling will not be enforced"
+        );
+        if let Some(t) = &opt.tracer {
+            t.counter("rss_unenforceable", 1);
+        }
+    }
     let mut chaos_threshold = opt
         .chaos
         .as_ref()
@@ -231,7 +294,7 @@ pub fn run_supervised(
         cmd.args(args)
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
+            .stderr(Stdio::piped());
         for (k, v) in &spec.envs {
             cmd.env(k, v);
         }
@@ -240,6 +303,26 @@ pub fn run_supervised(
             source: e,
         })?;
         let stdout = child.stdout.take().expect("stdout was piped");
+        let stderr = child.stderr.take().expect("stderr was piped");
+
+        // Stderr reader: drain into a bounded ring so a dead worker's panic
+        // message is preserved without ever inheriting the terminal (which
+        // interleaves) or buffering unboundedly. Not joined: the ring is
+        // shared, and a killed worker's grandchildren may hold the pipe.
+        let stderr_ring = Arc::new(Mutex::new(VecDeque::with_capacity(STDERR_TAIL_LINES)));
+        {
+            let ring = Arc::clone(&stderr_ring);
+            let forward = opt.forward_output;
+            std::thread::spawn(move || {
+                for line in std::io::BufReader::new(stderr).lines() {
+                    let Ok(l) = line else { break };
+                    if forward {
+                        eprintln!("{l}");
+                    }
+                    push_stderr_line(&ring, l);
+                }
+            });
+        }
 
         // Reader thread: worker stdout → channel. The channel disconnect
         // (reader done, all lines drained) is the exit signal — a closed
@@ -346,6 +429,15 @@ pub fn run_supervised(
             source: e,
         })?;
 
+        // Keep the newest attempt's stderr tail; a silent later attempt
+        // must not erase the dying words of the one that crashed.
+        {
+            let ring = stderr_ring.lock().unwrap();
+            if !ring.is_empty() {
+                report.stderr_tail = ring.iter().cloned().collect();
+            }
+        }
+
         if let Some(reason) = kill {
             counter("worker_killed");
             report.kills.push(reason);
@@ -378,6 +470,7 @@ pub fn run_supervised(
     Err(HarnessError::GaveUp {
         attempts: opt.max_restarts + 1,
         kills: report.kills,
+        stderr_tail: report.stderr_tail,
     })
 }
 
@@ -524,6 +617,56 @@ mod tests {
             Err(HarnessError::GaveUp { attempts, .. }) => assert_eq!(attempts, 3),
             other => panic!("expected GaveUp, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn crashed_workers_stderr_survives_a_silent_successful_resume() {
+        let s = spec("echo boom >&2; exit 7", "exit 0");
+        let report = run_supervised(&s, &fast_opts()).unwrap();
+        assert_eq!(report.exit_code, 0);
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.stderr_tail, vec!["boom".to_string()]);
+    }
+
+    #[test]
+    fn gave_up_error_carries_the_last_stderr_tail() {
+        let s = spec("echo first-death >&2; exit 9", "echo later-death >&2; exit 9");
+        let mut opt = fast_opts();
+        opt.max_restarts = 2;
+        match run_supervised(&s, &opt) {
+            Err(HarnessError::GaveUp {
+                attempts,
+                stderr_tail,
+                ..
+            }) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(stderr_tail, vec!["later-death".to_string()]);
+                let display = run_supervised(&s, &opt).unwrap_err().to_string();
+                assert!(display.contains("later-death"), "{display}");
+            }
+            other => panic!("expected GaveUp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stderr_tail_is_bounded_to_the_newest_lines() {
+        let s = spec("seq 1 500 >&2; exit 0", "exit 0");
+        let report = run_supervised(&s, &fast_opts()).unwrap();
+        assert_eq!(report.stderr_tail.len(), STDERR_TAIL_LINES);
+        assert_eq!(report.stderr_tail.last().unwrap(), "500");
+        assert_eq!(
+            report.stderr_tail.first().unwrap(),
+            &(500 - STDERR_TAIL_LINES + 1).to_string()
+        );
+    }
+
+    #[test]
+    fn pathological_stderr_lines_are_truncated_not_buffered() {
+        let ring = Mutex::new(VecDeque::new());
+        push_stderr_line(&ring, "x".repeat(1_000_000));
+        let got = ring.lock().unwrap().pop_front().unwrap();
+        assert!(got.len() < STDERR_LINE_CAP + 32);
+        assert!(got.ends_with("…[truncated]"));
     }
 
     #[test]

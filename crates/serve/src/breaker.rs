@@ -1,0 +1,94 @@
+//! Per-fingerprint circuit breaker.
+//!
+//! A spec whose workers die repeatedly (poison job: deterministic crash,
+//! pathological memory growth, …) must not be retried forever — each retry
+//! burns a worker slot that healthy jobs need. After `threshold`
+//! consecutive worker-exhaustion failures for the same problem
+//! fingerprint, the breaker *quarantines* that fingerprint: new
+//! submissions are refused up front (HTTP `409`) until a success for the
+//! fingerprint (e.g. after an operator fix) resets it.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The breaker. Cheap to share behind an `Arc`.
+pub struct CircuitBreaker {
+    threshold: u32,
+    /// fingerprint → consecutive worker-exhaustion failures.
+    failures: Mutex<HashMap<u64, u32>>,
+}
+
+impl CircuitBreaker {
+    /// Quarantine after `threshold` consecutive failures (minimum 1).
+    pub fn new(threshold: u32) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            failures: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Records a worker-exhaustion failure. Returns `true` when this
+    /// failure tripped the breaker for the fingerprint.
+    pub fn record_failure(&self, fp: u64) -> bool {
+        let mut failures = self.failures.lock().expect("breaker state");
+        let count = failures.entry(fp).or_insert(0);
+        *count += 1;
+        *count == self.threshold
+    }
+
+    /// Records a success, closing the circuit for the fingerprint.
+    pub fn record_success(&self, fp: u64) {
+        self.failures.lock().expect("breaker state").remove(&fp);
+    }
+
+    /// Whether the fingerprint is quarantined.
+    pub fn is_quarantined(&self, fp: u64) -> bool {
+        self.failures
+            .lock()
+            .expect("breaker state")
+            .get(&fp)
+            .is_some_and(|&c| c >= self.threshold)
+    }
+
+    /// Number of quarantined fingerprints.
+    pub fn quarantined(&self) -> usize {
+        self.failures
+            .lock()
+            .expect("breaker state")
+            .values()
+            .filter(|&&c| c >= self.threshold)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_at_the_threshold_and_resets_on_success() {
+        let b = CircuitBreaker::new(2);
+        assert!(!b.is_quarantined(1));
+        assert!(!b.record_failure(1), "one failure is not a pattern");
+        assert!(!b.is_quarantined(1));
+        assert!(b.record_failure(1), "second failure trips");
+        assert!(b.is_quarantined(1));
+        assert!(!b.is_quarantined(2), "other fingerprints unaffected");
+        assert_eq!(b.quarantined(), 1);
+        b.record_success(1);
+        assert!(!b.is_quarantined(1));
+        assert_eq!(b.quarantined(), 0);
+    }
+
+    #[test]
+    fn threshold_has_a_floor_of_one() {
+        let b = CircuitBreaker::new(0);
+        assert!(b.record_failure(5));
+        assert!(b.is_quarantined(5));
+    }
+}

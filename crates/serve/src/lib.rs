@@ -1,0 +1,45 @@
+//! `cppll-serve` — a fault-tolerant verification service.
+//!
+//! This crate turns the pipeline into a long-lived daemon: an HTTP/1.1
+//! endpoint (plain `std::net`, zero dependencies) accepts verification
+//! jobs, runs them on a pool of supervised, process-isolated workers, and
+//! degrades *gracefully* instead of falling over:
+//!
+//! - **Bounded admission** ([`queue::BoundedQueue`]): a full queue answers
+//!   `429` + `Retry-After`; memory never grows with offered load.
+//! - **Crash-resume** ([`pool`]): workers are `cppll-harness`-supervised
+//!   processes; a killed worker resumes from its checkpoint journal and
+//!   lands the *same* result digest it would have without the crash.
+//! - **Certificate cache** ([`cppll_verify::checkpoint::CertificateCache`]):
+//!   repeat specs are answered from disk in milliseconds, keyed by the same
+//!   problem fingerprint the journals use.
+//! - **Circuit breaker** ([`breaker::CircuitBreaker`]): specs whose workers
+//!   die repeatedly are quarantined (`409`) instead of burning worker slots
+//!   forever.
+//! - **Graceful drain** ([`signal`], [`server::Server::shutdown`]):
+//!   SIGTERM stops admission, queued and running jobs reach a terminal
+//!   state, and the process exits `0`.
+//! - **Observability**: `/metrics` serves the `cppll-trace` Prometheus
+//!   dump (job counters plus queue/in-flight gauges); `/healthz` reports
+//!   drain state.
+//! - **Retention GC** ([`gc`]): old run journals and cache entries are
+//!   collected by age/count, never touching a run an in-flight job might
+//!   resume from.
+
+pub mod breaker;
+pub mod gc;
+pub mod http;
+pub mod job;
+pub mod pool;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use breaker::CircuitBreaker;
+pub use gc::{gc_runs, GcPolicy, GcReport};
+pub use http::client_request;
+pub use job::{JobKind, JobParseError, JobRecord, JobRegistry, JobRequest, JobState};
+pub use pool::{run_job, JobContext, JobOutcome, JobRunner, WorkerSupervision};
+pub use queue::{BoundedQueue, Pop, PushError};
+pub use server::{ServeOptions, Server};
+pub use signal::{install_shutdown_handler, request_shutdown, shutdown_requested};

@@ -1,0 +1,221 @@
+//! A bounded MPMC job queue with *rejecting* backpressure.
+//!
+//! The availability contract of the daemon hinges on this type: when the
+//! queue is full, `try_push` fails immediately (the HTTP layer answers
+//! `429` + `Retry-After`) instead of blocking the acceptor or growing
+//! without bound. Memory use is therefore `O(capacity)` no matter how hard
+//! clients hammer the endpoint.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity: the caller should shed load (HTTP `429`).
+    Full,
+    /// Draining: no new work is admitted (HTTP `503`).
+    Closed,
+}
+
+/// What a pop produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// A queued item.
+    Item(T),
+    /// Nothing arrived within the timeout; poll again.
+    TimedOut,
+    /// Queue closed *and* empty: the worker should exit.
+    Drained,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. `push` never blocks; `pop` blocks up to a timeout.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue state").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking. On success returns the new depth.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut st = self.state.lock().expect("queue state");
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues, waiting up to `timeout` for an item. Closing wakes all
+    /// waiters; queued items are still handed out after close so a drain
+    /// finishes accepted work.
+    pub fn pop(&self, timeout: Duration) -> Pop<T> {
+        let mut st = self.state.lock().expect("queue state");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if st.closed {
+                return Pop::Drained;
+            }
+            let (next, res) = self
+                .available
+                .wait_timeout(st, timeout)
+                .expect("queue state");
+            st = next;
+            if res.timed_out() {
+                return match st.items.pop_front() {
+                    Some(item) => Pop::Item(item),
+                    None if st.closed => Pop::Drained,
+                    None => Pop::TimedOut,
+                };
+            }
+        }
+    }
+
+    /// Stops admission (pushes fail with [`PushError::Closed`]); already
+    /// queued items remain poppable.
+    pub fn close(&self) {
+        self.state.lock().expect("queue state").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue state").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_above_capacity_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        // Popping frees a slot.
+        assert_eq!(q.pop(Duration::from_millis(10)), Pop::Item(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn pop_times_out_when_idle() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(q.pop(Duration::from_millis(10)), Pop::TimedOut);
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_queued_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(Duration::from_millis(10)), Pop::Item(1));
+        assert_eq!(q.pop(Duration::from_millis(10)), Pop::Item(2));
+        assert_eq!(q.pop(Duration::from_millis(10)), Pop::Drained);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), Pop::Drained);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(8));
+        let total: u64 = 200;
+        let consumed = Arc::new(Mutex::new(Vec::new()));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || loop {
+                    match q.pop(Duration::from_millis(20)) {
+                        Pop::Item(v) => consumed.lock().unwrap().push(v),
+                        Pop::TimedOut => continue,
+                        Pop::Drained => break,
+                    }
+                })
+            })
+            .collect();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut accepted = 0u64;
+                let mut i = 0u64;
+                while accepted < total {
+                    if q.try_push(i).is_ok() {
+                        accepted += 1;
+                        i += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        producer.join().unwrap();
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let mut got = consumed.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..total).collect::<Vec<_>>());
+    }
+}

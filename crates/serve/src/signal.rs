@@ -1,0 +1,66 @@
+//! SIGTERM/SIGINT → a drain flag, with no libc crate.
+//!
+//! The daemon's graceful-drain contract starts here: delivery of SIGTERM
+//! or SIGINT flips one process-global `AtomicBool` that the accept loop
+//! polls. Storing to an atomic is async-signal-safe; everything else
+//! (closing the queue, draining workers) happens on normal threads. The
+//! `signal` symbol comes from the C runtime std already links, so no
+//! external crate is needed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once a shutdown signal has been delivered.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handler (idempotent). On non-unix targets
+/// this is a no-op and [`shutdown_requested`] only ever flips via
+/// [`request_shutdown`].
+pub fn install_shutdown_handler() {
+    imp::install();
+}
+
+/// Whether a shutdown has been requested (by signal or in-process).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests a shutdown from inside the process (the `/shutdown` endpoint
+/// and tests use this path).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag — for tests that exercise several server lifecycles in
+/// one process.
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}

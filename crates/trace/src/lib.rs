@@ -286,6 +286,11 @@ struct TracerInner {
     next_span: AtomicU64,
     next_tid: AtomicU64,
     lanes: Mutex<Vec<Arc<Lane>>>,
+    /// Latest value per gauge name. Gauges are *state*, not history:
+    /// unlike counters they live outside the event lanes, so setting one
+    /// at high frequency (queue depth on every job) costs one map write
+    /// and no event-buffer growth.
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
 }
 
 static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
@@ -316,6 +321,7 @@ impl Tracer {
                 next_span: AtomicU64::new(1),
                 next_tid: AtomicU64::new(0),
                 lanes: Mutex::new(Vec::new()),
+                gauges: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -423,6 +429,26 @@ impl Tracer {
         let lane = self.lane();
         let span = lane.state.lock().expect("trace lane").stack.last().copied();
         self.push(&lane, EventKind::Counter { span, name, delta });
+    }
+
+    /// Sets a named gauge to its latest value. Gauges are recorded at
+    /// every level except [`TraceLevel::Off`] and surface in
+    /// [`Tracer::to_prometheus`] as `cppll_<name>` gauge samples — the
+    /// natural shape for service state like queue depth or in-flight jobs.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if self.inner.level == TraceLevel::Off {
+            return;
+        }
+        self.inner
+            .gauges
+            .lock()
+            .expect("trace gauges")
+            .insert(name, value);
+    }
+
+    /// Latest value of every gauge ever set, by name.
+    pub fn gauges(&self) -> BTreeMap<&'static str, f64> {
+        self.inner.gauges.lock().expect("trace gauges").clone()
     }
 
     fn close_span(&self, span: u64, name: &'static str) {
@@ -538,6 +564,10 @@ impl Tracer {
         for (name, total) in self.counter_totals() {
             out.push_str(&format!("# TYPE cppll_{name}_total counter\n"));
             out.push_str(&format!("cppll_{name}_total {total}\n"));
+        }
+        for (name, value) in self.gauges() {
+            out.push_str(&format!("# TYPE cppll_{name} gauge\n"));
+            out.push_str(&format!("cppll_{name} {value}\n"));
         }
         out.push_str("# TYPE cppll_trace_events_total counter\n");
         out.push_str(&format!("cppll_trace_events_total {}\n", events.len()));
@@ -1106,6 +1136,25 @@ mod tests {
         assert!(prom.contains("cppll_retry_total 2"));
         assert!(prom.contains("cppll_trace_events_total 3"));
         assert!(prom.contains("cppll_span_duration_seconds_count{span=\"sdp_solve\"} 1"));
+    }
+
+    #[test]
+    fn gauges_keep_latest_value_and_export_as_prometheus_gauges() {
+        let t = Tracer::new(TraceLevel::Stage);
+        t.gauge("queue_depth", 3.0);
+        t.gauge("queue_depth", 7.0);
+        t.gauge("inflight", 2.0);
+        assert_eq!(t.gauges().get("queue_depth"), Some(&7.0));
+        let prom = t.to_prometheus();
+        assert!(prom.contains("# TYPE cppll_queue_depth gauge"));
+        assert!(prom.contains("cppll_queue_depth 7"));
+        assert!(prom.contains("cppll_inflight 2"));
+        // Gauges are state, not events: nothing lands in the lanes.
+        assert_eq!(t.event_count(), 0);
+
+        let off = Tracer::new(TraceLevel::Off);
+        off.gauge("queue_depth", 1.0);
+        assert!(off.gauges().is_empty());
     }
 
     #[test]

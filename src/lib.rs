@@ -47,5 +47,6 @@ pub use cppll_linalg as linalg;
 pub use cppll_pll as pll;
 pub use cppll_poly as poly;
 pub use cppll_sdp as sdp;
+pub use cppll_serve as serve;
 pub use cppll_sos as sos;
 pub use cppll_verify as verify;
