@@ -81,12 +81,14 @@ fn print_advection(fig: &AdvectionFigure) {
     }
 }
 
-/// Compares the freshly measured third-order pipeline wall-clock against the
-/// committed baseline snapshot (`benchmarks/bench_baseline.json`). Returns an
-/// error string when the measurement exceeds the allowed regression budget;
-/// `Ok(None)` when no baseline is committed for this configuration.
+/// Compares every freshly measured pipeline wall-clock against the committed
+/// baseline snapshot (`benchmarks/bench_baseline.json`). Each problem listed
+/// in the baseline section for this configuration is guarded; a problem
+/// missing from the fresh rows is itself an error (a silently dropped
+/// benchmark must not pass the guard). Returns an error string when any
+/// measurement exceeds the allowed regression budget; `Ok(None)` when no
+/// baseline is committed for this configuration.
 fn check_bench_regression(rows: &[experiments::BenchSdpRow], quick: bool) -> Result<Option<String>, String> {
-    const PROBLEM: &str = "pll_third_order";
     const BUDGET: f64 = 1.25; // fail CI on a >25% wall-clock regression
 
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks/bench_baseline.json");
@@ -96,28 +98,45 @@ fn check_bench_regression(rows: &[experiments::BenchSdpRow], quick: bool) -> Res
     };
     let doc = cppll_json::parse(&text).map_err(|e| format!("unparseable baseline {}: {e:?}", path.display()))?;
     let section = if quick { "quick" } else { "full" };
-    let Some(entry) = doc.get(section).and_then(|s| s.get(PROBLEM)) else {
+    let Some(problems) = doc.get(section).and_then(|s| s.as_object()) else {
         return Ok(None); // baseline does not cover this configuration
     };
-    let baseline = entry
-        .get("total_seconds")
-        .and_then(|v| v.as_f64())
-        .ok_or_else(|| format!("baseline {} lacks {section}.{PROBLEM}.total_seconds", path.display()))?;
-    let row = rows
-        .iter()
-        .find(|r| r.problem == PROBLEM)
-        .ok_or_else(|| format!("bench rows lack {PROBLEM}"))?;
-    let measured = row.timings.total;
-    let ratio = measured / baseline;
-    if ratio > BUDGET {
-        return Err(format!(
-            "{PROBLEM} regressed: {measured:.2}s vs baseline {baseline:.2}s \
-             ({ratio:.2}x > {BUDGET:.2}x budget, section {section})"
-        ));
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for (problem, entry) in problems {
+        if problem.starts_with('_') {
+            continue; // annotation keys (e.g. "_comment") are not problems
+        }
+        let baseline = entry
+            .get("total_seconds")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| {
+                format!("baseline {} lacks {section}.{problem}.total_seconds", path.display())
+            })?;
+        let row = rows
+            .iter()
+            .find(|r| r.problem == *problem)
+            .ok_or_else(|| format!("bench rows lack baseline problem {problem}"))?;
+        let measured = row.timings.total;
+        let ratio = measured / baseline;
+        if ratio > BUDGET {
+            regressions.push(format!(
+                "{problem} regressed: {measured:.2}s vs baseline {baseline:.2}s \
+                 ({ratio:.2}x > {BUDGET:.2}x budget, section {section})"
+            ));
+        } else {
+            lines.push(format!(
+                "{problem}: {measured:.2}s vs baseline {baseline:.2}s ({ratio:.2}x, budget {BUDGET:.2}x)"
+            ));
+        }
     }
-    Ok(Some(format!(
-        "{PROBLEM}: {measured:.2}s vs baseline {baseline:.2}s ({ratio:.2}x, budget {BUDGET:.2}x)"
-    )))
+    if !regressions.is_empty() {
+        return Err(regressions.join("; "));
+    }
+    if lines.is_empty() {
+        return Ok(None); // section present but empty: nothing guarded
+    }
+    Ok(Some(lines.join("\n  ")))
 }
 
 fn main() {

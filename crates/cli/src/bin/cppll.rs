@@ -60,6 +60,10 @@
 //! ```text
 //! --no-reduce              solve the unreduced SDPs (skip Newton-polytope
 //!                          basis pruning and sign-symmetry block splitting)
+//! --reduce-mode <m>        support | legacy multiplier-basis derivation
+//!                          (default support; legacy is the escape hatch)
+//! --cone <c>               sos | sdsos | dsos Gram-block cone; cheaper cones
+//!                          run as a screening pass with silent sos fallback
 //! ```
 //!
 //! Tracing flags (both `verify` and `pll`):
@@ -86,7 +90,8 @@ use cppll_json::{ObjectBuilder, Value};
 use cppll_pll::{PllModelBuilder, PllOrder};
 use cppll_verify::{
     CheckpointConfig, CrashMode, Durability, EventKind, FaultInjector, FaultPlan,
-    InevitabilityVerifier, PipelineOptions, ReductionOptions, ResilienceConfig, TraceLevel,
+    InevitabilityVerifier, PipelineOptions, ReduceMode, ReductionOptions, ResilienceConfig,
+    SosCone, TraceLevel,
     Tracer, ValidationReport, VerificationReport,
 };
 
@@ -132,6 +137,9 @@ fn print_report(report: &VerificationReport) {
     }
     if report.reduction.grams > 0 {
         println!("reduction: {}", report.reduction);
+        if let Some(d) = report.reduction.detail() {
+            println!("  {d}");
+        }
     }
     let tm = &report.solve_timings;
     if tm.total > 0.0 {
@@ -503,6 +511,16 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
             "--wait" => serve.wait = true,
             "--dry-run" => serve.dry_run = true,
             "--no-reduce" => reduction = ReductionOptions::none(),
+            "--reduce-mode" => {
+                let v = value_of("--reduce-mode")?;
+                reduction.mode = ReduceMode::parse(v)
+                    .ok_or_else(|| format!("--reduce-mode: expected support|legacy, got {v}"))?;
+            }
+            "--cone" => {
+                let v = value_of("--cone")?;
+                reduction.cone = SosCone::parse(v)
+                    .ok_or_else(|| format!("--cone: expected sos|sdsos|dsos, got {v}"))?;
+            }
             "--trace-out" => trace.out = Some(value_of("--trace-out")?.to_string()),
             "--trace-level" => {
                 let v = value_of("--trace-level")?;
@@ -1122,6 +1140,11 @@ fn main() -> ExitCode {
                  reduction flags (verify, pll):\n\
                  \x20 --no-reduce              solve the unreduced SDPs (skip basis pruning\n\
                  \x20                          and symmetry block splitting)\n\
+                 \x20 --reduce-mode <m>        support | legacy multiplier bases (default\n\
+                 \x20                          support: Newton-polytope filtering + screening\n\
+                 \x20                          with silent legacy fallback)\n\
+                 \x20 --cone <c>               sos | sdsos | dsos Gram cone (non-sos cones\n\
+                 \x20                          screen first, fall back to sos on failure)\n\
                  \n\
                  tracing flags (verify, pll):\n\
                  \x20 --trace-level <level>    off | stage | solve | iter (default off)\n\

@@ -180,9 +180,12 @@ fn third_order_pll_kill_loop_completes_with_the_pinned_digest() {
     ]);
     let text = stdout(&out);
     assert!(out.status.success(), "{text}");
+    // The default run compiles with support-driven multiplier bases; the
+    // unreduced digest c31e1167d4a9bf69 is still pinned by the `--no-reduce`
+    // CI reduction-smoke path.
     assert_eq!(
         digest(&text),
-        "c31e1167d4a9bf69",
+        "5b549b7bcc741218",
         "the pinned third-order PLL digest must survive the kill loop: {text}"
     );
     assert!(harness_line(&text).contains("worker exit 0"), "{text}");

@@ -571,8 +571,11 @@ pub fn fingerprint(
         .field(
             "reduction",
             ObjectBuilder::new()
+                .field("mode", opt.reduction.mode.to_string())
                 .field("newton", opt.reduction.newton)
                 .field("symmetry", opt.reduction.symmetry)
+                .field("term_sparsity", opt.reduction.term_sparsity)
+                .field("cone", opt.reduction.cone.to_string())
                 .build(),
         )
         .field("inclusion_margin", opt.inclusion_margin)
@@ -1214,6 +1217,7 @@ mod tests {
                     basis_after: 9,
                     blocks: 4,
                     max_block: 5,
+                    ..Default::default()
                 },
             },
         }

@@ -98,12 +98,16 @@ impl<'s> LevelSetMaximizer<'s> {
         opt: &LevelSetOptions,
     ) -> Option<LevelSetResult> {
         let hi = opt.hi.unwrap_or_else(|| self.estimate_hi(certs));
-        let inc_opt = InclusionOptions {
+        let mut inc_opt = InclusionOptions {
             mult_half_degree: opt
                 .mult_half_degree
                 .unwrap_or_else(|| (certs.degree() / 2).max(1)),
             sos: opt.sos.clone(),
         };
+        // Bisection probes accept the support-reduced compile's "no" as a
+        // conservative answer: a spurious rejection only lowers the level we
+        // settle on, and every accepted level carries a real certificate.
+        inc_opt.sos.reduction.trust_infeasible = true;
         let modes: Vec<usize> = match certs.scheme() {
             CertificateScheme::Common => vec![0],
             CertificateScheme::Multiple => (0..self.system.modes().len()).collect(),

@@ -7,8 +7,8 @@ use cppll_json::{ObjectBuilder, Value};
 use cppll_poly::Polynomial;
 use cppll_sdp::{SdpSolution, SolveTimings};
 use cppll_sos::{
-    check_inclusion, check_inclusion_seeded, InclusionOptions, LedgerStats, ReductionOptions,
-    ReductionStats, SolveLedger,
+    check_inclusion, check_inclusion_seeded, InclusionOptions, LedgerStats, ReduceMode,
+    ReductionOptions, ReductionStats, SolveLedger,
 };
 use cppll_trace::{TraceLevel, Tracer};
 
@@ -553,8 +553,22 @@ impl<'s> InevitabilityVerifier<'s> {
         let levels = match replayed_levels {
             Some(l) => Some(l),
             None => {
-                let levels = LevelSetMaximizer::new(self.system, self.boundary.clone())
-                    .maximize(&certs, &opt.level);
+                let maximizer = LevelSetMaximizer::new(self.system, self.boundary.clone());
+                let mut levels = maximizer.maximize(&certs, &opt.level);
+                // Stage-level screen: the bisection probes trust the
+                // support-reduced compile's rejections (conservative and
+                // cheap). Only when the whole maximisation comes up empty is
+                // the stage re-run under the legacy compile, so a
+                // support-mode over-restriction can never degrade the
+                // verdict relative to legacy mode.
+                if levels.is_none() && opt.level.sos.reduction.mode == ReduceMode::Support {
+                    if let Some(t) = &opt.trace {
+                        t.counter("levelset_legacy_rerun", 1);
+                    }
+                    let mut legacy = opt.level.clone();
+                    legacy.sos.reduction.mode = ReduceMode::Legacy;
+                    levels = maximizer.maximize(&certs, &legacy);
+                }
                 if let (Some(c), Some(l)) = (ckpt.as_mut(), &levels) {
                     c.record(StageRecord::LevelSet {
                         level: l.level,

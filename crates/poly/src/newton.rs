@@ -131,34 +131,56 @@ impl NewtonPolytope {
 
     /// Is the doubled exponent vector `2·m` inside the polytope?
     pub fn contains_doubled(&self, m: &Monomial) -> bool {
+        let p: Vec<i64> = (0..self.nvars).map(|i| 2 * m.exp(i) as i64).collect();
+        self.contains_point(&p)
+    }
+
+    /// Is the shifted doubled exponent vector `2·m + α` inside the polytope?
+    /// This is the membership test behind support-driven multiplier bases:
+    /// a multiplier basis monomial `m` paired with guard monomial `α`
+    /// contributes coefficient rows only at `2m + α` (diagonal) and
+    /// `m + m' + α` (off-diagonal), so `2m + α` outside the target polytope
+    /// means the diagonal entry can never carry target mass.
+    pub fn contains_shifted_doubled(&self, m: &Monomial, shift: &Monomial) -> bool {
+        let p: Vec<i64> = (0..self.nvars)
+            .map(|i| 2 * m.exp(i) as i64 + shift.exp(i) as i64)
+            .collect();
+        self.contains_point(&p)
+    }
+
+    /// Is an arbitrary integer exponent point inside the polytope? Uses the
+    /// same exactness ladder as [`NewtonPolytope::contains_doubled`]: exact
+    /// integer hull for two variables, exact rational LP for three or more,
+    /// box-and-slab outer approximation as the sound fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len()` differs from the polytope's variable count.
+    pub fn contains_point(&self, p: &[i64]) -> bool {
+        assert_eq!(p.len(), self.nvars, "point dimension mismatch");
         if self.empty {
             return false;
         }
-        let total = 2 * m.degree();
-        if total < self.min_total || total > self.max_total {
+        let total: i64 = p.iter().sum();
+        if total < self.min_total as i64 || total > self.max_total as i64 {
             return false;
         }
-        for i in 0..self.nvars {
-            let e = 2 * m.exp(i);
-            if e < self.min_exp[i] || e > self.max_exp[i] {
+        for (i, &pi) in p.iter().enumerate() {
+            if pi < self.min_exp[i] as i64 || pi > self.max_exp[i] as i64 {
                 return false;
             }
         }
         match &self.hull {
-            Some(hull) => {
-                let p = [2 * m.exp(0) as i64, 2 * m.exp(1) as i64];
-                hull_contains(hull, p)
-            }
+            Some(hull) => hull_contains(hull, [p[0], p[1]]),
             None if !self.points.is_empty() => {
-                let p: Vec<i64> = (0..self.nvars).map(|i| 2 * m.exp(i) as i64).collect();
-                // Fast path: `2m` is itself a support point (the common case
+                // Fast path: `p` is itself a support point (the common case
                 // on dense supports) — trivially inside, no LP needed.
-                if self.points.binary_search(&p).is_ok() {
+                if self.points.binary_search(&p.to_vec()).is_ok() {
                     return true;
                 }
                 // `None` means the exact LP hit an `i128` overflow — keep
-                // the monomial (outer-approximation semantics: sound).
-                point_in_hull_lp(&self.points, &p).unwrap_or(true)
+                // the point (outer-approximation semantics: sound).
+                point_in_hull_lp(&self.points, p).unwrap_or(true)
             }
             None => true,
         }
@@ -341,22 +363,35 @@ fn convex_hull(points: &mut Vec<[i64; 2]>) -> Vec<[i64; 2]> {
     if n <= 2 {
         return points.clone();
     }
-    let mut hull: Vec<[i64; 2]> = Vec::with_capacity(2 * n);
-    // Lower hull then upper hull.
-    for &p in points.iter().chain(points.iter().rev().skip(1)) {
-        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0 {
-            hull.pop();
+    // Lower and upper chains in separate vectors: a shared vector would let
+    // the upper pass pop finished lower-hull vertices when a collinear point
+    // sits on the bottom edge (e.g. (1,0) between (0,0) and (2,0)), silently
+    // shrinking the hull.
+    let mut lower: Vec<[i64; 2]> = Vec::with_capacity(n);
+    for &p in points.iter() {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0 {
+            lower.pop();
         }
-        hull.push(p);
+        lower.push(p);
     }
-    hull.pop(); // Last point equals the first.
-    if hull.len() < 3 {
-        // Fully collinear cloud: the chain degenerates; the hull is the
+    let mut upper: Vec<[i64; 2]> = Vec::with_capacity(n);
+    for &p in points.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    // Each chain ends where the other begins.
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        // Fully collinear cloud: the chains degenerate; the hull is the
         // segment between the lexicographic extremes (sorted order is
         // monotone along a line).
         return vec![points[0], points[n - 1]];
     }
-    hull
+    lower
 }
 
 /// Cross product (b − a) × (c − a); positive means `c` lies strictly left
@@ -434,6 +469,90 @@ pub fn prune_gram_basis(support: &[Monomial], basis: &[Monomial]) -> Vec<Monomia
             .filter(|m| {
                 let sq = m.mul(m);
                 support_set.contains(&sq) || pair_products.contains(&sq)
+            })
+            .cloned()
+            .collect();
+        if survivors.len() == kept.len() {
+            return survivors;
+        }
+        kept = survivors;
+    }
+}
+
+/// Prunes the candidate basis of an S-procedure multiplier `σ` appearing as
+/// `σ·h` inside a constraint whose non-Gram ("fixed") support is contained
+/// in `target_support`.
+///
+/// A multiplier basis monomial `m` paired with a factor monomial
+/// `α ∈ supp(h)` only ever touches coefficient rows at `m·m'·α`; its
+/// diagonal rows are `2m + α`. The polytope filter keeps `m` iff **some**
+/// `α` places `2m + α` inside `conv(target_support)` — the shifted
+/// analogue of Reznick's half-polytope rule. The quantifier is
+/// deliberately existential: a row outside the target polytope may still
+/// cancel against the constraint's *other* Grams (the main Gram's basis is
+/// derived from the full expression support, not the fixed part, so its
+/// pair products routinely leave `conv(target_support)`), but a monomial
+/// none of whose diagonal rows even touches the target has no reason to
+/// carry mass.
+///
+/// Then the same diagonal-consistency iteration as [`prune_gram_basis`]
+/// runs on exact supports: a surviving `m` needs, for every factor
+/// monomial `α`, the row `2m + α` to carry a target coefficient, be
+/// absorbable by a sibling row from `extra_rows` (the caller passes the
+/// pair products of the other Grams in the constraint), or be cancellable
+/// by a distinct surviving pair `a·b·α'` of this multiplier.
+///
+/// Unlike constraint-Gram pruning, both phases are a *relaxation
+/// restriction*: they never invalidate a found certificate (any σ over the
+/// restricted basis is still SOS), but they can in principle lose
+/// certificates whose multiplier mass cancels in ways the producer
+/// analysis does not see (e.g. between two diagonal entries of the same
+/// multiplier under opposite-sign factor terms). Callers keep the full
+/// degree simplex available behind a legacy mode for bisection.
+pub fn prune_multiplier_basis(
+    target_support: &[Monomial],
+    extra_rows: &[Monomial],
+    factor_support: &[Monomial],
+    basis: &[Monomial],
+) -> Vec<Monomial> {
+    if target_support.is_empty() || factor_support.is_empty() {
+        return Vec::new();
+    }
+    let nvars = basis
+        .first()
+        .map(|m| m.exps().len())
+        .unwrap_or_else(|| target_support[0].exps().len());
+    let np = NewtonPolytope::of_support(nvars, target_support.iter());
+    let mut kept: Vec<Monomial> = basis
+        .iter()
+        .filter(|m| {
+            factor_support
+                .iter()
+                .any(|alpha| np.contains_shifted_doubled(m, alpha))
+        })
+        .cloned()
+        .collect();
+    let absorbable: BTreeSet<&Monomial> = target_support.iter().chain(extra_rows).collect();
+    loop {
+        // Rows reachable by off-diagonal products of *distinct* surviving
+        // monomials, under every factor shift.
+        let mut pair_rows: BTreeSet<Monomial> = BTreeSet::new();
+        for (i, a) in kept.iter().enumerate() {
+            for b in kept.iter().skip(i + 1) {
+                let ab = a.mul(b);
+                for alpha in factor_support {
+                    pair_rows.insert(ab.mul(alpha));
+                }
+            }
+        }
+        let survivors: Vec<Monomial> = kept
+            .iter()
+            .filter(|m| {
+                let sq = m.mul(m);
+                factor_support.iter().all(|alpha| {
+                    let row = sq.mul(alpha);
+                    absorbable.contains(&row) || pair_rows.contains(&row)
+                })
             })
             .cloned()
             .collect();
@@ -565,6 +684,109 @@ mod tests {
                 assert_eq!(inside, expect, "({x},{y})");
             }
         }
+    }
+
+    #[test]
+    fn contains_point_generalises_contains_doubled() {
+        let support = [
+            mono(&[0, 0, 0]),
+            mono(&[4, 0, 0]),
+            mono(&[0, 4, 0]),
+            mono(&[2, 2, 0]),
+            mono(&[0, 0, 3]),
+            mono(&[1, 1, 1]),
+            mono(&[2, 0, 1]),
+        ];
+        let np = NewtonPolytope::of_support(3, support.iter());
+        for m in monomials_up_to(3, 2) {
+            let p: Vec<i64> = (0..3).map(|i| 2 * m.exp(i) as i64).collect();
+            assert_eq!(np.contains_doubled(&m), np.contains_point(&p), "{m}");
+        }
+        // Shifted membership: 2·(1,0,0) + (1,1,0) = (3,1,0) is inside the
+        // w-plane quadrilateral; 2·(0,0,1) + (0,0,2) = e⁴ overshoots the
+        // e-axis segment [0, 3].
+        assert!(np.contains_shifted_doubled(&mono(&[1, 0, 0]), &mono(&[1, 1, 0])));
+        assert!(!np.contains_shifted_doubled(&mono(&[0, 0, 1]), &mono(&[0, 0, 2])));
+    }
+
+    #[test]
+    fn multiplier_pruning_respects_shifted_polytope() {
+        // Homogeneous quadratic target {x², xy, y²}, guard factor {1, x²}:
+        // every candidate has one diagonal row on the segment x+y=2, so the
+        // existential polytope filter keeps all of them — but the bare
+        // consistency iteration (no extra rows) then finds each candidate's
+        // *other* diagonal row unabsorbable (m = 1 emits the constant,
+        // m = x emits x⁴, m = y emits x²y²) and empties the basis: σ ≡ 0
+        // is the honest answer.
+        let target = vec![mono(&[2, 0]), mono(&[1, 1]), mono(&[0, 2])];
+        let factor = vec![mono(&[0, 0]), mono(&[2, 0])];
+        let pruned = prune_multiplier_basis(&target, &[], &factor, &monomials_up_to(2, 1));
+        assert!(pruned.is_empty(), "expected empty, got {pruned:?}");
+
+        // Widening the target so every diagonal row lands in it keeps the
+        // full degree-1 simplex alive.
+        let mut wide = target.clone();
+        wide.extend([mono(&[0, 0]), mono(&[4, 0]), mono(&[2, 2]), mono(&[0, 4])]);
+        let kept = prune_multiplier_basis(&wide, &[], &factor, &monomials_up_to(2, 1));
+        assert_eq!(kept, monomials_up_to(2, 1));
+    }
+
+    #[test]
+    fn multiplier_pruning_uses_extra_rows_for_absorption() {
+        // Target {1, x², y²}, guard g = x − 3 with supp {1, x}: a constant
+        // multiplier emits the odd row x, which the target alone cannot
+        // absorb — but a main Gram over {1, x, y} produces 1·x = x. With
+        // that row offered as absorbable the constant survives; without it
+        // the whole basis dies.
+        let target = vec![mono(&[0, 0]), mono(&[2, 0]), mono(&[0, 2])];
+        let factor = vec![mono(&[0, 0]), mono(&[1, 0])];
+        let basis = monomials_up_to(2, 1);
+        let bare = prune_multiplier_basis(&target, &[], &factor, &basis);
+        assert!(bare.is_empty(), "expected empty, got {bare:?}");
+        let main_rows = [mono(&[1, 0]), mono(&[0, 1]), mono(&[1, 1])];
+        let with_main = prune_multiplier_basis(&target, &main_rows, &factor, &basis);
+        assert_eq!(with_main, vec![mono(&[0, 0])]);
+    }
+
+    #[test]
+    fn multiplier_pruning_keeps_factor_one_equivalent_to_gram_rule() {
+        // With factor {1} the shifted rule degenerates to the plain Newton
+        // filter + diagonal iteration of `prune_gram_basis`.
+        let target = vec![mono(&[4, 2]), mono(&[2, 4]), mono(&[2, 2]), mono(&[0, 0])];
+        let factor = vec![mono(&[0, 0])];
+        let via_mult = prune_multiplier_basis(&target, &[], &factor, &monomials_up_to(2, 3));
+        let via_gram = prune_gram_basis(&target, &monomials_up_to(2, 3));
+        assert_eq!(via_mult, via_gram);
+    }
+
+    #[test]
+    fn multiplier_pruning_empty_inputs() {
+        assert!(
+            prune_multiplier_basis(&[], &[], &[mono(&[0, 0])], &monomials_up_to(2, 2)).is_empty()
+        );
+        assert!(
+            prune_multiplier_basis(&[mono(&[0, 0])], &[], &[], &monomials_up_to(2, 2)).is_empty()
+        );
+    }
+
+    #[test]
+    fn collinear_point_on_hull_edge_does_not_evict_vertices() {
+        // (1,0) lies on the bottom edge (0,0)–(2,0): the upper-chain pass
+        // must not pop the extreme vertex (2,0) out of the finished lower
+        // chain. Regression test for the shared-vector monotone chain bug.
+        let mut cloud = vec![[0i64, 0], [1, 0], [2, 0], [0, 2]];
+        let hull = convex_hull(&mut cloud);
+        assert_eq!(hull.len(), 3, "triangle expected: {hull:?}");
+        for v in [[0i64, 0], [2, 0], [0, 2]] {
+            assert!(hull_contains(&hull, v), "{v:?} must stay inside");
+        }
+        assert!(hull_contains(&hull, [1, 1]));
+        assert!(!hull_contains(&hull, [2, 1]));
+        // The membership consequence that surfaced the bug: x stays in the
+        // Gram basis for support {1, x, x², y²}.
+        let support = [mono(&[0, 0]), mono(&[1, 0]), mono(&[2, 0]), mono(&[0, 2])];
+        let np = NewtonPolytope::of_support(2, support.iter());
+        assert!(np.contains_doubled(&mono(&[1, 0])));
     }
 
     #[test]

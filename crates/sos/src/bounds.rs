@@ -102,30 +102,48 @@ pub fn certified_upper_bound(
         }
     }
     let scale = p.max_abs_coefficient().max(1.0);
-    let feasible = |u: f64| {
-        if u < witness_max - opt.tolerance {
-            return false; // a sampled point already beats this bound
+    let run = |sos: &SosOptions| -> Option<f64> {
+        let feasible = |u: f64| {
+            if u < witness_max - opt.tolerance {
+                return false; // a sampled point already beats this bound
+            }
+            let mut prog = SosProgram::new(nvars);
+            let expr = PolyExpr::from(&Polynomial::constant(nvars, u) - p);
+            let (cid, _) = prog.require_nonneg_on(expr, domain, opt.mult_half_degree);
+            match prog.solve(sos) {
+                // Accept only when the returned certificate genuinely
+                // satisfies the polynomial identity (interior-point answers
+                // on marginally infeasible programs do not).
+                Ok(sol) => sol.residual_of(cid) <= 1e-5 * scale.max(u.abs()),
+                Err(_) => false,
+            }
+        };
+        // Feasibility is monotone increasing in u; bisect on −u to minimise.
+        let r = maximize_bisect(-opt.window, opt.window, opt.tolerance, |t| feasible(-t));
+        let u = -r.best?;
+        // A value at the window ceiling means no certified bound exists
+        // inside the search window — report honestly.
+        if u > opt.window - 10.0 * opt.tolerance {
+            return None;
         }
-        let mut prog = SosProgram::new(nvars);
-        let expr = PolyExpr::from(&Polynomial::constant(nvars, u) - p);
-        let (cid, _) = prog.require_nonneg_on(expr, domain, opt.mult_half_degree);
-        match prog.solve(&opt.sos) {
-            // Accept only when the returned certificate genuinely satisfies
-            // the polynomial identity (interior-point answers on marginally
-            // infeasible programs do not).
-            Ok(sol) => sol.residual_of(cid) <= 1e-5 * scale.max(u.abs()),
-            Err(_) => false,
-        }
+        Some(u)
     };
-    // Feasibility is monotone increasing in u; bisect on −u to minimise.
-    let r = maximize_bisect(-opt.window, opt.window, opt.tolerance, |t| feasible(-t));
-    let u = -r.best?;
-    // A value at the window ceiling means no certified bound exists inside
-    // the search window — report honestly.
-    if u > opt.window - 10.0 * opt.tolerance {
-        return None;
-    }
-    Some(u)
+    // Bound bisection tolerates a conservative "no" from the support-reduced
+    // compile: a spurious rejection only widens the certified bound, and the
+    // accepted bound always carries a real certificate. Only when the whole
+    // bisection comes up empty is it re-run under the legacy compile, so
+    // support-mode over-restriction never loses a bound legacy would find.
+    let mut probe_sos = opt.sos.clone();
+    probe_sos.reduction.trust_infeasible = true;
+    run(&probe_sos).or_else(|| {
+        if opt.sos.reduction.mode == crate::ReduceMode::Support {
+            let mut legacy = opt.sos.clone();
+            legacy.reduction.mode = crate::ReduceMode::Legacy;
+            run(&legacy)
+        } else {
+            None
+        }
+    })
 }
 
 /// Certified `l` with `p ≥ l` on `{gⱼ ≥ 0}` — mirror of

@@ -1,15 +1,21 @@
 //! The SOS program builder and its compilation to an SDP.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cppll_linalg::Matrix;
-use cppll_poly::{monomials_up_to, prune_gram_basis, Monomial, Polynomial};
-use cppll_sdp::{BlockId, FreeVarId, SdpProblem, SdpSolution, SdpStatus, SolverOptions};
+use cppll_poly::{
+    monomials_up_to, prune_gram_basis, prune_multiplier_basis, Monomial, NewtonPolytope,
+    Polynomial,
+};
+use cppll_sdp::{BlockId, ConstraintId, FreeVarId, SdpProblem, SdpSolution, SdpStatus, SolverOptions};
 use cppll_trace::TraceLevel;
 
 use crate::decomposition::SosDecomposition;
 use crate::expr::{GramVarId, PolyExpr, PolyOp, PolyVarId, ScalarVarId};
-use crate::reduce::{split_by_signature, ReductionOptions, ReductionStats, SymmetryDetector};
+use crate::reduce::{
+    refine_by_term_sparsity, split_by_signature, ReduceMode, ReductionOptions, ReductionStats,
+    SosCone, SymmetryDetector, TsGram,
+};
 use crate::supervisor::{AttemptRecord, ResilienceOptions};
 
 /// Identifier of an SOS constraint (used to read back Gram matrices and
@@ -459,6 +465,7 @@ impl SosProgram {
         options: &SosOptions,
         capture: bool,
     ) -> (Result<SosSolution, SosError>, Option<SdpSolution>) {
+        let mut base = options.clone();
         let res = &options.resilience;
         let policy = &res.retry;
         let mut attempts: Vec<AttemptRecord> = Vec::new();
@@ -477,132 +484,338 @@ impl SosProgram {
             )
         });
 
-        for attempt in 0..max_attempts {
-            let _attempt_span = res
-                .tracer
-                .as_ref()
-                .map(|t| t.span(TraceLevel::Solve, "attempt", format!("attempt={attempt}")));
-            let attempt_options = self.options_for_attempt(options, attempt);
-            if let Some(fault) = &res.fault {
-                fault.set_attempt(attempt);
-            }
-            let compiled = self.compile(&attempt_options);
-            let mut sol = compiled.sdp.solve(&attempt_options.sdp);
-            // Reduction happens at compile time, before the solver runs; fold
-            // it into the solve timings so every stage of the pipeline is
-            // accounted for in one place.
+        // Cheaper-cone screening: compile the same program over the DSOS or
+        // SDSOS inner approximation first. dd ⊂ sdd ⊂ psd, so a feasible
+        // screen is a genuine certificate and short-circuits the full SDP;
+        // an infeasible or failed screen says nothing about the SOS program
+        // and falls back silently.
+        if base.reduction.cone != SosCone::Sos {
+            let _screen_span = res.tracer.as_ref().map(|t| {
+                t.span(
+                    TraceLevel::Solve,
+                    "cone_screen",
+                    format!("cone={}", base.reduction.cone),
+                )
+            });
+            let mut screen = self.options_for_attempt(&base, 0);
+            // Warm-start seeds are shaped for the SOS-cone block structure;
+            // the screening SDP has different blocks.
+            screen.sdp.warm_start = None;
+            let compiled = self.compile(&screen);
+            let mut sol = compiled.sdp.solve(&screen.sdp);
             sol.timings.reduction = compiled.reduction_seconds;
             sol.timings.total += compiled.reduction_seconds;
-            let sol = sol;
-            if sol.warm_started {
-                if let Some(t) = &res.tracer {
-                    t.counter("warm_start_hit", 1);
-                }
-            }
             if let Some(ledger) = &res.ledger {
-                // Stage timings are aggregated apart from the attempt log so
-                // the log stays byte-deterministic.
+                // Timings account for solver work per attempt; reduction
+                // stats describe the program and are recorded only for the
+                // compile that serves the final answer (below on a hit).
                 ledger.add_timings(&sol.timings);
-                ledger.add_reduction(&compiled.stats);
             }
-            let mut record = AttemptRecord {
-                attempt,
+            let record = AttemptRecord {
+                attempt: 0,
                 status: sol.status,
                 iterations: sol.iterations,
                 primal_infeasibility: sol.primal_infeasibility,
                 dual_infeasibility: sol.dual_infeasibility,
                 gap: sol.gap,
-                trace_weight: attempt_options.trace_weight,
-                schur_regularization: attempt_options.sdp.schur_regularization,
-                step_fraction: attempt_options.sdp.step_fraction,
+                trace_weight: screen.trace_weight,
+                schur_regularization: screen.sdp.schur_regularization,
+                step_fraction: screen.sdp.step_fraction,
                 planned_backoff_ms: 0,
             };
-
-            match sol.status {
-                SdpStatus::Optimal | SdpStatus::NearOptimal => {
-                    attempts.push(record);
-                    if let Some(ledger) = &res.ledger {
-                        ledger.record(&attempts, true);
-                    }
-                    let captured = capture.then(|| sol.clone());
-                    return (
-                        Ok(SosSolution {
-                            nvars: self.nvars,
-                            sdp: sol,
-                            layout: compiled.layout,
-                            reduction: compiled.stats,
-                            poly_bases: self.polys.iter().map(|p| p.basis.clone()).collect(),
-                            exprs: self.constraints.iter().map(|c| c.expr.clone()).collect(),
-                        }),
-                        captured,
-                    );
-                }
-                SdpStatus::PrimalInfeasibleLikely | SdpStatus::DualInfeasibleLikely => {
-                    attempts.push(record);
-                    if let Some(ledger) = &res.ledger {
-                        // An infeasibility verdict is an *answer*, not a
-                        // failure: bisection probes hit it in normal
-                        // operation, and the pipeline's degradation logic
-                        // keys off the ledger's failure count.
-                        ledger.record(&attempts, true);
-                    }
-                    let status = sol.status;
-                    return (Err(SosError::Infeasible { status }), capture.then_some(sol));
-                }
-                s if s.is_retryable() && attempt + 1 < max_attempts => {
-                    let backoff = policy.planned_backoff_ms(attempt + 1);
-                    record.planned_backoff_ms = backoff;
-                    attempts.push(record);
-                    // The planned backoff counts against the pipeline
-                    // deadline: sleep only the time the deadline leaves,
-                    // and skip entirely once it has passed. The next
-                    // attempt then fails fast with DeadlineExceeded
-                    // instead of overshooting the budget in a sleep.
-                    let planned = std::time::Duration::from_millis(backoff);
-                    let capped = match res.deadline {
-                        Some(d) => d
-                            .saturating_duration_since(std::time::Instant::now())
-                            .min(planned),
-                        None => planned,
-                    };
+            let candidate = matches!(sol.status, SdpStatus::Optimal | SdpStatus::NearOptimal)
+                .then(|| SosSolution {
+                    nvars: self.nvars,
+                    sdp: sol,
+                    layout: compiled.layout,
+                    reduction: compiled.stats,
+                    poly_bases: self.polys.iter().map(|p| p.basis.clone()).collect(),
+                    exprs: self.constraints.iter().map(|c| c.expr.clone()).collect(),
+                });
+            // The restricted cone can be marginally infeasible even when the
+            // SOS program is feasible, and the interior-point solver may then
+            // stall into a NearOptimal answer whose Gram matrices do not
+            // satisfy the polynomial identities. Gate the short-circuit on
+            // the certificate residual, not just the solver status.
+            let scale = self
+                .constraints
+                .iter()
+                .map(|c| c.expr.constant.max_abs_coefficient())
+                .fold(1.0f64, f64::max);
+            match candidate {
+                Some(c) if c.max_residual() <= 1e-6 * scale => {
                     if let Some(t) = &res.tracer {
-                        t.counter("retry", 1);
-                        if backoff > 0 {
-                            t.counter("backoff", 1);
-                        }
-                        t.instant(
-                            TraceLevel::Solve,
-                            "backoff",
-                            vec![
-                                ("planned_ms", backoff.into()),
-                                ("clamped_ms", (capped.as_secs_f64() * 1e3).into()),
-                            ],
-                        );
+                        t.counter("cone_screen_hit", 1);
+                        emit_reduction_counters(t, &c.reduction);
                     }
-                    if policy.sleep && !capped.is_zero() {
-                        std::thread::sleep(capped);
-                    }
-                }
-                s => {
                     attempts.push(record);
                     if let Some(ledger) = &res.ledger {
-                        ledger.record(&attempts, false);
+                        ledger.record(&attempts, true);
+                        ledger.add_reduction(&c.reduction);
                     }
-                    return (
-                        Err(SosError::Numerical {
-                            status: s,
-                            primal_infeasibility: sol.primal_infeasibility,
-                            dual_infeasibility: sol.dual_infeasibility,
-                            gap: sol.gap,
-                            iterations: sol.iterations,
-                            attempts,
-                        }),
-                        capture.then_some(sol),
-                    );
+                    let captured = capture.then(|| c.sdp.clone());
+                    return (Ok(c), captured);
+                }
+                _ => {
+                    if let Some(t) = &res.tracer {
+                        t.counter("cone_screen_miss", 1);
+                    }
+                    base.reduction.cone = SosCone::Sos;
                 }
             }
         }
-        unreachable!("the attempt loop always returns on its final attempt")
+        // Support-mode screening: the support-reduced compile is a
+        // *restriction* of the legacy program (multiplier bases shrunk,
+        // term-sparsity blocks split), so a feasible answer is a genuine
+        // certificate and is returned directly — but an infeasible or failed
+        // answer is inconclusive about the full program. When the reduced
+        // attempt does not succeed and the reduction actually changed the
+        // program, the solve falls back to the legacy compile silently,
+        // exactly like the cheaper-cone screen above. Verdicts therefore
+        // always agree with legacy mode; only successful screens save work.
+        //
+        // Monotone-bisection probes opt out (`trust_infeasible`): they accept
+        // any reduced non-success as a conservative "no" and their *stage*
+        // falls back to a legacy re-run only if the whole bisection comes up
+        // empty — far cheaper than re-solving every rejected probe.
+        let mut screening =
+            base.reduction.mode == ReduceMode::Support && !base.reduction.trust_infeasible;
+        let mut counters_emitted = false;
+        // Adaptive trust: a trusted probe's legacy fallback is an experiment
+        // on whether the reduced compile's failures mask real answers. Once
+        // two fallbacks have been confirmed (legacy failed or was infeasible
+        // too) with none overturned, later probes in the run trust the
+        // reduced compile's failure directly and skip the legacy re-solve —
+        // on well-reduced models the fallback never fires again, on models
+        // where reduction over-prunes it keeps firing and rescuing probes.
+        let trust_fallback_allowed = || match &res.ledger {
+            Some(ledger) => {
+                let (confirmed, overturned) = ledger.trust_fallback_tally();
+                overturned > 0 || confirmed < 2
+            }
+            None => true,
+        };
+        let mut trusted_fallback_active = false;
+        'modes: loop {
+            // A trusted probe's legacy fallback gets at most two attempts:
+            // a probe whose legacy compile stalls through cold start *and*
+            // one escalation is marginal, and the bisection treats its
+            // failure as a conservative "no" anyway — the remaining
+            // escalations only burn the deadline.
+            let attempt_budget = if trusted_fallback_active {
+                max_attempts.min(2)
+            } else {
+                max_attempts
+            };
+            for attempt in 0..attempt_budget {
+                let _attempt_span = res
+                    .tracer
+                    .as_ref()
+                    .map(|t| t.span(TraceLevel::Solve, "attempt", format!("attempt={attempt}")));
+                let attempt_options = self.options_for_attempt(&base, attempt);
+                if let Some(fault) = &res.fault {
+                    fault.set_attempt(attempt);
+                }
+                let compiled = self.compile(&attempt_options);
+                let mut sol = compiled.sdp.solve(&attempt_options.sdp);
+                // Reduction happens at compile time, before the solver runs;
+                // fold it into the solve timings so every stage of the
+                // pipeline is accounted for in one place.
+                sol.timings.reduction = compiled.reduction_seconds;
+                sol.timings.total += compiled.reduction_seconds;
+                let sol = sol;
+                if attempt == 0 && !counters_emitted {
+                    if let Some(t) = &res.tracer {
+                        emit_reduction_counters(t, &compiled.stats);
+                    }
+                    counters_emitted = true;
+                }
+                if sol.warm_started {
+                    if let Some(t) = &res.tracer {
+                        t.counter("warm_start_hit", 1);
+                    }
+                }
+                if let Some(ledger) = &res.ledger {
+                    // Stage timings are aggregated apart from the attempt log
+                    // so the log stays byte-deterministic. Reduction stats
+                    // describe the program, not the work: they are recorded
+                    // once per solve, for the compile that serves the final
+                    // answer (screen misses and retried attempts recompile,
+                    // but the program they describe did not change).
+                    ledger.add_timings(&sol.timings);
+                }
+                if screening && compiled.support_pruned {
+                    match sol.status {
+                        SdpStatus::Optimal | SdpStatus::NearOptimal => {
+                            if let Some(t) = &res.tracer {
+                                t.counter("support_screen_hit", 1);
+                            }
+                        }
+                        _ => {
+                            // Screen miss: one shot only — drop straight to
+                            // the legacy compile with a fresh attempt budget
+                            // rather than retrying the restricted program.
+                            if let Some(t) = &res.tracer {
+                                t.counter("support_screen_miss", 1);
+                            }
+                            screening = false;
+                            base.reduction.mode = ReduceMode::Legacy;
+                            continue 'modes;
+                        }
+                    }
+                }
+                let mut record = AttemptRecord {
+                    attempt,
+                    status: sol.status,
+                    iterations: sol.iterations,
+                    primal_infeasibility: sol.primal_infeasibility,
+                    dual_infeasibility: sol.dual_infeasibility,
+                    gap: sol.gap,
+                    trace_weight: attempt_options.trace_weight,
+                    schur_regularization: attempt_options.sdp.schur_regularization,
+                    step_fraction: attempt_options.sdp.step_fraction,
+                    planned_backoff_ms: 0,
+                };
+
+                match sol.status {
+                    SdpStatus::Optimal | SdpStatus::NearOptimal => {
+                        attempts.push(record);
+                        if let Some(ledger) = &res.ledger {
+                            ledger.record(&attempts, true);
+                            ledger.add_reduction(&compiled.stats);
+                            if trusted_fallback_active {
+                                ledger.record_trust_fallback(true);
+                            }
+                        }
+                        let captured = capture.then(|| sol.clone());
+                        return (
+                            Ok(SosSolution {
+                                nvars: self.nvars,
+                                sdp: sol,
+                                layout: compiled.layout,
+                                reduction: compiled.stats,
+                                poly_bases: self.polys.iter().map(|p| p.basis.clone()).collect(),
+                                exprs: self.constraints.iter().map(|c| c.expr.clone()).collect(),
+                            }),
+                            captured,
+                        );
+                    }
+                    SdpStatus::PrimalInfeasibleLikely | SdpStatus::DualInfeasibleLikely => {
+                        attempts.push(record);
+                        if let Some(ledger) = &res.ledger {
+                            // An infeasibility verdict is an *answer*, not a
+                            // failure: bisection probes hit it in normal
+                            // operation, and the pipeline's degradation logic
+                            // keys off the ledger's failure count.
+                            ledger.record(&attempts, true);
+                            ledger.add_reduction(&compiled.stats);
+                            if trusted_fallback_active {
+                                ledger.record_trust_fallback(false);
+                            }
+                        }
+                        let status = sol.status;
+                        return (Err(SosError::Infeasible { status }), capture.then_some(sol));
+                    }
+                    // A trusted probe never retries the reduced compile:
+                    // stalls on a support-pruned program are structural
+                    // (over-restricted multipliers make the probe marginal),
+                    // not transient, so escalating regularisation on the same
+                    // restriction is wasted work. Any non-conclusive reduced
+                    // answer drops straight to the legacy compile, which gets
+                    // the full retry ladder.
+                    s if s.is_retryable()
+                        && base.reduction.mode == ReduceMode::Support
+                        && base.reduction.trust_infeasible
+                        && compiled.support_pruned
+                        && trust_fallback_allowed() =>
+                    {
+                        if let Some(t) = &res.tracer {
+                            t.counter("support_trust_fallback", 1);
+                        }
+                        attempts.push(record);
+                        base.reduction.mode = ReduceMode::Legacy;
+                        trusted_fallback_active = true;
+                        continue 'modes;
+                    }
+                    s if s.is_retryable() && attempt + 1 < attempt_budget => {
+                        let backoff = policy.planned_backoff_ms(attempt + 1);
+                        record.planned_backoff_ms = backoff;
+                        attempts.push(record);
+                        // The planned backoff counts against the pipeline
+                        // deadline: sleep only the time the deadline leaves,
+                        // and skip entirely once it has passed. The next
+                        // attempt then fails fast with DeadlineExceeded
+                        // instead of overshooting the budget in a sleep.
+                        let planned = std::time::Duration::from_millis(backoff);
+                        let capped = match res.deadline {
+                            Some(d) => d
+                                .saturating_duration_since(std::time::Instant::now())
+                                .min(planned),
+                            None => planned,
+                        };
+                        if let Some(t) = &res.tracer {
+                            t.counter("retry", 1);
+                            if backoff > 0 {
+                                t.counter("backoff", 1);
+                            }
+                            t.instant(
+                                TraceLevel::Solve,
+                                "backoff",
+                                vec![
+                                    ("planned_ms", backoff.into()),
+                                    ("clamped_ms", (capped.as_secs_f64() * 1e3).into()),
+                                ],
+                            );
+                        }
+                        if policy.sleep && !capped.is_zero() {
+                            std::thread::sleep(capped);
+                        }
+                    }
+                    s => {
+                        // A trusted probe treats *infeasible* as a
+                        // conservative "no", but a numerical failure (stall,
+                        // exhausted retries) says nothing about the program:
+                        // if the reduced compile actually changed the
+                        // program, re-solve under the legacy compile before
+                        // reporting failure — the fault may be an artifact of
+                        // over-pruned multipliers making the probe marginal.
+                        if base.reduction.mode == ReduceMode::Support
+                            && base.reduction.trust_infeasible
+                            && compiled.support_pruned
+                            && trust_fallback_allowed()
+                        {
+                            if let Some(t) = &res.tracer {
+                                t.counter("support_trust_fallback", 1);
+                            }
+                            attempts.push(record);
+                            base.reduction.mode = ReduceMode::Legacy;
+                            trusted_fallback_active = true;
+                            continue 'modes;
+                        }
+                        attempts.push(record);
+                        if let Some(ledger) = &res.ledger {
+                            ledger.record(&attempts, false);
+                            ledger.add_reduction(&compiled.stats);
+                            if trusted_fallback_active {
+                                ledger.record_trust_fallback(false);
+                            }
+                        }
+                        return (
+                            Err(SosError::Numerical {
+                                status: s,
+                                primal_infeasibility: sol.primal_infeasibility,
+                                dual_infeasibility: sol.dual_infeasibility,
+                                gap: sol.gap,
+                                iterations: sol.iterations,
+                                attempts,
+                            }),
+                            capture.then_some(sol),
+                        );
+                    }
+                }
+            }
+            unreachable!("the attempt loop always returns on its final attempt")
+        }
     }
 
     /// Derives the effective options for one supervised attempt:
@@ -639,6 +852,8 @@ impl SosProgram {
         let red = &options.reduction;
         let mut reduction_seconds = 0.0;
         let mut stats = ReductionStats::default();
+        let support_mode = red.mode == ReduceMode::Support && red.newton;
+        let mut support_pruned = false;
 
         // Sign symmetries are a property of the whole program: every
         // constraint must tolerate the flip, so the detector walks all of
@@ -652,6 +867,246 @@ impl SosProgram {
             Vec::new()
         };
 
+        // ---- Phase 1: multiplier basis candidates --------------------
+        //
+        // Legacy mode hands every S-procedure multiplier its declared
+        // (full-simplex) basis. Support mode keeps a monomial m only if
+        // some shifted square 2m + α (α ∈ supp(h)) lands inside the Newton
+        // polytope of the fixed support of each constraint the multiplier
+        // certifies — a candidate none of whose diagonal rows touches the
+        // target polytope has no reason to carry mass. The quantifier is
+        // existential on purpose: rows outside the polytope can still
+        // cancel against the constraint's other Grams, which phase 2b
+        // accounts for with exact sibling rows.
+        let mut fixed: Vec<Vec<Monomial>> = Vec::new();
+        let mut mult_bases: Vec<Vec<Monomial>> =
+            self.grams.iter().map(|g| g.basis.clone()).collect();
+        if support_mode {
+            let t = std::time::Instant::now();
+            fixed = self
+                .constraints
+                .iter()
+                .map(|c| self.fixed_support(&c.expr).into_iter().collect())
+                .collect();
+            let polytopes: Vec<NewtonPolytope> = fixed
+                .iter()
+                .map(|f| NewtonPolytope::of_support(self.nvars, f.iter()))
+                .collect();
+            for (ci, c) in self.constraints.iter().enumerate() {
+                for (g, h) in &c.expr.gram_terms {
+                    let np = &polytopes[ci];
+                    let before = mult_bases[g.0].len();
+                    mult_bases[g.0].retain(|m| {
+                        h.terms().any(|(alpha, _)| np.contains_shifted_doubled(m, alpha))
+                    });
+                    support_pruned |= mult_bases[g.0].len() < before;
+                }
+            }
+            reduction_seconds += t.elapsed().as_secs_f64();
+        }
+
+        // ---- Phase 2: symmetry classes + constraint Gram bases -------
+        let mut plans: Vec<GramPlan> = Vec::with_capacity(self.grams.len());
+        for (gi, _) in self.grams.iter().enumerate() {
+            let basis = std::mem::take(&mut mult_bases[gi]);
+            let classes = classes_of(&basis, &generators, &mut reduction_seconds);
+            plans.push(GramPlan { basis, classes });
+        }
+        let mut cons_plans: Vec<Option<GramPlan>> = Vec::new();
+        for c in &self.constraints {
+            match &c.kind {
+                ConstraintKind::Zero => cons_plans.push(None),
+                ConstraintKind::Sos { basis_override } => {
+                    let declared = basis_override
+                        .clone()
+                        .unwrap_or_else(|| self.auto_gram_basis(&c.expr, &plans));
+                    stats.grams += 1;
+                    stats.basis_before += declared.len();
+                    // Newton pruning applies only to automatically chosen
+                    // bases: explicit bases are a caller contract (exact
+                    // verification relies on their dimension).
+                    let basis = if red.newton && basis_override.is_none() {
+                        let t = std::time::Instant::now();
+                        let support: Vec<Monomial> =
+                            self.expr_support(&c.expr, &plans).into_keys().collect();
+                        let pruned = prune_gram_basis(&support, &declared);
+                        reduction_seconds += t.elapsed().as_secs_f64();
+                        stats.newton_dropped += declared.len() - pruned.len();
+                        pruned
+                    } else {
+                        declared
+                    };
+                    stats.basis_after += basis.len();
+                    let classes = classes_of(&basis, &generators, &mut reduction_seconds);
+                    stats.symmetry_blocks += classes.len().saturating_sub(1);
+                    cons_plans.push(Some(GramPlan { basis, classes }));
+                }
+            }
+        }
+
+        // ---- Phase 2b: multiplier diagonal consistency ---------------
+        //
+        // The prune_gram_basis-style iteration, run per multiplier against
+        // exact supports: a diagonal row must carry a target coefficient or
+        // be producible by a sibling Gram of the same constraint (the main
+        // Gram's pair products, other multipliers' shifted rows) or by a
+        // distinct pair of this multiplier. Many guards share supports, so
+        // the prune results are interned; parameter sweeps re-hit the same
+        // keys across solves of one compile.
+        if support_mode {
+            let t = std::time::Instant::now();
+            type CacheKey = (Vec<Monomial>, Vec<Monomial>, Vec<Monomial>, Vec<Monomial>);
+            let mut cache: BTreeMap<CacheKey, Vec<Monomial>> = BTreeMap::new();
+            for (ci, c) in self.constraints.iter().enumerate() {
+                if c.expr.gram_terms.is_empty() {
+                    continue;
+                }
+                let mut main_rows: BTreeSet<Monomial> = BTreeSet::new();
+                if let Some(plan) = &cons_plans[ci] {
+                    for idxs in &plan.classes {
+                        for (a, &ia) in idxs.iter().enumerate() {
+                            for &ib in idxs.iter().skip(a) {
+                                main_rows.insert(plan.basis[ia].mul(&plan.basis[ib]));
+                            }
+                        }
+                    }
+                }
+                let term_rows: Vec<BTreeSet<Monomial>> = c
+                    .expr
+                    .gram_terms
+                    .iter()
+                    .map(|(g, h)| {
+                        let plan = &plans[g.0];
+                        let mut rows = BTreeSet::new();
+                        for idxs in &plan.classes {
+                            for (a, &ia) in idxs.iter().enumerate() {
+                                for &ib in idxs.iter().skip(a) {
+                                    let prod = plan.basis[ia].mul(&plan.basis[ib]);
+                                    for (mh, _) in h.terms() {
+                                        rows.insert(prod.mul(mh));
+                                    }
+                                }
+                            }
+                        }
+                        rows
+                    })
+                    .collect();
+                for (k, (g, h)) in c.expr.gram_terms.iter().enumerate() {
+                    let mut extra = main_rows.clone();
+                    for (j, rows) in term_rows.iter().enumerate() {
+                        if j != k {
+                            extra.extend(rows.iter().cloned());
+                        }
+                    }
+                    let key: CacheKey = (
+                        fixed[ci].clone(),
+                        extra.into_iter().collect(),
+                        h.terms().map(|(m, _)| m.clone()).collect(),
+                        plans[g.0].basis.clone(),
+                    );
+                    let pruned = match cache.get(&key) {
+                        Some(p) => {
+                            stats.mult_cache_hits += 1;
+                            p.clone()
+                        }
+                        None => {
+                            let p = prune_multiplier_basis(&key.0, &key.1, &key.2, &key.3);
+                            cache.insert(key, p.clone());
+                            p
+                        }
+                    };
+                    if pruned.len() < plans[g.0].basis.len() {
+                        support_pruned = true;
+                        let classes = classes_of(&pruned, &generators, &mut reduction_seconds);
+                        plans[g.0] = GramPlan {
+                            basis: pruned,
+                            classes,
+                        };
+                    }
+                }
+            }
+            reduction_seconds += t.elapsed().as_secs_f64();
+        }
+        for (gi, g) in self.grams.iter().enumerate() {
+            stats.grams += 1;
+            stats.basis_before += g.basis.len();
+            stats.basis_after += plans[gi].basis.len();
+            stats.newton_dropped += g.basis.len() - plans[gi].basis.len();
+            stats.symmetry_blocks += plans[gi].classes.len().saturating_sub(1);
+        }
+
+        // ---- Phase 3: term-sparsity refinement -----------------------
+        //
+        // TSSOS-style joint iteration per constraint: the constraint's own
+        // Gram and its single-constraint multipliers are refined against
+        // the constraint's fixed support, extending the support with
+        // within-block pair products until the partition stabilises.
+        // Multipliers shared by several constraints keep their symmetry
+        // classes (per-constraint refinement would produce inconsistent
+        // partitions), as do constraints with caller-contracted bases.
+        if red.term_sparsity && red.mode == ReduceMode::Support {
+            let t = std::time::Instant::now();
+            let mut usage_count = vec![0usize; self.grams.len()];
+            for c in &self.constraints {
+                for (g, _) in &c.expr.gram_terms {
+                    usage_count[g.0] += 1;
+                }
+            }
+            for (ci, c) in self.constraints.iter().enumerate() {
+                let ConstraintKind::Sos { basis_override } = &c.kind else {
+                    continue;
+                };
+                if basis_override.is_some() {
+                    continue;
+                }
+                let Some(own) = &cons_plans[ci] else { continue };
+                let seed: BTreeSet<Monomial> =
+                    self.fixed_support(&c.expr).into_iter().collect();
+                let own_basis = own.basis.clone();
+                let mut mult_info: Vec<(usize, Vec<Monomial>)> = Vec::new();
+                for (g, h) in &c.expr.gram_terms {
+                    if usage_count[g.0] == 1 && !plans[g.0].basis.is_empty() {
+                        mult_info
+                            .push((g.0, h.terms().map(|(m, _)| m.clone()).collect()));
+                    }
+                }
+                let mult_bases_c: Vec<Vec<Monomial>> = mult_info
+                    .iter()
+                    .map(|(g, _)| plans[*g].basis.clone())
+                    .collect();
+                let blocks_before = own.classes.len()
+                    + mult_info
+                        .iter()
+                        .map(|(g, _)| plans[*g].classes.len())
+                        .sum::<usize>();
+                let mut ts = vec![TsGram {
+                    basis: &own_basis,
+                    shifts: vec![Monomial::one(self.nvars)],
+                    classes: own.classes.clone(),
+                }];
+                for (k, (g, shifts)) in mult_info.iter().enumerate() {
+                    ts.push(TsGram {
+                        basis: &mult_bases_c[k],
+                        shifts: shifts.clone(),
+                        classes: plans[*g].classes.clone(),
+                    });
+                }
+                refine_by_term_sparsity(&seed, &mut ts);
+                let blocks_after = ts.iter().map(|g| g.classes.len()).sum::<usize>();
+                stats.term_sparsity_blocks += blocks_after.saturating_sub(blocks_before);
+                support_pruned |= blocks_after > blocks_before;
+                let mut it = ts.into_iter();
+                if let Some(own) = &mut cons_plans[ci] {
+                    own.classes = it.next().expect("own gram plan").classes;
+                }
+                for ((g, _), refined) in mult_info.iter().zip(it) {
+                    plans[*g].classes = refined.classes;
+                }
+            }
+            reduction_seconds += t.elapsed().as_secs_f64();
+        }
+
+        // ---- Phase 4: SDP assembly -----------------------------------
         let mut sdp = SdpProblem::new();
         // Free variables: scalars then poly coefficients.
         let scalar_free: Vec<FreeVarId> = (0..self.num_scalars)
@@ -664,80 +1119,43 @@ impl SosProgram {
         for &(s, w) in &self.objective {
             sdp.set_free_cost(scalar_free[s.0], w);
         }
-        // PSD blocks: one per signature class per Gram (multipliers first,
-        // then SOS constraints — same creation order as the unreduced
-        // compiler, which the no-reduction path reproduces bit for bit).
-        //
-        // Multiplier Grams are free decision polynomials: the Newton
-        // argument does not apply to them (there is no fixed target whose
-        // polytope could bound their support), so their bases are never
-        // pruned — only symmetry-split.
-        let mut gram_layouts: Vec<GramLayout> = Vec::with_capacity(self.grams.len());
-        for g in &self.grams {
-            let basis = g.basis.clone();
-            stats.grams += 1;
-            stats.basis_before += basis.len();
-            stats.basis_after += basis.len();
-            let layout = self.make_layout(
-                &mut sdp,
-                basis,
-                &generators,
-                g.trace_weight.unwrap_or(options.trace_weight),
-                &mut reduction_seconds,
-                &mut stats,
-            );
-            gram_layouts.push(layout);
-        }
-        let mut constraint_layouts: Vec<Option<GramLayout>> = Vec::new();
-        for c in &self.constraints {
-            match &c.kind {
-                ConstraintKind::Zero => constraint_layouts.push(None),
-                ConstraintKind::Sos { basis_override } => {
-                    let declared = basis_override
-                        .clone()
-                        .unwrap_or_else(|| self.auto_gram_basis(&c.expr, &gram_layouts));
-                    stats.grams += 1;
-                    stats.basis_before += declared.len();
-                    // Newton pruning applies only to automatically chosen
-                    // bases: explicit bases are a caller contract (exact
-                    // verification relies on their dimension).
-                    let basis = if red.newton && basis_override.is_none() {
-                        let t = std::time::Instant::now();
-                        let support: Vec<Monomial> = self
-                            .expr_support(&c.expr, &gram_layouts)
-                            .into_keys()
-                            .collect();
-                        let pruned = prune_gram_basis(&support, &declared);
-                        reduction_seconds += t.elapsed().as_secs_f64();
-                        pruned
-                    } else {
-                        declared
-                    };
-                    stats.basis_after += basis.len();
-                    let layout = self.make_layout(
-                        &mut sdp,
-                        basis,
-                        &generators,
-                        options.trace_weight,
-                        &mut reduction_seconds,
-                        &mut stats,
-                    );
-                    constraint_layouts.push(Some(layout));
-                }
-            }
-        }
+        // Blocks: one realisation per signature class per Gram (multipliers
+        // first, then SOS constraints — same creation order as the
+        // unreduced compiler, which the no-reduction path reproduces bit
+        // for bit).
+        let gram_layouts: Vec<GramLayout> = plans
+            .iter()
+            .zip(&self.grams)
+            .map(|(plan, g)| {
+                realise_layout(
+                    &mut sdp,
+                    plan,
+                    red.cone,
+                    g.trace_weight.unwrap_or(options.trace_weight),
+                    &mut stats,
+                )
+            })
+            .collect();
+        let constraint_layouts: Vec<Option<GramLayout>> = cons_plans
+            .iter()
+            .map(|plan| {
+                plan.as_ref().map(|p| {
+                    realise_layout(&mut sdp, p, red.cone, options.trace_weight, &mut stats)
+                })
+            })
+            .collect();
 
         // Emit coefficient-matching equalities per constraint. The row set
         // must cover the FULL potential support of the non-Gram part (rows
         // with no Gram pair become pure linear constraints on the decision
-        // variables), plus every within-block pair product of the
+        // variables), plus every within-class pair product of the
         // constraint's own Gram.
         for (ci, c) in self.constraints.iter().enumerate() {
-            let mut support = self.expr_support(&c.expr, &gram_layouts);
+            let mut support = self.expr_support(&c.expr, &plans);
             if let Some(layout) = &constraint_layouts[ci] {
-                for (_, idxs) in &layout.blocks {
-                    for (a, &ia) in idxs.iter().enumerate() {
-                        for &ib in idxs.iter().skip(a) {
+                for class in &layout.classes {
+                    for (a, &ia) in class.idxs.iter().enumerate() {
+                        for &ib in class.idxs.iter().skip(a) {
                             support.insert(layout.basis[ia].mul(&layout.basis[ib]), ());
                         }
                     }
@@ -746,13 +1164,13 @@ impl SosProgram {
             for alpha in support.keys() {
                 let rhs = c.expr.constant.coefficient(alpha);
                 let row = sdp.add_constraint(rhs);
-                // Constraint's own Gram: +⟨E_α, P⟩, per block.
+                // Constraint's own Gram: +⟨E_α, P⟩, per class.
                 if let Some(layout) = &constraint_layouts[ci] {
-                    for (blk, idxs) in &layout.blocks {
-                        for (a, &ia) in idxs.iter().enumerate() {
-                            for (b, &ib) in idxs.iter().enumerate().skip(a) {
+                    for class in &layout.classes {
+                        for (a, &ia) in class.idxs.iter().enumerate() {
+                            for (b, &ib) in class.idxs.iter().enumerate().skip(a) {
                                 if &layout.basis[ia].mul(&layout.basis[ib]) == alpha {
-                                    sdp.set_entry(row, *blk, a, b, 1.0);
+                                    class.set_entry(&mut sdp, row, a, b, 1.0);
                                 }
                             }
                         }
@@ -774,17 +1192,17 @@ impl SosProgram {
                         }
                     }
                 }
-                // Gram multiplier terms, per block.
+                // Gram multiplier terms, per class.
                 for (g, h) in &c.expr.gram_terms {
                     let layout = &gram_layouts[g.0];
-                    for (blk, idxs) in &layout.blocks {
-                        for (a, &ia) in idxs.iter().enumerate() {
-                            for (b, &ib) in idxs.iter().enumerate().skip(a) {
+                    for class in &layout.classes {
+                        for (a, &ia) in class.idxs.iter().enumerate() {
+                            for (b, &ib) in class.idxs.iter().enumerate().skip(a) {
                                 let prod = layout.basis[ia].mul(&layout.basis[ib]);
                                 // coefficient of alpha in (z_a z_b) * h
                                 for (mh, ch) in h.terms() {
                                     if &prod.mul(mh) == alpha {
-                                        sdp.set_entry(row, *blk, a, b, -ch);
+                                        class.set_entry(&mut sdp, row, a, b, -ch);
                                     }
                                 }
                             }
@@ -808,44 +1226,8 @@ impl SosProgram {
             },
             reduction_seconds,
             stats,
+            support_pruned,
         }
-    }
-
-    /// Splits `basis` into sign-symmetry signature classes and allocates one
-    /// PSD block per class. With no generators this is the single identity
-    /// class — byte-identical to the unreduced compiler.
-    fn make_layout(
-        &self,
-        sdp: &mut SdpProblem,
-        basis: Vec<Monomial>,
-        generators: &[u64],
-        trace_weight: f64,
-        reduction_seconds: &mut f64,
-        stats: &mut ReductionStats,
-    ) -> GramLayout {
-        let classes = if generators.is_empty() {
-            vec![(0..basis.len()).collect()]
-        } else {
-            let t = std::time::Instant::now();
-            let c = split_by_signature(&basis, generators);
-            *reduction_seconds += t.elapsed().as_secs_f64();
-            c
-        };
-        let mut blocks = Vec::with_capacity(classes.len());
-        for idxs in classes {
-            // Newton pruning can empty a basis outright (the constraint
-            // degenerates to pure linear rows); the solver has no use for a
-            // 0-dimensional PSD block.
-            if idxs.is_empty() {
-                continue;
-            }
-            let b = sdp.add_psd_block(idxs.len());
-            sdp.set_block_cost_identity(b, trace_weight);
-            stats.blocks += 1;
-            stats.max_block = stats.max_block.max(idxs.len());
-            blocks.push((b, idxs));
-        }
-        GramLayout { basis, blocks }
     }
 
     /// Harvests the GF(2) parity constraints every program datum imposes on
@@ -878,33 +1260,45 @@ impl SosProgram {
         det.generators()
     }
 
-    /// Union of all monomials that can appear in `expr`, with multiplier
-    /// Gram products restricted to within-block pairs (cross-block entries
-    /// are structurally zero). The constraint's own Gram products are added
-    /// separately by the caller.
-    fn expr_support(&self, expr: &PolyExpr, gram_layouts: &[GramLayout]) -> BTreeMap<Monomial, ()> {
-        let mut set = BTreeMap::new();
+    /// Support of the fixed (non-Gram) part of `expr`: the constant plus
+    /// everything the scalar and coefficient-polynomial decision variables
+    /// can reach. This is the target support multiplier pruning and
+    /// term-sparsity seeding work against.
+    fn fixed_support(&self, expr: &PolyExpr) -> BTreeSet<Monomial> {
+        let mut set = BTreeSet::new();
         for (m, _) in expr.constant.terms() {
-            set.insert(m.clone(), ());
+            set.insert(m.clone());
         }
         for (_, q) in &expr.scalar_terms {
             for (m, _) in q.terms() {
-                set.insert(m.clone(), ());
+                set.insert(m.clone());
             }
         }
         for (v, op) in &expr.poly_terms {
             for m in &self.polys[v.0].basis {
                 for (am, _) in op.apply(m).terms() {
-                    set.insert(am.clone(), ());
+                    set.insert(am.clone());
                 }
             }
         }
+        set
+    }
+
+    /// Union of all monomials that can appear in `expr`, with multiplier
+    /// Gram products restricted to within-class pairs (cross-class entries
+    /// are structurally zero). The constraint's own Gram products are added
+    /// separately by the caller.
+    fn expr_support(&self, expr: &PolyExpr, plans: &[GramPlan]) -> BTreeMap<Monomial, ()> {
+        let mut set = BTreeMap::new();
+        for m in self.fixed_support(expr) {
+            set.insert(m, ());
+        }
         for (g, h) in &expr.gram_terms {
-            let layout = &gram_layouts[g.0];
-            for (_, idxs) in &layout.blocks {
+            let plan = &plans[g.0];
+            for idxs in &plan.classes {
                 for (a, &ia) in idxs.iter().enumerate() {
                     for &ib in idxs.iter().skip(a) {
-                        let prod = layout.basis[ia].mul(&layout.basis[ib]);
+                        let prod = plan.basis[ia].mul(&plan.basis[ib]);
                         for (mh, _) in h.terms() {
                             set.insert(prod.mul(mh), ());
                         }
@@ -918,8 +1312,8 @@ impl SosProgram {
     /// Automatic Gram basis for an SOS constraint: all monomials whose
     /// doubled degree fits within the (per-variable and total) degree
     /// envelope of the expression's possible support.
-    fn auto_gram_basis(&self, expr: &PolyExpr, gram_layouts: &[GramLayout]) -> Vec<Monomial> {
-        let support = self.expr_support(expr, gram_layouts);
+    fn auto_gram_basis(&self, expr: &PolyExpr, plans: &[GramPlan]) -> Vec<Monomial> {
+        let support = self.expr_support(expr, plans);
         if support.is_empty() {
             return vec![Monomial::one(self.nvars)];
         }
@@ -945,42 +1339,324 @@ impl SosProgram {
     }
 }
 
+/// A Gram variable's compile-time plan, before SDP blocks exist: the
+/// (possibly pruned) basis and its partition into signature/term-sparsity
+/// classes (basis indices; cross-class Gram entries are structurally zero).
+struct GramPlan {
+    basis: Vec<Monomial>,
+    classes: Vec<Vec<usize>>,
+}
+
+/// Splits `basis` into sign-symmetry signature classes. With no generators
+/// this is the single identity class — byte-identical to the unreduced
+/// compiler.
+fn classes_of(
+    basis: &[Monomial],
+    generators: &[u64],
+    reduction_seconds: &mut f64,
+) -> Vec<Vec<usize>> {
+    if generators.is_empty() {
+        vec![(0..basis.len()).collect()]
+    } else {
+        let t = std::time::Instant::now();
+        let c = split_by_signature(basis, generators);
+        *reduction_seconds += t.elapsed().as_secs_f64();
+        c
+    }
+}
+
+/// Allocates SDP blocks for one Gram plan under the requested cone.
+fn realise_layout(
+    sdp: &mut SdpProblem,
+    plan: &GramPlan,
+    cone: SosCone,
+    trace_weight: f64,
+    stats: &mut ReductionStats,
+) -> GramLayout {
+    let mut classes = Vec::with_capacity(plan.classes.len());
+    for idxs in &plan.classes {
+        // Newton pruning can empty a basis outright (the constraint
+        // degenerates to pure linear rows); the solver has no use for a
+        // 0-dimensional PSD block.
+        if idxs.is_empty() {
+            continue;
+        }
+        let n = idxs.len();
+        // 1×1 and 2×2 PSD blocks already are their own dd/sdd relaxation;
+        // keeping them PSD loses nothing and skips degenerate pair sets.
+        let realisation = if cone == SosCone::Sos || n <= 2 {
+            let b = sdp.add_psd_block(n);
+            sdp.set_block_cost_identity(b, trace_weight);
+            stats.blocks += 1;
+            stats.max_block = stats.max_block.max(n);
+            ClassBlocks::Psd(b)
+        } else {
+            match cone {
+                SosCone::Sos => unreachable!("handled above"),
+                SosCone::Sdsos => {
+                    // Q is scaled diagonally dominant iff Q = Σ M_ab with
+                    // each M_ab PSD and supported on one coordinate pair.
+                    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+                    for a in 0..n {
+                        for b in a + 1..n {
+                            let blk = sdp.add_psd_block(2);
+                            // tr(Q) = Σ tr(M_ab), so identity costs on the
+                            // pair blocks reproduce the trace objective.
+                            sdp.set_block_cost_identity(blk, trace_weight);
+                            stats.blocks += 1;
+                            stats.max_block = stats.max_block.max(2);
+                            pairs.push((a, b, blk));
+                        }
+                    }
+                    ClassBlocks::Pairs(pairs)
+                }
+                SosCone::Dsos => {
+                    // Q is diagonally dominant with nonnegative diagonal iff
+                    // Q = diag(μ) + Σ λ⁺ (e_a+e_b)(e_a+e_b)ᵀ
+                    //             + Σ λ⁻ (e_a−e_b)(e_a−e_b)ᵀ, all ≥ 0.
+                    let mut diag = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let blk = sdp.add_psd_block(1);
+                        sdp.set_block_cost_identity(blk, trace_weight);
+                        stats.blocks += 1;
+                        stats.max_block = stats.max_block.max(1);
+                        diag.push(blk);
+                    }
+                    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+                    for a in 0..n {
+                        for b in a + 1..n {
+                            let bp = sdp.add_psd_block(1);
+                            let bm = sdp.add_psd_block(1);
+                            // Each rank-1 generator contributes λ to both
+                            // touched diagonal entries: weight 2 in tr(Q).
+                            sdp.set_block_cost_identity(bp, 2.0 * trace_weight);
+                            sdp.set_block_cost_identity(bm, 2.0 * trace_weight);
+                            stats.blocks += 2;
+                            stats.max_block = stats.max_block.max(1);
+                            pairs.push((a, b, bp, bm));
+                        }
+                    }
+                    ClassBlocks::DominantDiag { diag, pairs }
+                }
+            }
+        };
+        classes.push(ClassLayout {
+            idxs: idxs.clone(),
+            realisation,
+        });
+    }
+    GramLayout {
+        basis: plan.basis.clone(),
+        classes,
+    }
+}
+
+/// One-shot trace counters for what compilation-time reduction achieved.
+fn emit_reduction_counters(t: &cppll_trace::Tracer, stats: &ReductionStats) {
+    if stats.newton_dropped > 0 {
+        t.counter("reduction_newton_dropped", stats.newton_dropped as u64);
+    }
+    if stats.symmetry_blocks > 0 {
+        t.counter("reduction_symmetry_blocks", stats.symmetry_blocks as u64);
+    }
+    if stats.term_sparsity_blocks > 0 {
+        t.counter(
+            "reduction_term_sparsity_blocks",
+            stats.term_sparsity_blocks as u64,
+        );
+    }
+    if stats.mult_cache_hits > 0 {
+        t.counter("reduction_mult_cache_hits", stats.mult_cache_hits as u64);
+    }
+}
+
 /// How one Gram variable maps onto SDP blocks: the (possibly pruned) basis
-/// and, per signature class, the PSD block holding that class along with
-/// the basis indices it covers.
+/// and, per class, the block realisation of that class's sub-Gram under the
+/// compile cone.
 struct GramLayout {
     basis: Vec<Monomial>,
-    blocks: Vec<(BlockId, Vec<usize>)>,
+    classes: Vec<ClassLayout>,
+}
+
+/// One signature/term-sparsity class of a Gram basis and the SDP blocks
+/// realising its sub-Gram.
+struct ClassLayout {
+    /// Indices into the owning layout's basis.
+    idxs: Vec<usize>,
+    realisation: ClassBlocks,
+}
+
+/// How a class's `n×n` sub-Gram `Q` is represented in the SDP.
+enum ClassBlocks {
+    /// The full PSD cone: one `n×n` block, `Q = X`.
+    Psd(BlockId),
+    /// SDSOS: `Q = Σ M_ab` over coordinate pairs `a<b` (local indices),
+    /// each `M_ab` a 2×2 PSD block embedded at `(a, b)`.
+    Pairs(Vec<(usize, usize, BlockId)>),
+    /// DSOS: `Q = diag(μ) + Σ λ⁺_ab (e_a+e_b)(e_a+e_b)ᵀ
+    ///                    + Σ λ⁻_ab (e_a−e_b)(e_a−e_b)ᵀ`
+    /// with all `μ`, `λ` nonnegative 1×1 blocks.
+    DominantDiag {
+        diag: Vec<BlockId>,
+        pairs: Vec<(usize, usize, BlockId, BlockId)>,
+    },
+}
+
+impl ClassLayout {
+    /// Emits the coefficient `v` for the conceptual Gram entry `(a, b)`
+    /// (local class indices, `a ≤ b`) into `row`, mapped through the class
+    /// realisation. Follows the [`SdpProblem::set_entry`] convention: a
+    /// diagonal call contributes `v·Q_aa`, an off-diagonal call `2v·Q_ab`.
+    /// `set_entry` accumulates, so overlapping writes (a DSOS λ block is hit
+    /// by both touched diagonals) sum correctly.
+    fn set_entry(&self, sdp: &mut SdpProblem, row: ConstraintId, a: usize, b: usize, v: f64) {
+        match &self.realisation {
+            ClassBlocks::Psd(blk) => sdp.set_entry(row, *blk, a, b, v),
+            ClassBlocks::Pairs(pairs) => {
+                if a == b {
+                    // Q_aa = Σ over pairs containing a of that M's diagonal.
+                    for &(p, q, blk) in pairs {
+                        if p == a {
+                            sdp.set_entry(row, blk, 0, 0, v);
+                        } else if q == a {
+                            sdp.set_entry(row, blk, 1, 1, v);
+                        }
+                    }
+                } else {
+                    // Q_ab = M_ab[0,1]; the off-diagonal set_entry doubling
+                    // matches on both sides.
+                    for &(p, q, blk) in pairs {
+                        if p == a && q == b {
+                            sdp.set_entry(row, blk, 0, 1, v);
+                        }
+                    }
+                }
+            }
+            ClassBlocks::DominantDiag { diag, pairs } => {
+                if a == b {
+                    // Q_aa = μ_a + Σ (λ⁺ + λ⁻) over pairs containing a.
+                    sdp.set_entry(row, diag[a], 0, 0, v);
+                    for &(p, q, bp, bm) in pairs {
+                        if p == a || q == a {
+                            sdp.set_entry(row, bp, 0, 0, v);
+                            sdp.set_entry(row, bm, 0, 0, v);
+                        }
+                    }
+                } else {
+                    // 2v·Q_ab = 2v·(λ⁺ − λ⁻); 1×1 blocks carry no doubling,
+                    // so the 2 is explicit.
+                    for &(p, q, bp, bm) in pairs {
+                        if p == a && q == b {
+                            sdp.set_entry(row, bp, 0, 0, 2.0 * v);
+                            sdp.set_entry(row, bm, 0, 0, -2.0 * v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulates this class's solved sub-Gram into the full matrix `q`
+    /// (global basis indices).
+    fn accumulate_into(&self, q: &mut Matrix, x: &[Matrix]) {
+        match &self.realisation {
+            ClassBlocks::Psd(blk) => {
+                let xb = &x[block_index(blk)];
+                for (a, &ia) in self.idxs.iter().enumerate() {
+                    for (b, &ib) in self.idxs.iter().enumerate() {
+                        q[(ia, ib)] += xb[(a, b)];
+                    }
+                }
+            }
+            ClassBlocks::Pairs(pairs) => {
+                for &(p, r, blk) in pairs {
+                    let m = &x[block_index(&blk)];
+                    let (ip, ir) = (self.idxs[p], self.idxs[r]);
+                    q[(ip, ip)] += m[(0, 0)];
+                    q[(ir, ir)] += m[(1, 1)];
+                    q[(ip, ir)] += m[(0, 1)];
+                    q[(ir, ip)] += m[(1, 0)];
+                }
+            }
+            ClassBlocks::DominantDiag { diag, pairs } => {
+                for (a, blk) in diag.iter().enumerate() {
+                    let ia = self.idxs[a];
+                    q[(ia, ia)] += x[block_index(blk)][(0, 0)];
+                }
+                for &(p, r, bp, bm) in pairs {
+                    let lp = x[block_index(&bp)][(0, 0)];
+                    let lm = x[block_index(&bm)][(0, 0)];
+                    let (ip, ir) = (self.idxs[p], self.idxs[r]);
+                    q[(ip, ip)] += lp + lm;
+                    q[(ir, ir)] += lp + lm;
+                    q[(ip, ir)] += lp - lm;
+                    q[(ir, ip)] += lp - lm;
+                }
+            }
+        }
+    }
+
+    /// This class's solved sub-Gram as PSD `(sub-basis, matrix)` summands.
+    fn summands(&self, basis: &[Monomial], x: &[Matrix]) -> Vec<(Vec<Monomial>, Matrix)> {
+        let sub = |i: usize| basis[self.idxs[i]].clone();
+        match &self.realisation {
+            ClassBlocks::Psd(blk) => {
+                vec![(
+                    self.idxs.iter().map(|&i| basis[i].clone()).collect(),
+                    x[block_index(blk)].clone(),
+                )]
+            }
+            ClassBlocks::Pairs(pairs) => pairs
+                .iter()
+                .map(|&(p, r, blk)| (vec![sub(p), sub(r)], x[block_index(&blk)].clone()))
+                .collect(),
+            ClassBlocks::DominantDiag { diag, pairs } => {
+                let mut out = Vec::with_capacity(diag.len() + pairs.len());
+                for (a, blk) in diag.iter().enumerate() {
+                    out.push((vec![sub(a)], x[block_index(blk)].clone()));
+                }
+                for &(p, r, bp, bm) in pairs {
+                    let lp = x[block_index(&bp)][(0, 0)];
+                    let lm = x[block_index(&bm)][(0, 0)];
+                    let mut m = Matrix::zeros(2, 2);
+                    m[(0, 0)] = lp + lm;
+                    m[(1, 1)] = lp + lm;
+                    m[(0, 1)] = lp - lm;
+                    m[(1, 0)] = lp - lm;
+                    out.push((vec![sub(p), sub(r)], m));
+                }
+                out
+            }
+        }
+    }
 }
 
 impl GramLayout {
     /// Reassembles the full `basis.len() × basis.len()` Gram matrix from the
-    /// solved blocks (cross-class entries are structurally zero).
+    /// solved blocks (cross-class entries are structurally zero; cone
+    /// realisations accumulate their summands).
     fn assemble(&self, x: &[Matrix]) -> Matrix {
         let n = self.basis.len();
         let mut q = Matrix::zeros(n, n);
-        for (blk, idxs) in &self.blocks {
-            let xb = &x[block_index(blk)];
-            for (a, &ia) in idxs.iter().enumerate() {
-                for (b, &ib) in idxs.iter().enumerate() {
-                    q[(ia, ib)] = xb[(a, b)];
-                }
-            }
+        for class in &self.classes {
+            class.accumulate_into(&mut q, x);
         }
         q
     }
 
     /// The polynomial `z(x)ᵀ Q z(x)` of the assembled Gram, without
-    /// materialising the full matrix.
+    /// materialising the full matrix... except that cone realisations make
+    /// entry-wise iteration awkward, so assemble per class sub-matrices.
     fn to_poly(&self, x: &[Matrix], nvars: usize) -> Polynomial {
         let mut p = Polynomial::zero(nvars);
-        for (blk, idxs) in &self.blocks {
-            let xb = &x[block_index(blk)];
-            for (a, &ia) in idxs.iter().enumerate() {
-                for (b, &ib) in idxs.iter().enumerate() {
-                    let v = xb[(a, b)];
-                    if v != 0.0 {
-                        p.add_term(self.basis[ia].mul(&self.basis[ib]), v);
+        for class in &self.classes {
+            for (sub, m) in class.summands(&self.basis, x) {
+                for (a, ma) in sub.iter().enumerate() {
+                    for (b, mb) in sub.iter().enumerate() {
+                        let v = m[(a, b)];
+                        if v != 0.0 {
+                            p.add_term(ma.mul(mb), v);
+                        }
                     }
                 }
             }
@@ -988,16 +1664,11 @@ impl GramLayout {
         p
     }
 
-    /// The solved blocks as `(sub-basis, block Gram)` pairs.
+    /// The solved PSD summands as `(sub-basis, block Gram)` pairs.
     fn cloned_blocks(&self, x: &[Matrix]) -> Vec<(Vec<Monomial>, Matrix)> {
-        self.blocks
+        self.classes
             .iter()
-            .map(|(blk, idxs)| {
-                (
-                    idxs.iter().map(|&i| self.basis[i].clone()).collect(),
-                    x[block_index(blk)].clone(),
-                )
-            })
+            .flat_map(|c| c.summands(&self.basis, x))
             .collect()
     }
 }
@@ -1016,6 +1687,11 @@ struct Compiled {
     /// splitting (reported as the `reduction` solve stage).
     reduction_seconds: f64,
     stats: ReductionStats,
+    /// Whether support-mode reduction actually changed the program relative
+    /// to a legacy compile (multiplier monomials dropped or term-sparsity
+    /// blocks split). When false, the compile is bit-identical to legacy and
+    /// a screening miss needs no fallback re-solve.
+    support_pruned: bool,
 }
 
 /// A solved SOS program: read back scalar values, polynomial certificates,

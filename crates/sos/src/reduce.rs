@@ -25,22 +25,135 @@
 //! make the Gaussian elimination a few dozen XORs for the ≤ 8 variables
 //! this pipeline sees.
 
+use std::collections::BTreeSet;
+
 use cppll_poly::{Monomial, Polynomial};
 
+/// How S-procedure multiplier bases are chosen at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReduceMode {
+    /// Support-driven: each multiplier's candidate basis is filtered
+    /// against the Newton polytope of the constraint it certifies
+    /// (`2m + α ∈ conv(fixed support)` for some guard monomial `α`), then
+    /// run through the diagonal-consistency iteration. The default.
+    #[default]
+    Support,
+    /// Conservative full degree simplex, exactly as declared by
+    /// `new_sos_poly` — the pre-support-driven behaviour, kept as a
+    /// bisection escape hatch for verdict regressions.
+    Legacy,
+}
+
+impl ReduceMode {
+    /// Canonical lower-case name (CLI flag value and JSON encoding).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReduceMode::Support => "support",
+            ReduceMode::Legacy => "legacy",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "support" => Some(ReduceMode::Support),
+            "legacy" => Some(ReduceMode::Legacy),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ReduceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which cone Gram blocks are constrained to at SDP emission time. The
+/// inclusion chain `dd ⊂ sdd ⊂ PSD` makes the cheaper cones sound *inner*
+/// approximations: a certificate found under [`SosCone::Dsos`] or
+/// [`SosCone::Sdsos`] is a genuine SOS certificate, while a failure says
+/// nothing — callers fall back to the full SDP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SosCone {
+    /// Full PSD Gram blocks (the ordinary SOS relaxation). The default.
+    #[default]
+    Sos,
+    /// Scaled diagonally dominant: every Gram block of dimension ≥ 3 is
+    /// replaced by a sum of 2×2 PSD blocks, one per basis index pair —
+    /// SOCP-strength constraints solved by the same SDP machinery.
+    Sdsos,
+    /// Diagonally dominant: every Gram block of dimension ≥ 3 is replaced
+    /// by nonnegative scalars `μᵢ, λ⁺ᵢⱼ, λ⁻ᵢⱼ` realising
+    /// `Q = Σ λ⁺(eᵢ+eⱼ)(eᵢ+eⱼ)ᵀ + λ⁻(eᵢ−eⱼ)(eᵢ−eⱼ)ᵀ + Σ μᵢeᵢeᵢᵀ` —
+    /// LP-strength constraints.
+    Dsos,
+}
+
+impl SosCone {
+    /// Canonical lower-case name (CLI flag value and JSON encoding).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SosCone::Sos => "sos",
+            SosCone::Sdsos => "sdsos",
+            SosCone::Dsos => "dsos",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sos" => Some(SosCone::Sos),
+            "sdsos" => Some(SosCone::Sdsos),
+            "dsos" => Some(SosCone::Dsos),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SosCone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Which reductions [`SosProgram::solve`](crate::SosProgram::solve) applies
-/// before handing the SDP to the solver. Both are on by default; the CLI
-/// exposes `--no-reduce` as the escape hatch.
+/// before handing the SDP to the solver. Everything is on by default; the
+/// CLI exposes `--no-reduce`, `--reduce-mode legacy` and `--cone` as the
+/// escape hatches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReductionOptions {
     /// Newton-polytope + diagonal-consistency pruning of automatically
-    /// chosen constraint Gram bases. (Explicit bases passed via
-    /// `require_sos_with_basis` are honoured verbatim, and multiplier Grams
-    /// are free decision polynomials, to which the Newton argument does not
-    /// apply — neither is ever pruned.)
+    /// chosen constraint Gram bases, and (under [`ReduceMode::Support`]) of
+    /// multiplier bases. Explicit bases passed via `require_sos_with_basis`
+    /// are a caller contract and are honoured verbatim.
     pub newton: bool,
     /// Sign-symmetry block-diagonalisation of every Gram block (constraint
     /// Grams and multipliers alike).
     pub symmetry: bool,
+    /// How multiplier candidate bases are derived (support-driven Newton
+    /// filtering vs the legacy full degree simplex).
+    pub mode: ReduceMode,
+    /// TSSOS-style term-sparsity block splitting: refine every Gram's
+    /// signature classes by the connected components of the term-sparsity
+    /// graph, iterated to the support-extension fixed point.
+    pub term_sparsity: bool,
+    /// Cone the Gram blocks are constrained to. Non-default cones are used
+    /// by the solve supervisor as a cheap screening pass whose success
+    /// short-circuits the full SDP (see `SosProgram::solve`).
+    pub cone: SosCone,
+    /// Trust a non-success from the support-reduced compile instead of
+    /// falling back to the legacy compile per solve. The reduced program is
+    /// a restriction, so its infeasibility (or a stall on a marginal
+    /// program) does not imply anything about the full program — but inside
+    /// a monotone bisection (level-set maximisation, certified bounds) a
+    /// spurious "no" only makes the bound more conservative while every
+    /// accepted level still carries a genuine certificate. Those probes set
+    /// this to skip the expensive per-probe legacy re-solve; their *stage*
+    /// re-runs under [`ReduceMode::Legacy`] only if the whole bisection
+    /// comes up empty. Verdict-critical checks leave this off, so their
+    /// answers always agree with legacy mode.
+    pub trust_infeasible: bool,
 }
 
 impl Default for ReductionOptions {
@@ -48,6 +161,10 @@ impl Default for ReductionOptions {
         ReductionOptions {
             newton: true,
             symmetry: true,
+            mode: ReduceMode::Support,
+            term_sparsity: true,
+            cone: SosCone::Sos,
+            trust_infeasible: false,
         }
     }
 }
@@ -59,12 +176,16 @@ impl ReductionOptions {
         ReductionOptions {
             newton: false,
             symmetry: false,
+            mode: ReduceMode::Legacy,
+            term_sparsity: false,
+            cone: SosCone::Sos,
+            trust_infeasible: false,
         }
     }
 
     /// `true` when any reduction is enabled.
     pub fn is_active(&self) -> bool {
-        self.newton || self.symmetry
+        self.newton || self.symmetry || self.mode == ReduceMode::Support || self.term_sparsity
     }
 }
 
@@ -73,6 +194,10 @@ impl cppll_json::ToJson for ReductionOptions {
         cppll_json::ObjectBuilder::new()
             .field("newton", self.newton)
             .field("symmetry", self.symmetry)
+            .field("mode", self.mode.as_str())
+            .field("term_sparsity", self.term_sparsity)
+            .field("cone", self.cone.as_str())
+            .field("trust_infeasible", self.trust_infeasible)
             .build()
     }
 }
@@ -80,9 +205,26 @@ impl cppll_json::ToJson for ReductionOptions {
 impl cppll_json::FromJson for ReductionOptions {
     fn from_json(v: &cppll_json::Value) -> Result<Self, cppll_json::DecodeError> {
         use cppll_json::decode;
+        // The three newer fields default when absent so journals written by
+        // earlier versions still decode (their fingerprints exclude them from
+        // resume anyway, but ledgers and reports should not hard-fail).
+        let mode = match decode::optional::<String>(v, "mode")? {
+            Some(s) => ReduceMode::parse(&s)
+                .ok_or_else(|| cppll_json::DecodeError::new(format!("bad reduce mode {s:?}")))?,
+            None => ReduceMode::Legacy,
+        };
+        let cone = match decode::optional::<String>(v, "cone")? {
+            Some(s) => SosCone::parse(&s)
+                .ok_or_else(|| cppll_json::DecodeError::new(format!("bad cone {s:?}")))?,
+            None => SosCone::Sos,
+        };
         Ok(ReductionOptions {
             newton: decode::required(v, "newton")?,
             symmetry: decode::required(v, "symmetry")?,
+            mode,
+            term_sparsity: decode::optional(v, "term_sparsity")?.unwrap_or(false),
+            cone,
+            trust_infeasible: decode::optional(v, "trust_infeasible")?.unwrap_or(false),
         })
     }
 }
@@ -103,6 +245,17 @@ pub struct ReductionStats {
     pub blocks: usize,
     /// Largest emitted block dimension.
     pub max_block: usize,
+    /// Basis monomials removed by the Newton/support layer alone
+    /// (support-driven multiplier filtering + constraint-Gram pruning).
+    pub newton_dropped: usize,
+    /// Extra blocks minted by sign-symmetry splitting, beyond one per Gram.
+    pub symmetry_blocks: usize,
+    /// Extra blocks minted by term-sparsity splitting, beyond what
+    /// symmetry alone produced.
+    pub term_sparsity_blocks: usize,
+    /// Hits in the interned multiplier-basis cache (identical
+    /// target/factor support pairs across constraints share one pruning).
+    pub mult_cache_hits: usize,
 }
 
 impl ReductionStats {
@@ -113,11 +266,32 @@ impl ReductionStats {
         self.basis_after += other.basis_after;
         self.blocks += other.blocks;
         self.max_block = self.max_block.max(other.max_block);
+        self.newton_dropped += other.newton_dropped;
+        self.symmetry_blocks += other.symmetry_blocks;
+        self.term_sparsity_blocks += other.term_sparsity_blocks;
+        self.mult_cache_hits += other.mult_cache_hits;
     }
 
     /// Did reduction shrink anything at all?
     pub fn is_reduced(&self) -> bool {
         self.basis_after < self.basis_before || self.blocks > self.grams
+    }
+
+    /// Per-layer breakdown for the CLI `reduction:` block — `None` when no
+    /// layer did anything (the headline [`std::fmt::Display`] line already
+    /// says everything).
+    pub fn detail(&self) -> Option<String> {
+        if self.newton_dropped == 0
+            && self.symmetry_blocks == 0
+            && self.term_sparsity_blocks == 0
+            && self.mult_cache_hits == 0
+        {
+            return None;
+        }
+        Some(format!(
+            "newton −{} monomials, symmetry +{} blocks, term-sparsity +{} blocks, multiplier-cache {} hits",
+            self.newton_dropped, self.symmetry_blocks, self.term_sparsity_blocks, self.mult_cache_hits
+        ))
     }
 }
 
@@ -139,6 +313,10 @@ impl cppll_json::ToJson for ReductionStats {
             .field("basis_after", self.basis_after)
             .field("blocks", self.blocks)
             .field("max_block", self.max_block)
+            .field("newton_dropped", self.newton_dropped)
+            .field("symmetry_blocks", self.symmetry_blocks)
+            .field("term_sparsity_blocks", self.term_sparsity_blocks)
+            .field("mult_cache_hits", self.mult_cache_hits)
             .build()
     }
 }
@@ -152,6 +330,12 @@ impl cppll_json::FromJson for ReductionStats {
             basis_after: decode::required(v, "basis_after")?,
             blocks: decode::required(v, "blocks")?,
             max_block: decode::required(v, "max_block")?,
+            // Per-layer counters postdate the first journal format; default
+            // to zero so prior-run ledgers still decode.
+            newton_dropped: decode::optional(v, "newton_dropped")?.unwrap_or(0),
+            symmetry_blocks: decode::optional(v, "symmetry_blocks")?.unwrap_or(0),
+            term_sparsity_blocks: decode::optional(v, "term_sparsity_blocks")?.unwrap_or(0),
+            mult_cache_hits: decode::optional(v, "mult_cache_hits")?.unwrap_or(0),
         })
     }
 }
@@ -300,6 +484,137 @@ pub(crate) fn split_by_signature(basis: &[Monomial], generators: &[u64]) -> Vec<
     classes.into_iter().map(|(_, idxs)| idxs).collect()
 }
 
+/// One Gram's view of a joint term-sparsity refinement: its basis, the
+/// factor monomials it multiplies into the constraint (`supp(h)` for an
+/// S-procedure multiplier appearing as `σ·h`, the single constant monomial
+/// for the constraint's own Gram), and its current partition — entering as
+/// the sign-symmetry signature classes, leaving as their term-sparsity
+/// refinement.
+#[derive(Debug)]
+pub(crate) struct TsGram<'a> {
+    pub basis: &'a [Monomial],
+    pub shifts: Vec<Monomial>,
+    pub classes: Vec<Vec<usize>>,
+}
+
+/// TSSOS-style term-sparsity refinement, run jointly over every Gram of one
+/// constraint (the constraint's own Gram plus its multipliers).
+///
+/// The term-sparsity graph of a Gram puts an edge between basis indices
+/// `i, j` iff some factor shift lands their product on a monomial of the
+/// current support `B`; blocks are the graph's connected components (the
+/// "maximal chordal extension" variant of TSSOS, which keeps the partition
+/// disjoint and hence compatible with the block-diagonal Gram layout).
+/// `B` starts as the constraint's fixed support plus every Gram's diagonal
+/// rows, and is extended each round with the within-block pair products the
+/// blocks themselves can realise, until no partition changes — the support-
+/// extension fixed point. Partitions only ever coarsen (the support grows
+/// monotonically), so termination is immediate.
+///
+/// Soundness: zeroing cross-block Gram entries restricts the feasible set —
+/// any block-feasible solution assembles into a feasible block-diagonal
+/// Gram for the original constraint. Like support-driven multiplier bases
+/// (and unlike sign-symmetry splitting) the restriction can lose
+/// certificates; verdict-agreement tests against the legacy mode guard it.
+pub(crate) fn refine_by_term_sparsity(seed: &BTreeSet<Monomial>, grams: &mut [TsGram<'_>]) {
+    // B₀ = fixed support ∪ every diagonal row every Gram can produce.
+    let mut support: BTreeSet<Monomial> = seed.clone();
+    for g in grams.iter() {
+        for class in &g.classes {
+            for &i in class {
+                let sq = g.basis[i].mul(&g.basis[i]);
+                for s in &g.shifts {
+                    support.insert(sq.mul(s));
+                }
+            }
+        }
+    }
+    // Start from the finest partition compatible with the signature
+    // classes — singletons — then coarsen by components until stable. No
+    // explicit cross-class guard is needed: every support monomial is
+    // flip-invariant (signature 0), so a mixed-signature pair product can
+    // never appear in `support` and blocks from different signature classes
+    // never merge.
+    for g in grams.iter_mut() {
+        g.classes = g
+            .classes
+            .iter()
+            .flat_map(|c| c.iter().map(|&i| vec![i]))
+            .collect();
+    }
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    loop {
+        let mut changed = false;
+        for g in grams.iter_mut() {
+            // Union-find over the current blocks: merge two blocks when any
+            // cross pair of their members lands in the support under some
+            // shift.
+            let nblocks = g.classes.len();
+            let mut parent: Vec<usize> = (0..nblocks).collect();
+            for a in 0..nblocks {
+                for b in (a + 1)..nblocks {
+                    if find(&mut parent, a) == find(&mut parent, b) {
+                        continue;
+                    }
+                    let connected = g.classes[a].iter().any(|&i| {
+                        g.classes[b].iter().any(|&j| {
+                            let prod = g.basis[i].mul(&g.basis[j]);
+                            g.shifts.iter().any(|s| support.contains(&prod.mul(s)))
+                        })
+                    });
+                    if connected {
+                        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                        parent[rb.max(ra)] = rb.min(ra);
+                    }
+                }
+            }
+            // Reassemble blocks by root, ordered by first occurrence.
+            let mut merged: Vec<Vec<usize>> = Vec::new();
+            let mut root_to_pos: Vec<Option<usize>> = vec![None; nblocks];
+            for k in 0..nblocks {
+                let r = find(&mut parent, k);
+                let members = std::mem::take(&mut g.classes[k]);
+                match root_to_pos[r] {
+                    Some(pos) => merged[pos].extend(members),
+                    None => {
+                        root_to_pos[r] = Some(merged.len());
+                        merged.push(members);
+                    }
+                }
+            }
+            for c in &mut merged {
+                c.sort_unstable();
+            }
+            if merged.len() != nblocks {
+                changed = true;
+            }
+            g.classes = merged;
+        }
+        // Extend the support with the pair products the new blocks realise.
+        for g in grams.iter() {
+            for class in &g.classes {
+                for (p, &i) in class.iter().enumerate() {
+                    for &j in class.iter().skip(p) {
+                        let prod = g.basis[i].mul(&g.basis[j]);
+                        for s in &g.shifts {
+                            support.insert(prod.mul(s));
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +724,10 @@ mod tests {
             basis_after: 7,
             blocks: 4,
             max_block: 3,
+            newton_dropped: 3,
+            symmetry_blocks: 2,
+            term_sparsity_blocks: 0,
+            mult_cache_hits: 1,
         });
         s.accumulate(&ReductionStats {
             grams: 1,
@@ -416,28 +735,50 @@ mod tests {
             basis_after: 5,
             blocks: 1,
             max_block: 5,
+            newton_dropped: 0,
+            symmetry_blocks: 0,
+            term_sparsity_blocks: 2,
+            mult_cache_hits: 0,
         });
         assert_eq!(s.grams, 3);
         assert_eq!(s.basis_before, 15);
         assert_eq!(s.basis_after, 12);
         assert_eq!(s.blocks, 5);
         assert_eq!(s.max_block, 5);
+        assert_eq!(s.newton_dropped, 3);
+        assert_eq!(s.symmetry_blocks, 2);
+        assert_eq!(s.term_sparsity_blocks, 2);
+        assert_eq!(s.mult_cache_hits, 1);
         assert!(s.is_reduced());
         assert_eq!(s.to_string(), "3 grams, basis 15→12, 5 blocks (max dim 5)");
+        assert_eq!(
+            s.detail().unwrap(),
+            "newton −3 monomials, symmetry +2 blocks, term-sparsity +2 blocks, multiplier-cache 1 hits"
+        );
+        assert!(ReductionStats::default().detail().is_none());
     }
 
     #[test]
     fn options_round_trip_json() {
         use cppll_json::{parse, FromJson, ToJson};
         for (n, y) in [(true, true), (true, false), (false, true), (false, false)] {
-            let o = ReductionOptions {
-                newton: n,
-                symmetry: y,
-            };
-            let back =
-                ReductionOptions::from_json(&parse(&o.to_json().to_compact_string()).unwrap())
+            for mode in [ReduceMode::Support, ReduceMode::Legacy] {
+                for cone in [SosCone::Sos, SosCone::Sdsos, SosCone::Dsos] {
+                    let o = ReductionOptions {
+                        newton: n,
+                        symmetry: y,
+                        mode,
+                        term_sparsity: n ^ y,
+                        cone,
+                        trust_infeasible: y,
+                    };
+                    let back = ReductionOptions::from_json(
+                        &parse(&o.to_json().to_compact_string()).unwrap(),
+                    )
                     .unwrap();
-            assert_eq!(back, o);
+                    assert_eq!(back, o);
+                }
+            }
         }
         let s = ReductionStats {
             grams: 1,
@@ -445,9 +786,130 @@ mod tests {
             basis_after: 3,
             blocks: 4,
             max_block: 5,
+            newton_dropped: 6,
+            symmetry_blocks: 7,
+            term_sparsity_blocks: 8,
+            mult_cache_hits: 9,
         };
         let back =
             ReductionStats::from_json(&parse(&s.to_json().to_compact_string()).unwrap()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn legacy_options_without_new_fields_decode() {
+        use cppll_json::{parse, FromJson};
+        // Journals written before the mode/term-sparsity/cone fields existed
+        // carry only the two original flags; they must decode to the legacy
+        // behaviour, not fail.
+        let v = parse(r#"{"newton":true,"symmetry":true}"#).unwrap();
+        let o = ReductionOptions::from_json(&v).unwrap();
+        assert_eq!(o.mode, ReduceMode::Legacy);
+        assert!(!o.term_sparsity);
+        assert_eq!(o.cone, SosCone::Sos);
+        let v = parse(r#"{"grams":1,"basis_before":2,"basis_after":2,"blocks":1,"max_block":2}"#)
+            .unwrap();
+        let s = ReductionStats::from_json(&v).unwrap();
+        assert_eq!(s.newton_dropped, 0);
+        assert_eq!(s.mult_cache_hits, 0);
+    }
+
+    #[test]
+    fn mode_and_cone_parse_round_trip() {
+        for m in [ReduceMode::Support, ReduceMode::Legacy] {
+            assert_eq!(ReduceMode::parse(m.as_str()), Some(m));
+        }
+        for c in [SosCone::Sos, SosCone::Sdsos, SosCone::Dsos] {
+            assert_eq!(SosCone::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(ReduceMode::parse("full"), None);
+        assert_eq!(SosCone::parse("socp"), None);
+    }
+
+    fn mono(exps: &[u32]) -> Monomial {
+        Monomial::new(exps.to_vec())
+    }
+
+    #[test]
+    fn term_sparsity_splits_disconnected_supports() {
+        // Target support {x⁴, y⁴, 1} over basis {1, x, y, x², xy, y²}: the
+        // term-sparsity graph connects 1↔x² (product x² ∉ B... product is
+        // x², not in B₀ = {x⁴, y⁴, 1} ∪ squares {1, x², y², x⁴, x²y², y⁴} —
+        // x² IS a diagonal square, so 1↔x is connected via product x... no:
+        // edge (1, x) iff 1·x = x ∈ B — absent. Edge (1, x²): product
+        // x² ∈ B (diagonal square of x) — connected. Edge (x, y): xy ∉ B.
+        // Components: {1, x², y²} (via x⁴? edge (x², 1) yes; edge (y², 1)
+        // via y² ∈ B yes), {x}, {xy}, {y}.
+        let basis = monomials_up_to(2, 2);
+        let seed: BTreeSet<Monomial> = [mono(&[4, 0]), mono(&[0, 4]), mono(&[0, 0])]
+            .into_iter()
+            .collect();
+        let mut grams = [TsGram {
+            basis: &basis,
+            shifts: vec![mono(&[0, 0])],
+            classes: vec![(0..basis.len()).collect()],
+        }];
+        refine_by_term_sparsity(&seed, &mut grams);
+        let classes = &grams[0].classes;
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, basis.len(), "partition must cover the basis");
+        assert!(
+            classes.len() > 1,
+            "disconnected support must split: {classes:?}"
+        );
+        // Every pair inside a block must be reachable; x and y stay apart
+        // from the even component.
+        let idx_of = |m: &Monomial| basis.iter().position(|b| b == m).unwrap();
+        let class_of = |i: usize| classes.iter().position(|c| c.contains(&i)).unwrap();
+        assert_ne!(class_of(idx_of(&mono(&[1, 0]))), class_of(idx_of(&mono(&[0, 0]))));
+        assert_eq!(class_of(idx_of(&mono(&[2, 0]))), class_of(idx_of(&mono(&[0, 0]))));
+    }
+
+    #[test]
+    fn term_sparsity_iterates_to_coarser_fixed_point() {
+        // Support extension can merge blocks that the first round left
+        // apart: with support {x², xy} over basis {1, x, y}, round one joins
+        // 1↔x (product x... x ∉ B₀ = {x², xy} ∪ {1, x², y²}) — recompute:
+        // edges: (1,x): x ∉ B. (1,y): y ∉ B. (x,y): xy ∈ B ✓. So blocks
+        // {x,y}, {1}. Extension adds y² ... already there; adds x², xy, y².
+        // No new edges to 1 — stable. Sanity: the refinement is a valid
+        // partition and the connected pair stays together.
+        let basis = monomials_up_to(2, 1);
+        let seed: BTreeSet<Monomial> = [mono(&[2, 0]), mono(&[1, 1])].into_iter().collect();
+        let mut grams = [TsGram {
+            basis: &basis,
+            shifts: vec![mono(&[0, 0])],
+            classes: vec![(0..basis.len()).collect()],
+        }];
+        refine_by_term_sparsity(&seed, &mut grams);
+        let classes = &grams[0].classes;
+        let idx_of = |m: &Monomial| basis.iter().position(|b| b == m).unwrap();
+        let class_of = |i: usize| classes.iter().position(|c| c.contains(&i)).unwrap();
+        assert_eq!(class_of(idx_of(&mono(&[1, 0]))), class_of(idx_of(&mono(&[0, 1]))));
+        assert_ne!(class_of(idx_of(&mono(&[0, 0]))), class_of(idx_of(&mono(&[1, 0]))));
+    }
+
+    #[test]
+    fn term_sparsity_respects_signature_classes() {
+        // Even support, so the flip group splits {1, x², y²} / {x} / {y} /
+        // {xy}; term sparsity must refine *within* those classes only.
+        let basis = monomials_up_to(2, 2);
+        let gens = vec![0b01u64, 0b10];
+        let sym = split_by_signature(&basis, &gens);
+        let seed: BTreeSet<Monomial> = [mono(&[0, 0]), mono(&[4, 0]), mono(&[0, 4])]
+            .into_iter()
+            .collect();
+        let mut grams = [TsGram {
+            basis: &basis,
+            shifts: vec![mono(&[0, 0])],
+            classes: sym.clone(),
+        }];
+        refine_by_term_sparsity(&seed, &mut grams);
+        for c in &grams[0].classes {
+            let sig0 = signature(&basis[c[0]], &gens);
+            for &i in c {
+                assert_eq!(signature(&basis[i], &gens), sig0, "cross-class merge");
+            }
+        }
     }
 }

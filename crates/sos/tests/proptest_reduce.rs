@@ -9,7 +9,7 @@
 
 use cppll_linalg::Matrix;
 use cppll_poly::{monomials_up_to, Monomial, Polynomial};
-use cppll_sos::{ReductionOptions, SosDecomposition, SosOptions, SosProgram};
+use cppll_sos::{ReduceMode, ReductionOptions, SosCone, SosDecomposition, SosOptions, SosProgram};
 use proptest::prelude::*;
 
 const NVARS: usize = 2;
@@ -145,6 +145,100 @@ proptest! {
                 reduced, unreduced,
                 "verdict flipped under reduction for {}", target
             );
+        }
+    }
+
+    /// (d) Support-driven multiplier bases never flip a verdict on a
+    /// *constrained* program: certifying `p ≥ 0` on the unit disc through
+    /// S-procedure multipliers agrees between the default support mode and
+    /// the legacy compile, for feasible and infeasible targets alike.
+    #[test]
+    fn support_and_legacy_verdicts_agree(q1 in small_poly(), q2 in small_poly()) {
+        let p = strict_sos(&q1, &q2);
+        let disc = Polynomial::from_terms(
+            NVARS,
+            &[(&[0, 0], 1.0), (&[2, 0], -1.0), (&[0, 2], -1.0)],
+        );
+        for target in [
+            p.clone(),
+            &p - &Polynomial::constant(NVARS, p.eval(&[0.0, 0.0]).abs() + 10.0),
+        ] {
+            let solve = |mode: ReduceMode| {
+                let red = ReductionOptions {
+                    mode,
+                    ..Default::default()
+                };
+                let mut prog = SosProgram::new(NVARS);
+                prog.require_nonneg_on(target.clone().into(), std::slice::from_ref(&disc), 1);
+                prog.solve(&options_with(red)).is_ok()
+            };
+            prop_assert_eq!(
+                solve(ReduceMode::Support),
+                solve(ReduceMode::Legacy),
+                "support/legacy verdict flipped for {}", target
+            );
+        }
+    }
+
+    /// (e) A certificate extracted from the support-reduced compile still
+    /// satisfies the polynomial identities it claims: the largest residual
+    /// across all constraints (target and multipliers) stays at solver
+    /// precision even when multiplier bases were pruned.
+    #[test]
+    fn support_certificates_satisfy_identities(q1 in small_poly(), q2 in small_poly()) {
+        let p = strict_sos(&q1, &q2);
+        let disc = Polynomial::from_terms(
+            NVARS,
+            &[(&[0, 0], 1.0), (&[2, 0], -1.0), (&[0, 2], -1.0)],
+        );
+        let mut prog = SosProgram::new(NVARS);
+        prog.require_nonneg_on(p.clone().into(), &[disc], 1);
+        let sol = prog.solve(&options_with(ReductionOptions::default()));
+        prop_assume!(sol.is_ok());
+        let sol = sol.unwrap();
+        let res = sol.max_residual();
+        prop_assert!(
+            res < 1e-5 * p.max_abs_coefficient().max(1.0),
+            "support-mode certificate violates its identity by {res}"
+        );
+    }
+
+    /// (f) DSOS/SDSOS are inner approximations of the SOS cone: solving
+    /// under a cheaper cone succeeds exactly when the SOS solve does (a
+    /// feasible screen is a genuine certificate and short-circuits; a failed
+    /// screen falls back to the full SDP silently), and any returned
+    /// certificate satisfies its identity.
+    #[test]
+    fn cheaper_cones_agree_with_sos(q1 in small_poly(), q2 in small_poly()) {
+        let p = strict_sos(&q1, &q2);
+        for target in [
+            p.clone(),
+            &p - &Polynomial::constant(NVARS, p.eval(&[0.0, 0.0]).abs() + 10.0),
+        ] {
+            let solve = |cone: SosCone| {
+                let red = ReductionOptions {
+                    cone,
+                    ..Default::default()
+                };
+                let mut prog = SosProgram::new(NVARS);
+                prog.require_sos(target.clone().into());
+                prog.solve(&options_with(red)).ok()
+            };
+            let sos = solve(SosCone::Sos);
+            for cone in [SosCone::Sdsos, SosCone::Dsos] {
+                let cheap = solve(cone);
+                prop_assert_eq!(
+                    cheap.is_some(), sos.is_some(),
+                    "cone {} verdict differs from sos for {}", cone, target
+                );
+                if let Some(sol) = cheap {
+                    let res = sol.max_residual();
+                    prop_assert!(
+                        res < 1e-5 * target.max_abs_coefficient().max(1.0),
+                        "cone {} certificate violates its identity by {res}", cone
+                    );
+                }
+            }
         }
     }
 }

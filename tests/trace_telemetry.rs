@@ -66,7 +66,12 @@ fn runs_dir(test: &str) -> PathBuf {
 /// whether tracing is on or off.
 #[test]
 fn golden_trace_third_order_pll_at_solve_level() {
-    const GOLDEN_DIGEST: &str = "c31e1167d4a9bf69";
+    // Golden digest of the default run: support-driven reduction settles the
+    // level bisection on a different (equally certified) c* than the legacy
+    // compile, so this pin moved when reduction became the default. The
+    // legacy digest c31e1167d4a9bf69 is still pinned by the `--no-reduce`
+    // CLI path (see `crates/cli/tests`).
+    const GOLDEN_DIGEST: &str = "5b549b7bcc741218";
 
     let model = PllModelBuilder::new(PllOrder::Third).build();
     let verifier = InevitabilityVerifier::for_pll(&model);
@@ -138,6 +143,11 @@ fn two_retryable_faults_emit_two_retries_with_deadline_clamped_backoff() {
     ));
     let mut opt = PipelineOptions::degree(2);
     opt.trace = Some(rec.tracer());
+    // Pinned to the legacy compile: under support mode the first faulted
+    // attempt is absorbed by the reduced→legacy fallback (a mode switch,
+    // not a retry), which would change the retry/backoff counts this test
+    // pins down.
+    opt.reduction.mode = cppll::verify::ReduceMode::Legacy;
     opt.resilience.retries = 2;
     opt.resilience.deadline = Some(Duration::ZERO);
     opt.resilience.fault = Some(injector.clone());
