@@ -121,6 +121,45 @@ pub fn trace_sublevel_boundary(
     }
 }
 
+/// Traces the certified/uncertified boundary of a sweep atlas grid as a
+/// point series: one point at the midpoint of every grid edge whose two
+/// cells disagree on certification.
+///
+/// `xs`/`ys` are the axis values by index and `certified` the row-major
+/// (`iy·nx + ix`) mask. 1-D sweeps pass `ys = &[0.0]`. The resulting curve
+/// uses axis indices 0/1 (the sweep's own axes, not state coordinates).
+///
+/// # Panics
+///
+/// Panics when `certified.len() != xs.len() * ys.len()`.
+pub fn grid_verdict_boundary(
+    xs: &[f64],
+    ys: &[f64],
+    certified: &[bool],
+    label: impl Into<String>,
+) -> Curve {
+    let (nx, ny) = (xs.len(), ys.len());
+    assert_eq!(certified.len(), nx * ny, "mask does not match the grid");
+    let mut points = Vec::new();
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let here = certified[iy * nx + ix];
+            if ix + 1 < nx && certified[iy * nx + ix + 1] != here {
+                points.push((0.5 * (xs[ix] + xs[ix + 1]), ys[iy]));
+            }
+            if iy + 1 < ny && certified[(iy + 1) * nx + ix] != here {
+                points.push((xs[ix], 0.5 * (ys[iy] + ys[iy + 1])));
+            }
+        }
+    }
+    Curve {
+        label: label.into(),
+        x_axis: 0,
+        y_axis: 1,
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +191,20 @@ mod tests {
         let p = &Polynomial::constant(2, 1.0) - &Polynomial::var(2, 0);
         let c = trace_sublevel_boundary(&p, 0, 1, 16, 5.0, "halfplane");
         assert!(c.points.is_empty());
+    }
+
+    #[test]
+    fn grid_boundary_traces_a_vertical_line() {
+        // 3×2 grid, left column certified: two vertical-edge crossings at
+        // the midpoint between x = 0 and x = 1.
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 1.0];
+        let certified = [true, false, false, true, false, false];
+        let c = grid_verdict_boundary(&xs, &ys, &certified, "lock region");
+        assert_eq!(c.points, vec![(0.5, 0.0), (0.5, 1.0)]);
+        // Uniform mask ⇒ no boundary.
+        let all = [true; 6];
+        assert!(grid_verdict_boundary(&xs, &ys, &all, "none").points.is_empty());
     }
 
     #[test]

@@ -3,11 +3,26 @@
 //! ```text
 //! cppll verify <system.json>     run the inevitability pipeline on a spec
 //! cppll pll <3|4> [degree]       run the built-in CP PLL benchmarks
-//! cppll schema                   print an annotated example spec
+//! cppll sweep <sweep.json>       certify a 1D/2D parameter grid (atlas)
+//! cppll schema [sweep]           print an annotated example (sweep) spec
 //! cppll serve                    run the verification daemon (cppll-serve)
 //! cppll submit <spec|pll ...>    submit a job to a running daemon
 //! cppll status [job]             query a running daemon
 //! cppll runs gc                  apply retention GC to the runs directory
+//! ```
+//!
+//! Sweep flags (`sweep` only):
+//!
+//! ```text
+//! --out <dir>              write atlas.json, atlas.canonical.json and
+//!                          contour.json under <dir>
+//! --via <host:port>        solve cells on a running cppll-serve daemon
+//!                          instead of in-process (no warm-start seeding)
+//! --no-bisect              solve every grid cell (no adaptive bisection)
+//! --coarse <n>             initial lattice stride in cells (default auto)
+//! --resolution <n>         stop refining disagreeing rectangles at this
+//!                          size (default 1)
+//! --sweep-crash-after <n>  exit(3) after journaling n fresh cells (testing)
 //! ```
 //!
 //! Resilience flags (both `verify` and `pll`):
@@ -82,16 +97,17 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use cppll_bench::contour::grid_verdict_boundary;
 use cppll_cli::{run_inevitability_validated, SystemSpec};
 use cppll_harness::{
     run_supervised, ChaosPlan, HarnessError, HarnessOptions, HeartbeatEmitter, WorkerSpec,
 };
-use cppll_json::{ObjectBuilder, Value};
+use cppll_json::{ObjectBuilder, ToJson, Value};
 use cppll_pll::{PllModelBuilder, PllOrder};
 use cppll_verify::{
-    CheckpointConfig, CrashMode, Durability, EventKind, FaultInjector, FaultPlan,
-    InevitabilityVerifier, PipelineOptions, ReduceMode, ReductionOptions, ResilienceConfig,
-    SosCone, TraceLevel,
+    run_sweep, run_sweep_with, Atlas, CellOutcome, CellProblem, CheckpointConfig, CrashMode,
+    Durability, EventKind, FaultInjector, FaultPlan, InevitabilityVerifier, PipelineOptions,
+    ReduceMode, ReductionOptions, Region, ResilienceConfig, SosCone, SweepSpec, TraceLevel,
     Tracer, ValidationReport, VerificationReport,
 };
 
@@ -113,6 +129,30 @@ const EXAMPLE_SPEC: &str = r#"{
   "boundary": ["3 - 1 x0", "3 + 1 x0", "3 - 1 x1", "3 + 1 x1"],
   "initial_radii": [2.0, 2.0],
   "degree": 2
+}"#;
+
+/// Example sweep spec printed by `cppll schema sweep`: the two-state toy
+/// with a `$a`-controlled first coordinate — certified exactly on the left
+/// half of the grid, so the bisection chases one vertical boundary. Matches
+/// `SweepSpec::example()`.
+const EXAMPLE_SWEEP: &str = r#"{
+  "target": {
+    "kind": "spec",
+    "spec": {
+      "states": 2,
+      "modes": [
+        {"name": "flow", "flow": ["$a x0", "-1 x1 + $b x1"]}
+      ],
+      "boundary": ["3 - 1 x0", "3 + 1 x0", "3 - 1 x1", "3 + 1 x1"],
+      "initial_radii": [2.0, 2.0],
+      "degree": 2
+    }
+  },
+  "axes": [
+    {"name": "a", "min": -1.0, "max": 1.0, "cells": 21},
+    {"name": "b", "min": -1.5, "max": -0.5, "cells": 21}
+  ],
+  "bisect": true
 }"#;
 
 fn print_report(report: &VerificationReport) {
@@ -353,6 +393,23 @@ struct ServeFlags {
     dry_run: bool,
 }
 
+/// Sweep command-line options (`sweep` only).
+#[derive(Default)]
+struct SweepFlags {
+    /// Write atlas + contour artefacts under this directory.
+    out: Option<String>,
+    /// Solve cells on a running daemon instead of in-process.
+    via: Option<String>,
+    /// Disable adaptive bisection (solve every cell).
+    no_bisect: bool,
+    /// Override the initial lattice stride.
+    coarse: Option<usize>,
+    /// Override the refinement stop size.
+    resolution: Option<usize>,
+    /// Test hook: exit(3) after journaling this many fresh cells.
+    crash_after: Option<usize>,
+}
+
 /// Default daemon bind/connect address.
 const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7171";
 
@@ -365,6 +422,7 @@ struct ParsedArgs {
     trace: TraceFlags,
     harness: HarnessFlags,
     serve: ServeFlags,
+    sweep: SweepFlags,
     validate: Option<usize>,
 }
 
@@ -400,6 +458,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut trace = TraceFlags::default();
     let mut harness = HarnessFlags::default();
     let mut serve = ServeFlags::default();
+    let mut sweep = SweepFlags::default();
     let mut validate = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -510,6 +569,17 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
             "--server" => serve.server = Some(value_of("--server")?.to_string()),
             "--wait" => serve.wait = true,
             "--dry-run" => serve.dry_run = true,
+            "--out" => sweep.out = Some(value_of("--out")?.to_string()),
+            "--via" => sweep.via = Some(value_of("--via")?.to_string()),
+            "--no-bisect" => sweep.no_bisect = true,
+            "--coarse" => sweep.coarse = Some(count("--coarse", value_of("--coarse")?)?),
+            "--resolution" => {
+                sweep.resolution = Some(count("--resolution", value_of("--resolution")?)?);
+            }
+            "--sweep-crash-after" => {
+                sweep.crash_after =
+                    Some(count("--sweep-crash-after", value_of("--sweep-crash-after")?)?);
+            }
             "--no-reduce" => reduction = ReductionOptions::none(),
             "--reduce-mode" => {
                 let v = value_of("--reduce-mode")?;
@@ -542,6 +612,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
         trace,
         harness,
         serve,
+        sweep,
         validate,
     })
 }
@@ -674,6 +745,226 @@ fn supervise(raw: &[String], parsed: &ParsedArgs) -> ExitCode {
                     eprintln!("harness: stderr| {line}");
                 }
             }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Polls `/jobs/<id>` until the job is terminal, returning the terminal
+/// record.
+fn poll_terminal(addr: &str, id: u64) -> Result<Value, String> {
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let (status, text) = cppll_serve::client_request(addr, "GET", &format!("/jobs/{id}"), None)
+            .map_err(|e| format!("lost contact with {addr}: {e}"))?;
+        if status != 200 {
+            return Err(format!("job {id}: status {status}: {text}"));
+        }
+        let Ok(v) = cppll_json::parse(&text) else {
+            continue;
+        };
+        if matches!(
+            v.get("state").and_then(Value::as_str),
+            Some("completed") | Some("failed")
+        ) {
+            return Ok(v);
+        }
+    }
+}
+
+/// Solves one sweep cell on a running daemon: renders the cell as a
+/// concrete spec, submits it, and polls to the terminal state. A `failed`
+/// job is a failed *cell* (the daemon already supervised and restarted its
+/// worker); only transport errors abort the sweep. The problem fingerprint
+/// is computed locally, identically to the in-process solver, so via-mode
+/// atlases stay comparable with local ones.
+fn via_solve(
+    addr: &str,
+    problem: &CellProblem,
+    reduction: ReductionOptions,
+) -> Result<CellOutcome, String> {
+    let t0 = std::time::Instant::now();
+    let verifier = InevitabilityVerifier::new(
+        &problem.system,
+        problem.boundary.clone(),
+        Region::ellipsoid(&problem.initial_radii),
+    );
+    let mut popt = PipelineOptions::degree(problem.degree);
+    popt.reduction = reduction;
+    let fingerprint =
+        cppll_verify::checkpoint::fingerprint_hex(verifier.problem_fingerprint(&popt));
+    let body = ObjectBuilder::new()
+        .field("kind", "verify")
+        .field("spec", problem.to_spec().to_json())
+        .build()
+        .to_compact_string();
+    let (status, text) = cppll_serve::client_request(addr, "POST", "/jobs", Some(&body))
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let v = cppll_json::parse(&text).map_err(|e| format!("bad response from {addr}: {e}"))?;
+    let terminal = match status {
+        200 => v, // certificate-cache hit: already terminal
+        202 => {
+            let id = v
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("no job id in response: {text}"))?;
+            poll_terminal(addr, id)?
+        }
+        _ => return Err(format!("submit rejected ({status}): {text}")),
+    };
+    let completed = terminal.get("state").and_then(Value::as_str) == Some("completed");
+    let verified = completed && terminal.get("verified").and_then(Value::as_bool) == Some(true);
+    let reason = terminal
+        .get("reason")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .or_else(|| {
+            terminal
+                .get("verdict")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+        });
+    Ok(CellOutcome {
+        certified: verified,
+        digest: terminal
+            .get("digest")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+        reason: if verified { None } else { reason },
+        fingerprint,
+        warm_hits: 0,
+        warm: Vec::new(),
+        seconds: t0.elapsed().as_secs_f64(),
+        ledger: cppll_verify::LedgerSnapshot::default(),
+    })
+}
+
+/// Prints the human sweep summary and writes the `--out` artefacts.
+fn emit_atlas(atlas: &Atlas, out: Option<&str>) -> Result<(), String> {
+    print!("{}", atlas.ascii());
+    let c = &atlas.counters;
+    let interior = atlas
+        .cells
+        .iter()
+        .filter(|x| x.status == cppll_verify::CellStatus::Interior)
+        .count();
+    println!(
+        "atlas: {}x{} grid — {} certified, {} failed, {} skipped by bisection \
+         ({} interior, {} unresolved), {} wave(s)",
+        atlas.nx,
+        atlas.ny,
+        c.cells_certified,
+        c.cells_failed,
+        c.cells_skipped_by_bisection,
+        interior,
+        c.cells_skipped_by_bisection - interior,
+        atlas.waves,
+    );
+    println!(
+        "warm starts: {} hit(s); journal: {} cell(s) replayed",
+        c.warm_start_hits, c.cells_replayed,
+    );
+    println!("atlas digest: {}", atlas.digest());
+    println!("total: {:.2}s", atlas.total_seconds);
+    let Some(dir) = out else { return Ok(()) };
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let write = |name: &str, contents: &str| -> Result<(), String> {
+        let p = dir.join(name);
+        std::fs::write(&p, contents).map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+        println!("wrote {}", p.display());
+        Ok(())
+    };
+    write("atlas.json", &atlas.full_json().to_compact_string())?;
+    write("atlas.canonical.json", &atlas.canonical_json())?;
+    // 1D sweeps trace against a single synthetic row at y = 0.
+    let ys = if atlas.ys.is_empty() {
+        vec![0.0]
+    } else {
+        atlas.ys.clone()
+    };
+    let curve = grid_verdict_boundary(
+        &atlas.xs,
+        &ys,
+        &atlas.certified_mask(),
+        "certified-region boundary",
+    );
+    let contour = ObjectBuilder::new()
+        .field("curves", vec![curve])
+        .build()
+        .to_compact_string();
+    write("contour.json", &contour)
+}
+
+/// `cppll sweep <sweep.json>` — certify a parameter grid into an atlas.
+#[allow(clippy::too_many_arguments)]
+fn cmd_sweep(
+    args: &[String],
+    resilience: ResilienceConfig,
+    checkpoint: Option<CheckpointConfig>,
+    reduction: ReductionOptions,
+    trace_out: Option<&str>,
+    tracer: Option<Tracer>,
+    flags: &SweepFlags,
+) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: cppll sweep <sweep.json> [--out <dir>] [--via <host:port>]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = match SweepSpec::from_json_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.no_bisect {
+        spec.bisect = false;
+    }
+    if let Some(c) = flags.coarse {
+        spec.coarse = c;
+    }
+    if let Some(r) = flags.resolution {
+        spec.resolution = r;
+    }
+    let opt = cppll_verify::SweepOptions {
+        threads: 0, // cell-level parallelism follows the global --threads
+        resilience,
+        reduction,
+        trace: tracer.clone(),
+        checkpoint,
+        crash_after_cells: flags.crash_after,
+    };
+    let result = match &flags.via {
+        Some(addr) => {
+            let addr = addr.clone();
+            let solver = move |_cell: usize,
+                               problem: &CellProblem,
+                               _seed: Option<Vec<Option<cppll_sdp::SdpSolution>>>| {
+                via_solve(&addr, problem, reduction)
+            };
+            run_sweep_with(&spec, &opt, &solver)
+        }
+        None => run_sweep(&spec, &opt),
+    };
+    match result {
+        Ok(atlas) => {
+            if let Err(e) = emit_atlas(&atlas, flags.out.as_deref()) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            emit_telemetry(tracer.as_ref(), trace_out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
             ExitCode::FAILURE
         }
     }
@@ -980,6 +1271,7 @@ fn main() -> ExitCode {
         durability,
         reduction,
         trace,
+        sweep: sweep_flags,
         validate,
         ..
     } = parsed;
@@ -994,9 +1286,22 @@ fn main() -> ExitCode {
     let tracer = trace.tracer();
     match args.first().map(String::as_str) {
         Some("schema") => {
-            println!("{EXAMPLE_SPEC}");
+            if args.get(1).map(String::as_str) == Some("sweep") {
+                println!("{EXAMPLE_SWEEP}");
+            } else {
+                println!("{EXAMPLE_SPEC}");
+            }
             ExitCode::SUCCESS
         }
+        Some("sweep") => cmd_sweep(
+            &args,
+            resilience,
+            checkpoint,
+            reduction,
+            trace.out.as_deref(),
+            tracer,
+            &sweep_flags,
+        ),
         Some("verify") => {
             let Some(path) = args.get(1) else {
                 eprintln!("usage: cppll verify <system.json>");
@@ -1081,7 +1386,8 @@ fn main() -> ExitCode {
                  usage:\n\
                  \x20 cppll verify <system.json>   verify a JSON system spec\n\
                  \x20 cppll pll <3|4> [degree]     run the CP PLL benchmarks\n\
-                 \x20 cppll schema                 print an example spec\n\
+                 \x20 cppll sweep <sweep.json>     certify a 1D/2D parameter grid\n\
+                 \x20 cppll schema [sweep]         print an example (sweep) spec\n\
                  \x20 cppll serve                  run the verification daemon\n\
                  \x20 cppll submit <spec|pll ...>  submit a job to a daemon\n\
                  \x20 cppll status [job]           query a daemon\n\
@@ -1105,6 +1411,16 @@ fn main() -> ExitCode {
                  \n\
                  service flags (runs gc):\n\
                  \x20 --dry-run                report what would be removed, remove nothing\n\
+                 \n\
+                 sweep flags (sweep):\n\
+                 \x20 --out <dir>              write atlas.json, atlas.canonical.json,\n\
+                 \x20                          contour.json under <dir>\n\
+                 \x20 --via <host:port>        solve cells on a running daemon (no\n\
+                 \x20                          warm-start seeding in this mode)\n\
+                 \x20 --no-bisect              solve every grid cell\n\
+                 \x20 --coarse <n>             initial lattice stride (default auto)\n\
+                 \x20 --resolution <n>         refinement stop size (default 1)\n\
+                 \x20 --sweep-crash-after <n>  exit(3) after n fresh cells (testing)\n\
                  \n\
                  resilience flags (verify, pll):\n\
                  \x20 --retries <n>            retries per solve on transient failures (default 2)\n\

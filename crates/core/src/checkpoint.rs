@@ -337,6 +337,34 @@ pub enum StageRecord {
         /// Cumulative ledger snapshot.
         ledger: LedgerSnapshot,
     },
+    /// One solved parameter-sweep cell (stage "sweep-cell") — the unit of
+    /// resume for `cppll sweep` atlases. A sweep journal holds only these.
+    SweepCell {
+        /// Linear cell index (`iy·nx + ix`) in the sweep's full grid.
+        cell: usize,
+        /// `true` when the cell's verdict was `Inevitable`.
+        certified: bool,
+        /// Canonical result digest of the cell's report, when one was
+        /// produced (Lyapunov infeasibility yields a verdict but no report).
+        digest: Option<String>,
+        /// Why the cell failed, for uncertified cells.
+        reason: Option<String>,
+        /// Per-cell problem fingerprint (hex).
+        fingerprint: String,
+        /// Inclusion solves of the cell that accepted a warm-start seed.
+        warm_hits: usize,
+        /// Linear index of the certified neighbour whose final iterates
+        /// seeded this cell's advection solves, if any.
+        seed_from: Option<usize>,
+        /// The cell's own final advection iterates — future neighbours'
+        /// seeds, journaled so a resumed sweep seeds identically.
+        warm: Vec<Option<SdpSolution>>,
+        /// Wall-clock seconds spent solving the cell (informational; not
+        /// part of the canonical atlas).
+        seconds: f64,
+        /// The cell's own ledger snapshot (not cumulative across cells).
+        ledger: LedgerSnapshot,
+    },
 }
 
 impl StageRecord {
@@ -346,7 +374,8 @@ impl StageRecord {
             StageRecord::Lyapunov { ledger, .. }
             | StageRecord::LevelSet { ledger, .. }
             | StageRecord::AdvectionStep { ledger, .. }
-            | StageRecord::Escape { ledger, .. } => ledger,
+            | StageRecord::Escape { ledger, .. }
+            | StageRecord::SweepCell { ledger, .. } => ledger,
         }
     }
 
@@ -357,6 +386,7 @@ impl StageRecord {
             StageRecord::LevelSet { .. } => "levelset",
             StageRecord::AdvectionStep { .. } => "advection-step",
             StageRecord::Escape { .. } => "escape",
+            StageRecord::SweepCell { .. } => "sweep-cell",
         }
     }
 }
@@ -417,6 +447,29 @@ impl ToJson for StageRecord {
                 .field("certificate", certificate)
                 .field("ledger", *ledger)
                 .build(),
+            StageRecord::SweepCell {
+                cell,
+                certified,
+                digest,
+                reason,
+                fingerprint,
+                warm_hits,
+                seed_from,
+                warm,
+                seconds,
+                ledger,
+            } => b
+                .field("cell", *cell)
+                .field("certified", *certified)
+                .field("digest", digest)
+                .field("reason", reason)
+                .field("fingerprint", fingerprint.as_str())
+                .field("warm_hits", *warm_hits)
+                .field("seed_from", seed_from)
+                .field("warm", warm)
+                .field("seconds", *seconds)
+                .field("ledger", *ledger)
+                .build(),
         }
     }
 }
@@ -451,6 +504,18 @@ impl cppll_json::FromJson for StageRecord {
                 mode: decode::required(v, "mode")?,
                 included: decode::required(v, "included")?,
                 certificate: decode::required(v, "certificate")?,
+                ledger: decode::required(v, "ledger")?,
+            }),
+            "sweep-cell" => Ok(StageRecord::SweepCell {
+                cell: decode::required(v, "cell")?,
+                certified: decode::required(v, "certified")?,
+                digest: decode::required(v, "digest")?,
+                reason: decode::required(v, "reason")?,
+                fingerprint: decode::required(v, "fingerprint")?,
+                warm_hits: decode::required(v, "warm_hits")?,
+                seed_from: decode::required(v, "seed_from")?,
+                warm: decode::required(v, "warm")?,
+                seconds: decode::required(v, "seconds")?,
                 ledger: decode::required(v, "ledger")?,
             }),
             other => Err(DecodeError::new(format!(

@@ -36,6 +36,7 @@ pub mod pipeline;
 pub mod region;
 pub mod resilience;
 pub mod spec;
+pub mod sweep;
 pub mod validation;
 
 pub use advection::{Advection, AdvectionOptions, AdvectionStep};
@@ -60,6 +61,10 @@ pub use spec::{
     run_inevitability, run_inevitability_checkpointed, run_inevitability_traced,
     run_inevitability_tuned, run_inevitability_validated, run_inevitability_with,
     spec_fingerprint, JumpSpec, ModeSpec, ParamSpec, SpecError, SystemSpec,
+};
+pub use sweep::{
+    run_sweep, run_sweep_with, Atlas, CellOutcome, CellProblem, CellRecord, CellStatus,
+    SweepAxis, SweepCounters, SweepError, SweepOptions, SweepSpec, SweepTarget,
 };
 pub use validation::{Sampler, ValidationReport, Validator};
 

@@ -64,6 +64,15 @@ pub struct PipelineOptions {
     /// and solver detail. Tracing never touches the numerics, so the
     /// result digest is identical at every level.
     pub trace: Option<Tracer>,
+    /// Externally supplied per-mode warm-start seeds for the *first*
+    /// advection inclusion solves — the parameter-step generalisation of
+    /// the per-advection-step warm chain: a sweep seeds a cell's solves
+    /// from the nearest already-certified neighbour's final iterates. A
+    /// failed seeded solve silently falls back to a cold solve, so seeding
+    /// can never change a verdict or a result digest; it is therefore
+    /// deliberately excluded from the problem fingerprint. Ignored when a
+    /// journal replay supplies its own iterates for a step.
+    pub advection_seed: Option<Vec<Option<SdpSolution>>>,
 }
 
 impl PipelineOptions {
@@ -83,6 +92,7 @@ impl PipelineOptions {
             resilience: ResilienceConfig::default(),
             checkpoint: None,
             trace: None,
+            advection_seed: None,
         }
     }
 }
@@ -181,6 +191,16 @@ pub struct VerificationReport {
     /// warm-started solves. All-zero (with no run id) when checkpointing
     /// was off.
     pub resume: ResumeSummary,
+    /// Final per-mode advection inclusion iterates — the warm-start seeds
+    /// a parameter-sweep neighbour can pass back in via
+    /// [`PipelineOptions::advection_seed`]. Empty when advection never ran.
+    /// Excluded from [`Self::canonical_result_json`]: iterates depend on
+    /// the seeding history, results do not.
+    pub advection_warm: Vec<Option<SdpSolution>>,
+    /// Inclusion solves of this run that accepted a warm-start seed
+    /// (journal-chained or parameter-seeded). Excluded from
+    /// [`Self::canonical_result_json`].
+    pub advection_warm_hits: usize,
 }
 
 impl VerificationReport {
@@ -507,6 +527,8 @@ impl<'s> InevitabilityVerifier<'s> {
                         solve_timings: ledger.timings(),
                         reduction: ledger.reduction(),
                         resume: resume_of(&ckpt),
+                        advection_warm: Vec::new(),
+                        advection_warm_hits: 0,
                     });
                 }
             };
@@ -619,6 +641,8 @@ impl<'s> InevitabilityVerifier<'s> {
                 solve_timings: ledger.timings(),
                 reduction: ledger.reduction(),
                 resume: resume_of(&ckpt),
+                advection_warm: Vec::new(),
+                advection_warm_hits: 0,
             });
         };
 
@@ -644,9 +668,15 @@ impl<'s> InevitabilityVerifier<'s> {
         // Per-mode warm-start chain: each inclusion probe is seeded from
         // the previous step's final iterate for the same mode (advection by
         // exact composition preserves the SDP block structure step to
-        // step). Only active under checkpointing, so non-checkpointed runs
-        // keep their historical solve trajectories.
-        let mut warm: Vec<Option<SdpSolution>> = vec![None; nmodes];
+        // step). Active under checkpointing or when the caller injected
+        // parameter-step seeds; plain runs keep their historical solve
+        // trajectories. An injected seed only primes the chain's first
+        // links — a wrong-shape seed is simply never accepted by the solver.
+        let mut warm: Vec<Option<SdpSolution>> = match &opt.advection_seed {
+            Some(seed) if seed.len() == nmodes => seed.clone(),
+            _ => vec![None; nmodes],
+        };
+        let mut warm_hits: usize = 0;
         for k in 0..opt.max_advection_iters {
             let _step_span = opt
                 .trace
@@ -698,11 +728,23 @@ impl<'s> InevitabilityVerifier<'s> {
             let guard_mismatch = advector.guard_mismatch(&pieces, &adv_opt);
             let ti = Instant::now();
             let margin = opt.inclusion_margin;
-            let included = if let Some(c) = ckpt.as_mut() {
-                self.pieces_inside_ai_seeded(&pieces, &levels, margin, &inc_opt, &mut warm, c)
-            } else {
-                self.pieces_inside_ai(&pieces, &levels, margin, &inc_opt)
-            };
+            // Always the seeded path, even on cold runs: with all-`None`
+            // seeds it solves exactly like the plain check (the chaos CI
+            // pins those digests equal) while capturing the final iterates,
+            // which the report exports as warm-start seeds for parameter
+            // sweeps.
+            let before = warm_hits;
+            let included = self.pieces_inside_ai_seeded(
+                &pieces,
+                &levels,
+                margin,
+                &inc_opt,
+                &mut warm,
+                &mut warm_hits,
+            );
+            if let Some(c) = ckpt.as_mut() {
+                c.warm_started_solves += warm_hits - before;
+            }
             inclusion_seconds += ti.elapsed().as_secs_f64();
             trace.push(AdvectionTraceEntry {
                 pieces: pieces.clone(),
@@ -767,6 +809,8 @@ impl<'s> InevitabilityVerifier<'s> {
                 solve_timings: ledger.timings(),
                 reduction: ledger.reduction(),
                 resume: resume_of(&ckpt),
+                advection_warm: warm,
+                advection_warm_hits: warm_hits,
             });
         }
 
@@ -896,6 +940,8 @@ impl<'s> InevitabilityVerifier<'s> {
             solve_timings: ledger.timings(),
             reduction: ledger.reduction(),
             resume: resume_of(&ckpt),
+            advection_warm: warm,
+            advection_warm_hits: warm_hits,
         })
     }
 
@@ -948,9 +994,11 @@ impl<'s> InevitabilityVerifier<'s> {
 
     /// [`Self::pieces_inside_ai`] with a per-mode warm-start chain: each
     /// probe is seeded from the previous advection step's final iterate for
-    /// the same mode, and the iterate produced here (feasible or not) is
-    /// stored back for the next step. Mode order and the stop-at-first-
-    /// failure short-circuit match the unseeded path exactly.
+    /// the same mode (or, on the first step, from an injected
+    /// [`PipelineOptions::advection_seed`]), and the iterate produced here
+    /// (feasible or not) is stored back for the next step. Mode order and
+    /// the stop-at-first-failure short-circuit match the unseeded path
+    /// exactly; `warm_hits` counts the solves that accepted their seed.
     fn pieces_inside_ai_seeded(
         &self,
         pieces: &[Polynomial],
@@ -958,7 +1006,7 @@ impl<'s> InevitabilityVerifier<'s> {
         margin: f64,
         inc_opt: &InclusionOptions,
         warm: &mut [Option<SdpSolution>],
-        ckpt: &mut Checkpointer,
+        warm_hits: &mut usize,
     ) -> bool {
         let n = self.system.nstates();
         for mi in 0..self.system.modes().len() {
@@ -968,7 +1016,7 @@ impl<'s> InevitabilityVerifier<'s> {
             let probe =
                 check_inclusion_seeded(&pieces[mi], &ai, &domain, inc_opt, warm[mi].as_ref());
             if probe.warm_started {
-                ckpt.warm_started_solves += 1;
+                *warm_hits += 1;
             }
             warm[mi] = probe.iterate;
             if !probe.included {
@@ -978,21 +1026,4 @@ impl<'s> InevitabilityVerifier<'s> {
         true
     }
 
-    /// Per-mode Lemma-1 inclusion of the piecewise front into the
-    /// (margin-shrunk) AI.
-    fn pieces_inside_ai(
-        &self,
-        pieces: &[Polynomial],
-        levels: &LevelSetResult,
-        margin: f64,
-        inc_opt: &InclusionOptions,
-    ) -> bool {
-        let n = self.system.nstates();
-        (0..self.system.modes().len()).all(|mi| {
-            let ai = &levels.ai_polys[mi] + &Polynomial::constant(n, margin);
-            let mut domain = self.boundary.clone();
-            domain.extend(self.system.modes()[mi].flow_set().iter().cloned());
-            check_inclusion(&pieces[mi], &ai, &domain, inc_opt)
-        })
-    }
 }

@@ -243,6 +243,53 @@ impl SystemSpec {
         let v = cppll_json::parse(text).map_err(|e| invalid(format!("json: {e}")))?;
         Self::from_json(&v)
     }
+
+    /// Renders an in-memory verification problem back into a spec, so a
+    /// locally built system (e.g. one cell of a parameter sweep, PLL models
+    /// included) can be shipped to a `cppll-serve` daemon as JSON.
+    ///
+    /// Polynomials are printed with shortest-round-trip coefficient
+    /// formatting and re-parse to bit-identical term maps, so
+    /// [`spec_fingerprint`] of the result equals the fingerprint of the
+    /// original problem at the same degree.
+    pub fn from_parts(
+        system: &HybridSystem,
+        boundary: &[Polynomial],
+        initial_radii: &[f64],
+        degree: u32,
+    ) -> Self {
+        let render = |ps: &[Polynomial]| ps.iter().map(|p| p.to_string()).collect::<Vec<_>>();
+        SystemSpec {
+            states: system.nstates(),
+            modes: system
+                .modes()
+                .iter()
+                .map(|m| ModeSpec {
+                    name: m.name().to_string(),
+                    flow: render(m.flow()),
+                    flow_set: render(m.flow_set()),
+                })
+                .collect(),
+            jumps: system
+                .jumps()
+                .iter()
+                .map(|j| JumpSpec {
+                    from: j.from,
+                    to: j.to,
+                    guard: render(&j.guard),
+                    guard_eq: render(&j.guard_eq),
+                    reset: render(&j.reset),
+                })
+                .collect(),
+            params: ParamSpec {
+                lo: system.params().lo().to_vec(),
+                hi: system.params().hi().to_vec(),
+            },
+            boundary: render(boundary),
+            initial_radii: initial_radii.to_vec(),
+            degree,
+        }
+    }
 }
 
 impl ToJson for SystemSpec {
@@ -602,6 +649,19 @@ mod tests {
         // Flow evaluates as written.
         let f = sys.eval_flow(0, &[1.0, 2.0], &[]);
         assert_eq!(f, vec![1.0, -3.0]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_the_fingerprint() {
+        let spec = toy_spec();
+        let sys = spec.build_system().unwrap();
+        let boundary = spec.build_boundary().unwrap();
+        let back = SystemSpec::from_parts(&sys, &boundary, &spec.initial_radii, spec.degree);
+        assert_eq!(
+            spec_fingerprint(&spec).unwrap(),
+            spec_fingerprint(&back).unwrap(),
+            "Display → parse must reproduce the exact problem"
+        );
     }
 
     #[test]

@@ -23,6 +23,17 @@
 //! (tests comparing 1-thread and N-thread runs side by side) pass a
 //! resolved count instead of touching the global.
 //!
+//! # Spawn-failure degradation
+//!
+//! Work is split into index-determined chunks and pulled from a shared
+//! queue by up to `threads` executors: the calling thread plus scoped
+//! workers. A failed worker spawn (the OS can transiently refuse with
+//! `EAGAIN` under heavy nested fork/join churn) is never fatal — the
+//! calling thread always participates, so execution degrades toward serial
+//! instead of panicking. Which executor runs a chunk never affects the
+//! result: chunk boundaries and output placement are functions of the
+//! index alone.
+//!
 //! # Examples
 //!
 //! ```
@@ -64,6 +75,39 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// Below this many items a fork/join is pure overhead; run serially.
 const MIN_ITEMS_PER_FORK: usize = 2;
 
+/// Runs `jobs` on up to `executors` threads: the caller plus at most
+/// `executors - 1` scoped workers draining a shared queue. Each job is an
+/// index-determined chunk, so which executor runs it cannot affect the
+/// result. Worker spawns that the OS refuses are ignored — the caller
+/// always drains the queue, so the call completes (serially in the worst
+/// case) rather than panicking on a transient `EAGAIN`.
+///
+/// Panics from `run` propagate: the calling thread re-raises directly, and
+/// [`std::thread::scope`] re-raises worker panics when the scope closes.
+fn run_jobs<J, F>(jobs: Vec<J>, executors: usize, run: F)
+where
+    J: Send,
+    F: Fn(J) + Sync,
+{
+    let queue = std::sync::Mutex::new(jobs);
+    let drain = |queue: &std::sync::Mutex<Vec<J>>| loop {
+        let job = {
+            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.pop()
+        };
+        match job {
+            Some(j) => run(j),
+            None => break,
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..executors {
+            let _ = std::thread::Builder::new().spawn_scoped(scope, || drain(&queue));
+        }
+        drain(&queue);
+    });
+}
+
 /// Maps `f` over `0..n`, returning results in index order.
 ///
 /// `threads = 0` uses the process default ([`current_threads`]); `1` (or a
@@ -80,28 +124,32 @@ where
     if threads <= 1 || n < MIN_ITEMS_PER_FORK {
         return (0..n).map(f).collect();
     }
-    // Contiguous chunk bounds: ceil-split so every worker gets work.
+    // Contiguous ceil-split chunks; each job fills its own slice of the
+    // output, so placement depends only on the index, never the executor.
     let chunk = n.div_ceil(threads);
-    let bounds: Vec<(usize, usize)> = (0..threads)
-        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
-        .filter(|(lo, hi)| lo < hi)
-        .collect();
-    let f = &f;
-    let mut chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .iter()
-            .map(|&(lo, hi)| scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("cppll-par worker panicked"))
-            .collect()
-    });
-    let mut out = Vec::with_capacity(n);
-    for c in chunks.iter_mut() {
-        out.append(c);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut jobs: Vec<(usize, &mut [Option<T>])> = Vec::with_capacity(threads);
+    {
+        let mut rest = slots.as_mut_slice();
+        let mut lo = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            jobs.push((lo, head));
+            lo += take;
+            rest = tail;
+        }
     }
-    out
+    let f = &f;
+    run_jobs(jobs, threads, |(lo, out): (usize, &mut [Option<T>])| {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = Some(f(lo + k));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("cppll-par: chunk left an item uncomputed"))
+        .collect()
 }
 
 /// Applies `f` to disjoint contiguous chunks of `items` in parallel, giving
@@ -120,19 +168,18 @@ where
         return;
     }
     let chunk = n.div_ceil(threads);
+    let mut jobs: Vec<(usize, &mut [T])> = Vec::with_capacity(threads);
+    let mut rest = items;
+    let mut offset = 0;
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        jobs.push((offset, head));
+        offset += take;
+        rest = tail;
+    }
     let f = &f;
-    std::thread::scope(|scope| {
-        let mut rest = items;
-        let mut offset = 0;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            let lo = offset;
-            scope.spawn(move || f(lo, head));
-            offset += take;
-            rest = tail;
-        }
-    });
+    run_jobs(jobs, threads, |(lo, head): (usize, &mut [T])| f(lo, head));
 }
 
 /// Splits `items` into consecutive chunks of exactly `chunk_len` elements
@@ -167,22 +214,21 @@ where
         }
         return;
     }
-    // Hand each worker a contiguous run of whole chunks.
+    // Each job is a contiguous run of whole chunks.
     let per_worker = nchunks.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = items;
-        let mut next_chunk = 0;
-        while !rest.is_empty() {
-            let take = (per_worker * chunk_len).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            let first = next_chunk;
-            scope.spawn(move || {
-                for (k, chunk) in head.chunks_mut(chunk_len).enumerate() {
-                    f(first + k, chunk);
-                }
-            });
-            next_chunk += per_worker;
-            rest = tail;
+    let mut jobs: Vec<(usize, &mut [T])> = Vec::with_capacity(threads);
+    let mut rest = items;
+    let mut next_chunk = 0;
+    while !rest.is_empty() {
+        let take = (per_worker * chunk_len).min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        jobs.push((next_chunk, head));
+        next_chunk += per_worker;
+        rest = tail;
+    }
+    run_jobs(jobs, threads, |(first, head): (usize, &mut [T])| {
+        for (k, chunk) in head.chunks_mut(chunk_len).enumerate() {
+            f(first + k, chunk);
         }
     });
 }

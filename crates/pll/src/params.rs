@@ -98,6 +98,51 @@ impl TableOneParams {
     pub fn is_fourth_order(&self) -> bool {
         self.c3.is_some() && self.r2.is_some()
     }
+
+    /// The field names a parameter sweep may use as an axis, in the order
+    /// they appear in Table 1.
+    pub const AXIS_NAMES: [&'static str; 10] =
+        ["c1", "c2", "c3", "r", "r2", "f_ref", "f0", "ip", "n", "kv"];
+
+    /// Re-centres the named parameter at `value`: interval parameters keep
+    /// their Table-1 half-width and move their midpoint to `value` (the
+    /// robustness envelope travels with the sweep axis); scalar parameters
+    /// are set directly. `c3`/`r2` are only addressable on a fourth-order
+    /// set.
+    ///
+    /// Returns `Err` with the offending name when it is not a sweepable
+    /// field of this parameter set.
+    pub fn with_axis(mut self, name: &str, value: f64) -> Result<Self, String> {
+        fn recentre(iv: Interval, value: f64) -> Interval {
+            let hw = 0.5 * iv.width();
+            Interval::new(value - hw, value + hw)
+        }
+        match name {
+            "c1" => self.c1 = recentre(self.c1, value),
+            "c2" => self.c2 = recentre(self.c2, value),
+            "r" => self.r = recentre(self.r, value),
+            "ip" => self.ip = recentre(self.ip, value),
+            "n" => self.n = recentre(self.n, value),
+            "c3" => match self.c3 {
+                Some(iv) => self.c3 = Some(recentre(iv, value)),
+                None => return Err("axis 'c3' requires a fourth-order parameter set".into()),
+            },
+            "r2" => match self.r2 {
+                Some(iv) => self.r2 = Some(recentre(iv, value)),
+                None => return Err("axis 'r2' requires a fourth-order parameter set".into()),
+            },
+            "f_ref" => self.f_ref = value,
+            "f0" => self.f0 = value,
+            "kv" => self.kv = value,
+            other => {
+                return Err(format!(
+                    "unknown sweep axis '{other}' (expected one of {})",
+                    Self::AXIS_NAMES.join(", ")
+                ))
+            }
+        }
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +169,18 @@ mod tests {
         assert!(p.r2.unwrap().contains(8.0e3));
         assert_eq!(p.f_ref, 5.0e6);
         assert!(p.is_fourth_order());
+    }
+
+    #[test]
+    fn with_axis_recentres_intervals_and_sets_scalars() {
+        let p = TableOneParams::third_order();
+        let q = p.clone().with_axis("ip", 600.0e-6).unwrap();
+        assert!((q.ip.mid() - 600.0e-6).abs() < 1e-18);
+        assert!((q.ip.width() - p.ip.width()).abs() < 1e-18);
+        let q = p.clone().with_axis("f0", 1.0e9).unwrap();
+        assert_eq!(q.f0, 1.0e9);
+        assert!(p.clone().with_axis("r2", 8.0e3).is_err());
+        assert!(p.with_axis("bogus", 1.0).is_err());
     }
 
     #[test]

@@ -483,7 +483,11 @@ impl std::fmt::Display for Polynomial {
             }
             if m.is_one() {
                 write!(f, "{mag}")?;
-            } else if (mag - 1.0).abs() < 1e-15 {
+            } else if mag == 1.0 {
+                // Exactly 1.0 only: a near-1 coefficient printed as a bare
+                // monomial would re-parse to exactly 1.0, breaking the
+                // Display ↔ parse round-trip that sweep cells shipped to a
+                // remote daemon rely on for bit-identical fingerprints.
                 write!(f, "{m}")?;
             } else {
                 write!(f, "{mag}*{m}")?;
